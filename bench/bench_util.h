@@ -1,0 +1,47 @@
+// Shared helpers for the experiment harnesses (fig*/sec* binaries).
+//
+// Every harness prints a self-describing table mirroring one figure/table
+// of the paper. Scales default to values that finish in seconds on a
+// 2-core container and can be overridden with RELBORG_SCALE (a multiplier
+// applied to each harness's default dataset scale).
+#ifndef RELBORG_BENCH_BENCH_UTIL_H_
+#define RELBORG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace relborg {
+namespace bench {
+
+inline double ScaleMultiplier() {
+  const char* env = std::getenv("RELBORG_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline void PrintHeader(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s  %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline std::string HumanBytes(size_t bytes) {
+  char buf[32];
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1073741824.0);
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1048576.0);
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof(buf), "%.2f KB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace relborg
+
+#endif  // RELBORG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,161 @@
+// Figure 3 reproduction: end-to-end linear regression on the Retailer
+// dataset, structure-agnostic vs structure-aware.
+//
+// Structure-agnostic ("PostgreSQL + TensorFlow" in the paper):
+//   1. materialize the join (data matrix),
+//   2. export it to CSV, re-import it ("data move"),
+//   3. shuffle,
+//   4. one epoch of mini-batch SGD (100K-tuple batches).
+// Structure-aware (LMFAO):
+//   1. one factorized pass computes the covariance aggregate batch,
+//   2. gradient descent on the (tiny) matrix yields the model.
+//
+// The paper reports 13,242s vs 6.13s (2,160x) at 84M fact rows on an 8-core
+// i7; we run a scaled-down Retailer, so absolute numbers differ — the
+// reproduced claims are the *shape*: batch time << join time << move time,
+// aggregate output orders of magnitude smaller than the data matrix, and
+// the factorized model at least as accurate as 1-epoch SGD.
+#include <cstdio>
+#include <string>
+
+#include "baseline/materializer.h"
+#include "baseline/sgd_learner.h"
+#include "bench/bench_util.h"
+#include "core/covar_engine.h"
+#include "data/dataset.h"
+#include "ml/linear_regression.h"
+#include "relational/csv_io.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace relborg {
+namespace {
+
+void Run() {
+  const double scale = 0.05 * bench::ScaleMultiplier();
+  GenOptions gen;
+  gen.scale = scale;
+  Dataset ds = MakeRetailer(gen);
+  FeatureMap fm(ds.query, ds.features);
+  RootedTree tree = ds.RootAtFact();
+  const int response = fm.num_features() - 1;
+
+  bench::PrintHeader("FIG 3",
+                     "End-to-end linear regression over Retailer (scale " +
+                         std::to_string(scale) + ")");
+  std::printf("Database: %zu rows across %d relations, %s in memory\n",
+              ds.catalog->TotalRows(), ds.query.num_relations(),
+              bench::HumanBytes(ds.catalog->TotalBytes()).c_str());
+
+  // --- Structure-agnostic flow ---
+  WallTimer t_join;
+  DataMatrix matrix = MaterializeJoin(tree, fm);
+  double join_secs = t_join.Seconds();
+  size_t matrix_bytes = matrix.ByteSize();
+
+  const std::string csv_path = "/tmp/relborg_fig3_matrix.csv";
+  WallTimer t_export;
+  {
+    // Serialize the matrix through the same CSV writer relations use.
+    Relation as_rel("matrix", [&] {
+      Schema s;
+      for (const std::string& name : matrix.col_names()) {
+        s.AddAttribute(name, AttrType::kDouble);
+      }
+      return s;
+    }());
+    std::vector<double> row(matrix.num_cols());
+    for (size_t r = 0; r < matrix.num_rows(); ++r) {
+      row.assign(matrix.Row(r), matrix.Row(r) + matrix.num_cols());
+      as_rel.AppendRow(row);
+    }
+    WriteCsv(as_rel, csv_path);
+  }
+  double export_secs = t_export.Seconds();
+  size_t csv_bytes = FileBytes(csv_path);
+
+  WallTimer t_import;
+  DataMatrix imported;
+  {
+    Schema s;
+    for (const std::string& name : matrix.col_names()) {
+      s.AddAttribute(name, AttrType::kDouble);
+    }
+    Relation back("matrix", s);
+    ReadCsv(csv_path, "matrix", s, &back);
+    imported = DataMatrix(matrix.col_names());
+    imported.Reserve(back.num_rows());
+    std::vector<double> row(matrix.num_cols());
+    for (size_t r = 0; r < back.num_rows(); ++r) {
+      for (int a = 0; a < matrix.num_cols(); ++a) row[a] = back.Double(r, a);
+      imported.AppendRow(row.data());
+    }
+  }
+  double import_secs = t_import.Seconds();
+  std::remove(csv_path.c_str());
+
+  WallTimer t_shuffle;
+  Rng shuffle_rng(99);
+  imported.ShuffleRows(&shuffle_rng);
+  double shuffle_secs = t_shuffle.Seconds();
+
+  WallTimer t_sgd;
+  SgdOptions sgd_opts;  // 1 epoch, 100K batches — the paper's TF setup
+  LinearModel sgd_model = TrainSgd(imported, response, sgd_opts);
+  double sgd_secs = t_sgd.Seconds();
+
+  // --- Structure-aware flow (LMFAO) ---
+  WallTimer t_batch;
+  CovarMatrix covar = ComputeCovarMatrix(tree, fm);
+  double batch_secs = t_batch.Seconds();
+  size_t covar_bytes =
+      (1 + covar.payload().sum.size() + covar.payload().quad.size()) *
+      sizeof(double);
+
+  WallTimer t_gd;
+  RidgeOptions gd_opts;
+  TrainInfo info;
+  LinearModel lmfao_model = TrainRidgeGd(covar, response, gd_opts, {}, &info);
+  double gd_secs = t_gd.Seconds();
+
+  // --- Accuracy (RMSE over the full data matrix) ---
+  double rmse_sgd = Rmse(sgd_model, matrix, response);
+  double rmse_lmfao = Rmse(lmfao_model, matrix, response);
+
+  double agnostic_total = join_secs + export_secs + import_secs +
+                          shuffle_secs + sgd_secs;
+  double aware_total = batch_secs + gd_secs;
+
+  std::printf("\n%-28s %14s %14s\n", "", "PG+TF-style", "LMFAO-style");
+  std::printf("%-28s %11.3f s  %14s\n", "Join (materialize)", join_secs, "-");
+  std::printf("%-28s %11.3f s  %14s   (CSV %s)\n", "Export",
+              export_secs, "-", bench::HumanBytes(csv_bytes).c_str());
+  std::printf("%-28s %11.3f s  %14s\n", "Import", import_secs, "-");
+  std::printf("%-28s %11.3f s  %14s\n", "Shuffling", shuffle_secs, "-");
+  std::printf("%-28s %14s  %11.3f s   (output %s)\n", "Aggregate batch", "-",
+              batch_secs, bench::HumanBytes(covar_bytes).c_str());
+  std::printf("%-28s %11.3f s  %11.3f s   (GD: %d iters)\n",
+              "Learning (SGD / GD)", sgd_secs, gd_secs, info.iterations);
+  std::printf("%-28s %11.3f s  %11.3f s\n", "Total", agnostic_total,
+              aware_total);
+  std::printf("\nData matrix: %zu rows x %d cols, %s in memory\n",
+              matrix.num_rows(), matrix.num_cols(),
+              bench::HumanBytes(matrix_bytes).c_str());
+  std::printf("Sufficient statistics: %zu aggregates, %s (%.0fx smaller)\n",
+              CovarBatchSize(fm.num_features()),
+              bench::HumanBytes(covar_bytes).c_str(),
+              static_cast<double>(matrix_bytes) / covar_bytes);
+  std::printf("Speedup (total): %.0fx\n", agnostic_total / aware_total);
+  std::printf("RMSE on training data: SGD(1 epoch) %.4f  |  LMFAO-GD %.4f\n",
+              rmse_sgd, rmse_lmfao);
+  std::printf("Paper (84M rows, 8 cores): 13,242s vs 6.13s = 2,160x; "
+              "23 GB join vs 37 KB aggregates.\n");
+}
+
+}  // namespace
+}  // namespace relborg
+
+int main() {
+  relborg::Run();
+  return 0;
+}

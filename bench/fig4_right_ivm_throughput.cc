@@ -1,0 +1,145 @@
+// Figure 4 (right) reproduction: maintaining the covariance matrix of the
+// Retailer join under tuple insertions into an initially empty database.
+//
+//   F-IVM            one factorized view tree, compound covariance ring
+//                    (maintenance shared across the aggregate batch),
+//   higher-order IVM delta processing with intermediate views but one
+//                    scalar view tree per aggregate (no sharing),
+//   first-order IVM  classical delta processing: re-enumerates the delta
+//                    join per batch, no intermediate views.
+//
+// The paper (Azure DS14, 1 thread, 1h timeout) shows F-IVM sustaining >1M
+// tuples/s, orders of magnitude above both baselines, with first-order IVM
+// degrading as the database grows. We report throughput at stream-fraction
+// checkpoints; each strategy gets a wall-clock budget and is cut off when
+// it exceeds it (mirroring the paper's timeout).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/covar_engine.h"
+#include "data/dataset.h"
+#include "ivm/ivm.h"
+#include "ivm/update_stream.h"
+#include "util/timer.h"
+
+namespace relborg {
+namespace {
+
+struct Checkpoint {
+  double fraction;
+  double tuples_per_sec;
+};
+
+template <typename Strategy>
+std::vector<Checkpoint> Drive(const Dataset& ds,
+                              const std::vector<UpdateBatch>& stream,
+                              double budget_secs, bool* timed_out) {
+  ShadowDb shadow(ds.query, ds.query.IndexOf(ds.fact));
+  FeatureMap fm(shadow.query(), ds.features);
+  Strategy strategy(&shadow, &fm);
+  const size_t total = StreamRowCount(stream);
+  std::vector<Checkpoint> checkpoints;
+  size_t applied = 0;
+  size_t next_mark = 1;
+  size_t last_applied = 0;
+  double last_elapsed = 0;
+  WallTimer timer;
+  *timed_out = false;
+  for (const UpdateBatch& batch : stream) {
+    size_t first = shadow.AppendRows(batch.node, batch.rows);
+    strategy.ApplyBatch(batch.node, first, batch.rows.size());
+    applied += batch.rows.size();
+    double elapsed = timer.Seconds();
+    if (applied * 10 >= next_mark * total) {
+      // Incremental (per-decile) throughput, as the paper's plot reports
+      // throughput at each point of the stream.
+      checkpoints.push_back({static_cast<double>(next_mark) / 10.0,
+                             (applied - last_applied) /
+                                 std::max(1e-9, elapsed - last_elapsed)});
+      last_applied = applied;
+      last_elapsed = elapsed;
+      ++next_mark;
+    }
+    if (elapsed > budget_secs) {
+      *timed_out = true;
+      break;
+    }
+  }
+  if (!*timed_out &&
+      (checkpoints.empty() || checkpoints.back().fraction < 1.0)) {
+    checkpoints.push_back(
+        {1.0, (applied - last_applied) /
+                  std::max(1e-9, timer.Seconds() - last_elapsed)});
+  }
+  return checkpoints;
+}
+
+void Run() {
+  const double scale = 0.1 * bench::ScaleMultiplier();
+  GenOptions gen;
+  gen.scale = scale;
+  Dataset ds = MakeRetailer(gen);  // full 12-feature set: 91 aggregates
+
+  UpdateStreamOptions stream_opts;
+  stream_opts.batch_size = 1000;
+  std::vector<UpdateBatch> stream = BuildInsertStream(ds.query, stream_opts);
+  const size_t total = StreamRowCount(stream);
+  const size_t num_aggs = CovarBatchSize(
+      static_cast<int>(ds.features.size()));
+
+  bench::PrintHeader(
+      "FIG 4 (right)",
+      "Covariance maintenance under inserts, Retailer (" +
+          std::to_string(total) + " tuples, batches of 1000, " +
+          std::to_string(num_aggs) + " aggregates)");
+
+  const double budget = 120.0;
+  bool fivm_to = false, ho_to = false, fo_to = false;
+  std::vector<Checkpoint> fivm =
+      Drive<CovarFivm>(ds, stream, budget, &fivm_to);
+  std::vector<Checkpoint> higher =
+      Drive<HigherOrderIvm>(ds, stream, budget, &ho_to);
+  std::vector<Checkpoint> first =
+      Drive<FirstOrderIvm>(ds, stream, budget, &fo_to);
+
+  auto at = [](const std::vector<Checkpoint>& cps, size_t i) -> std::string {
+    if (i < cps.size()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%11.0f", cps[i].tuples_per_sec);
+      return buf;
+    }
+    return "    timeout";
+  };
+  std::printf("%-9s %11s %11s %11s   (tuples/sec)\n", "fraction", "F-IVM",
+              "higher-ord", "first-ord");
+  size_t rows = std::max({fivm.size(), higher.size(), first.size()});
+  for (size_t i = 0; i < rows; ++i) {
+    double frac = 0.1 * (i + 1);
+    if (i < fivm.size()) frac = fivm[i].fraction;
+    std::printf("%-9.1f %s %s %s\n", frac, at(fivm, i).c_str(),
+                at(higher, i).c_str(), at(first, i).c_str());
+  }
+  if (!fivm.empty() && !higher.empty()) {
+    std::printf("\nFinal F-IVM / higher-order throughput ratio: %.1fx\n",
+                fivm.back().tuples_per_sec / higher.back().tuples_per_sec);
+  }
+  if (!fivm.empty() && !first.empty()) {
+    std::printf("Final F-IVM / first-order throughput ratio: %.1fx%s\n",
+                fivm.back().tuples_per_sec / first.back().tuples_per_sec,
+                fo_to ? " (first-order hit its time budget)" : "");
+  }
+  std::printf("Paper: F-IVM >1M tuples/s, 1-2 orders of magnitude above "
+              "higher-order IVM and further above first-order IVM, whose "
+              "throughput decays as the database grows.\n");
+}
+
+}  // namespace
+}  // namespace relborg
+
+int main() {
+  relborg::Run();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Micro-benchmarks for the ring layer (google-benchmark): covariance-ring
+// add/mul/lift at several widths, and group-ring products. These back the
+// constant-factor discussion of Sec. 4.
+#include <benchmark/benchmark.h>
+
+#include "ring/covariance.h"
+#include "ring/group_ring.h"
+#include "util/rng.h"
+
+namespace relborg {
+namespace {
+
+CovarPayload RandomPayload(int n, Rng* rng) {
+  CovarPayload p = CovarPayload::Zero(n);
+  p.count = rng->Uniform(0, 3);
+  for (auto& s : p.sum) s = rng->Uniform(-1, 1);
+  for (auto& q : p.quad) q = rng->Uniform(-1, 1);
+  return p;
+}
+
+void BM_CovarAdd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  CovarPayload a = RandomPayload(n, &rng);
+  CovarPayload b = RandomPayload(n, &rng);
+  for (auto _ : state) {
+    CovarAddInPlace(&a, b);
+    benchmark::DoNotOptimize(a.count);
+  }
+}
+BENCHMARK(BM_CovarAdd)->Arg(4)->Arg(12)->Arg(44);
+
+void BM_CovarMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  CovarPayload a = RandomPayload(n, &rng);
+  CovarPayload b = RandomPayload(n, &rng);
+  CovarPayload dst;
+  for (auto _ : state) {
+    CovarMulInto(n, a, b, &dst);
+    benchmark::DoNotOptimize(dst.count);
+  }
+}
+BENCHMARK(BM_CovarMul)->Arg(4)->Arg(12)->Arg(44);
+
+void BM_CovarLift(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::pair<int, double>> feats;
+  for (int i = 0; i < std::min(n, 4); ++i) feats.push_back({i, 0.5 * i});
+  CovarPayload dst;
+  for (auto _ : state) {
+    CovarLiftInto(n, feats, &dst);
+    benchmark::DoNotOptimize(dst.count);
+  }
+}
+BENCHMARK(BM_CovarLift)->Arg(4)->Arg(12)->Arg(44);
+
+void BM_GroupMulScalar(benchmark::State& state) {
+  GroupPayload a;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    a.AddEntry(GroupKeyHigh(i), 1.0 + i);
+  }
+  GroupPayload s = GroupPayload::Single(kScalarGroupKey, 2.0);
+  GroupPayload dst;
+  for (auto _ : state) {
+    GroupMulInto(a, s, &dst);
+    benchmark::DoNotOptimize(dst.size());
+  }
+}
+BENCHMARK(BM_GroupMulScalar)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_GroupOuterProduct(benchmark::State& state) {
+  GroupPayload a;
+  GroupPayload b;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    a.AddEntry(GroupKeyHigh(i), 1.0);
+    b.AddEntry(GroupKeyLow(i), 2.0);
+  }
+  GroupPayload dst;
+  for (auto _ : state) {
+    GroupMulInto(a, b, &dst);
+    benchmark::DoNotOptimize(dst.size());
+  }
+}
+BENCHMARK(BM_GroupOuterProduct)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace relborg

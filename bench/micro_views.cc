@@ -1,0 +1,76 @@
+// Micro-benchmarks for the view machinery: flat hash map probes vs
+// std::unordered_map (the "specialization" gap of Fig. 6), and factorized
+// covariance passes over a small retailer instance.
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+
+#include "core/covar_engine.h"
+#include "data/dataset.h"
+#include "util/flat_hash_map.h"
+#include "util/rng.h"
+
+namespace relborg {
+namespace {
+
+void BM_FlatHashMapProbe(benchmark::State& state) {
+  FlatHashMap<double> m;
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t k = rng.Next() >> 1;
+    keys.push_back(k);
+    m[k] = 1.0;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Find(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_FlatHashMapProbe);
+
+void BM_StdUnorderedMapProbe(benchmark::State& state) {
+  std::unordered_map<uint64_t, double> m;
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t k = rng.Next() >> 1;
+    keys.push_back(k);
+    m[k] = 1.0;
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.find(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_StdUnorderedMapProbe);
+
+// One full factorized covariance pass over a small Retailer instance.
+void BM_SharedCovarPass(benchmark::State& state) {
+  GenOptions gen;
+  gen.scale = 0.002;
+  static Dataset* ds = new Dataset(MakeRetailer(gen));
+  static FeatureMap* fm = new FeatureMap(ds->query, ds->features);
+  RootedTree tree = ds->RootAtFact();
+  for (auto _ : state) {
+    CovarMatrix m = ComputeCovarMatrix(tree, *fm);
+    benchmark::DoNotOptimize(m.count());
+  }
+}
+BENCHMARK(BM_SharedCovarPass)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarMomentPass(benchmark::State& state) {
+  GenOptions gen;
+  gen.scale = 0.002;
+  static Dataset* ds = new Dataset(MakeRetailer(gen));
+  static FeatureMap* fm = new FeatureMap(ds->query, ds->features);
+  RootedTree tree = ds->RootAtFact();
+  for (auto _ : state) {
+    double v = ComputeScalarMoment(tree, *fm, 0, 1);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ScalarMomentPass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace relborg

@@ -1,0 +1,95 @@
+// Section 1.5 reproduction: "faster training can mean better accuracy" —
+// once the covariance matrix is computed, a new model over any feature
+// subset trains in milliseconds, so exploring many models costs almost
+// nothing; the structure-agnostic alternative re-scans the data matrix per
+// candidate model.
+//
+// The paper's numbers: 50ms per model from the covariance matrix vs >7,000s
+// per TensorFlow scan at 84M rows.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "baseline/materializer.h"
+#include "baseline/sgd_learner.h"
+#include "bench/bench_util.h"
+#include "core/covar_engine.h"
+#include "data/dataset.h"
+#include "ml/model_selection.h"
+#include "util/timer.h"
+
+namespace relborg {
+namespace {
+
+void Run() {
+  const double scale = 0.1 * bench::ScaleMultiplier();
+  GenOptions gen;
+  gen.scale = scale;
+  Dataset ds = MakeRetailer(gen);
+  FeatureMap fm(ds.query, ds.features);
+  RootedTree tree = ds.RootAtFact();
+  const int response = fm.num_features() - 1;
+
+  bench::PrintHeader("SEC 1.5", "Model selection: many models, one data pass");
+
+  WallTimer t_batch;
+  CovarMatrix covar = ComputeCovarMatrix(tree, fm);
+  double batch_secs = t_batch.Seconds();
+
+  // Structure-aware: forward selection, every candidate model from the
+  // same matrix.
+  WallTimer t_select;
+  ModelSelectionOptions opts;
+  opts.max_features = 6;
+  ModelSelectionResult sel = ForwardSelect(covar, response, opts);
+  double select_secs = t_select.Seconds();
+
+  // Structure-agnostic: one SGD retrain per candidate model, each a full
+  // pass over the materialized matrix. (We time a few and extrapolate.)
+  WallTimer t_join;
+  DataMatrix matrix = MaterializeJoin(tree, fm);
+  double join_secs = t_join.Seconds();
+  const int sgd_samples = 3;
+  WallTimer t_sgd;
+  for (int i = 0; i < sgd_samples; ++i) {
+    SgdOptions sgd_opts;
+    TrainSgd(matrix, response, sgd_opts);
+  }
+  double sgd_per_model = t_sgd.Seconds() / sgd_samples;
+
+  std::printf("Covariance batch over the join: %.3f s (once)\n", batch_secs);
+  std::printf("Models evaluated by forward selection: %zu in %.3f s "
+              "(%.3f ms/model)\n",
+              sel.models_evaluated, select_secs,
+              1e3 * select_secs / std::max<size_t>(1, sel.models_evaluated));
+  std::printf("Structure-agnostic: join %.3f s + %.3f s per SGD model\n",
+              join_secs, sgd_per_model);
+  double agnostic_total =
+      join_secs + sgd_per_model * static_cast<double>(sel.models_evaluated);
+  double aware_total = batch_secs + select_secs;
+  std::printf("Exploring the same %zu models: %.3f s vs %.3f s  (%.0fx)\n",
+              sel.models_evaluated, agnostic_total, aware_total,
+              agnostic_total / std::max(1e-9, aware_total));
+  double per_model_aware =
+      select_secs / std::max<size_t>(1, sel.models_evaluated);
+  std::printf("Marginal cost per additional model: %.4f ms vs %.1f ms "
+              "(%.0fx per model)\n",
+              1e3 * per_model_aware, 1e3 * sgd_per_model,
+              sgd_per_model / std::max(1e-9, per_model_aware));
+  std::printf("\nSelection path (feature -> training MSE):\n");
+  for (const SelectionStep& s : sel.steps) {
+    std::printf("  + %-28s mse %.4f\n", fm.name(s.added_feature).c_str(),
+                s.mse);
+  }
+  std::printf("Paper: 50 ms per additional model from the covariance matrix "
+              "vs a >7,000 s data-matrix scan per TensorFlow model.\n");
+}
+
+}  // namespace
+}  // namespace relborg
+
+int main() {
+  relborg::Run();
+  return 0;
+}

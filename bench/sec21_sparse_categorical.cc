@@ -1,0 +1,164 @@
+// Section 2.1 / Sec. 1.2 shortcoming (3) reproduction: one-hot encoding
+// blows the data matrix up; the sparse-tensor encoding represents only the
+// (pairs of) categories that occur.
+//
+// Compares training ridge regression with categorical features two ways:
+//   agnostic: materialize the join, expand categorical columns to explicit
+//             one-hot columns ("turning it from lean into chubby"), solve
+//             the normal equations over the wide matrix;
+//   aware:    compute the sparse generalized covariance factorized and run
+//             coordinate descent on it.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/materializer.h"
+#include "bench/bench_util.h"
+#include "core/sparse_covar.h"
+#include "data/dataset.h"
+#include "ml/categorical_regression.h"
+#include "ml/linalg.h"
+#include "util/timer.h"
+
+namespace relborg {
+namespace {
+
+void Run() {
+  const double scale = 0.02 * bench::ScaleMultiplier();
+  GenOptions gen;
+  gen.scale = scale;
+  Dataset ds = MakeRetailer(gen);
+  FeatureMap fm(ds.query, ds.features);
+  RootedTree tree = ds.RootAtFact();
+  const int response = fm.num_features() - 1;
+  // Two categorical features with real domains.
+  std::vector<FeatureRef> cats{{"Items", "subcategory"}, {"Stores", "zip"}};
+
+  bench::PrintHeader("SEC 2.1",
+                     "Categorical features: one-hot matrix vs sparse tensors");
+
+  // --- Structure-agnostic: one-hot expanded matrix + normal equations. ---
+  WallTimer t_agnostic;
+  std::vector<ColumnRef> cols;
+  for (const FeatureRef& f : ds.features) cols.push_back({f.relation, f.attr});
+  for (const FeatureRef& c : cats) cols.push_back({c.relation, c.attr});
+  DataMatrix matrix = MaterializeJoin(tree, cols);
+  const int n_cont = static_cast<int>(ds.features.size());
+  // Domain sizes from the data.
+  std::vector<int> domain(cats.size(), 0);
+  for (size_t r = 0; r < matrix.num_rows(); ++r) {
+    for (size_t c = 0; c < cats.size(); ++c) {
+      domain[c] = std::max(domain[c],
+                           1 + static_cast<int>(matrix.At(r, n_cont + c)));
+    }
+  }
+  const int p = n_cont /*incl bias slot for response col excluded below*/ +
+                domain[0] + domain[1];
+  // Design: [bias, continuous (excl response), one-hots...].
+  const int pd = 1 + (n_cont - 1) + domain[0] + domain[1];
+  std::vector<double> a(static_cast<size_t>(pd) * pd, 0.0), b(pd, 0.0);
+  std::vector<double> row(pd);
+  for (size_t r = 0; r < matrix.num_rows(); ++r) {
+    std::fill(row.begin(), row.end(), 0.0);
+    row[0] = 1.0;
+    for (int i = 0; i + 1 < n_cont; ++i) row[1 + i] = matrix.At(r, i);
+    int off = n_cont;  // 1 + (n_cont-1)
+    row[off + static_cast<int>(matrix.At(r, n_cont))] = 1.0;
+    row[off + domain[0] + static_cast<int>(matrix.At(r, n_cont + 1))] = 1.0;
+    double y = matrix.At(r, n_cont - 1);
+    for (int i = 0; i < pd; ++i) {
+      if (row[i] == 0.0) continue;
+      b[i] += row[i] * y;
+      for (int j = 0; j < pd; ++j) a[i * pd + j] += row[i] * row[j];
+    }
+  }
+  double penalty = 1e-3 * static_cast<double>(matrix.num_rows());
+  for (int i = 1; i < pd; ++i) a[i * pd + i] += penalty;
+  a[0] += 1e-9;
+  std::vector<double> theta;
+  bool solved = CholeskySolve(a, b, pd, &theta);
+  double agnostic_secs = t_agnostic.Seconds();
+
+  // --- Structure-aware: sparse covariance + coordinate descent. ---
+  WallTimer t_aggs;
+  SparseCovar sparse = ComputeSparseCovar(tree, fm, cats);
+  double aggs_secs = t_aggs.Seconds();
+  WallTimer t_train;
+  CategoricalRidgeOptions cd_opts;
+  cd_opts.tolerance = 1e-7;
+  CategoricalTrainInfo info;
+  CategoricalModel model =
+      TrainRidgeCategorical(sparse, response, cd_opts, &info);
+  double train_secs = t_train.Seconds();
+  double aware_secs = aggs_secs + train_secs;
+
+  // Sizes: lean matrix vs one-hot matrix vs sparse aggregates.
+  size_t lean_bytes = matrix.ByteSize();
+  size_t onehot_bytes =
+      matrix.num_rows() * static_cast<size_t>(pd) * sizeof(double);
+  size_t sparse_entries = 0;
+  for (int c = 0; c < sparse.num_categorical(); ++c) {
+    sparse_entries += sparse.cat_count(c).size();
+    for (int i = 0; i < sparse.num_continuous(); ++i) {
+      sparse_entries += sparse.cat_sum(c, i).size();
+    }
+  }
+  sparse_entries += sparse.pair_count(0, 1).size();
+  size_t sparse_bytes = sparse_entries * 16 +
+                        (1 + fm.num_features() +
+                         UpperTriSize(fm.num_features())) * sizeof(double);
+
+  std::printf("join: %zu tuples; categorical domains: %d and %d\n",
+              matrix.num_rows(), domain[0], domain[1]);
+  std::printf("lean data matrix:      %s\n",
+              bench::HumanBytes(lean_bytes).c_str());
+  std::printf("one-hot data matrix:   %s   (%.1fx blow-up, %d columns)\n",
+              bench::HumanBytes(onehot_bytes).c_str(),
+              static_cast<double>(onehot_bytes) / lean_bytes, pd);
+  std::printf("sparse aggregates:     %s   (%.0fx smaller than one-hot)\n",
+              bench::HumanBytes(sparse_bytes).c_str(),
+              static_cast<double>(onehot_bytes) / sparse_bytes);
+  std::printf("\ntraining (ridge, %zu parameters):\n", info.num_parameters);
+  std::printf("  one-hot: join + wide matrix + normal eq.: %8.3f s%s\n",
+              agnostic_secs, solved ? "" : "  (solve FAILED)");
+  std::printf("  sparse:  %zu factorized aggregates %.3f s + coordinate "
+              "descent %.3f s (%d sweeps)\n",
+              sparse.num_aggregates(), aggs_secs, train_secs, info.sweeps);
+  std::printf("  (at this toy scale both finish in milliseconds; the paper's "
+              "point is the memory column above, which decides feasibility "
+              "at 84M rows)\n");
+  (void)aware_secs;
+  // Agreement check on a few tuples.
+  double max_diff = 0;
+  if (solved) {
+    std::vector<double> cont_row(fm.num_features());
+    int32_t codes[2];
+    for (size_t r = 0; r < std::min<size_t>(matrix.num_rows(), 2000); ++r) {
+      double ref = theta[0];
+      for (int i = 0; i + 1 < n_cont; ++i) ref += theta[1 + i] * matrix.At(r, i);
+      int off = n_cont;
+      ref += theta[off + static_cast<int>(matrix.At(r, n_cont))];
+      ref += theta[off + domain[0] +
+                   static_cast<int>(matrix.At(r, n_cont + 1))];
+      for (int i = 0; i < fm.num_features(); ++i) cont_row[i] = matrix.At(r, i);
+      codes[0] = static_cast<int32_t>(matrix.At(r, n_cont));
+      codes[1] = static_cast<int32_t>(matrix.At(r, n_cont + 1));
+      max_diff = std::max(max_diff,
+                          std::abs(model.Predict(cont_row.data(), codes) - ref));
+    }
+    std::printf("max |prediction difference| over 2000 tuples: %.2e\n",
+                max_diff);
+  }
+  std::printf("\nPaper (Sec. 1.2 (3), Sec. 2.1): naive one-hot encoding turns "
+              "the matrix 'from lean into chubby'; the sparse tensors "
+              "represent only occurring (pairs of) categories.\n");
+  (void)p;
+}
+
+}  // namespace
+}  // namespace relborg
+
+int main() {
+  relborg::Run();
+  return 0;
+}

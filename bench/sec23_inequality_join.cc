@@ -1,0 +1,69 @@
+// Section 2.3 reproduction: aggregates with additive inequality conditions
+// (SUM WHERE w1*X1 + w2*X2 > c across a join). The classical evaluation
+// enumerates the join; the factorized algorithm sorts per key and answers
+// each probe with a binary search, so its cost stays ~N log N while the
+// naive cost grows with the join's output. We sweep the key-domain size:
+// smaller domains mean fatter joins and a larger gap.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "inequality/inequality_join.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace relborg {
+namespace {
+
+void Run() {
+  const int n = static_cast<int>(100000 * bench::ScaleMultiplier());
+  bench::PrintHeader("SEC 2.3",
+                     "Additive-inequality aggregate: SUM(m) WHERE x + y > 0");
+  std::printf("N = %d tuples per relation; sweeping join fan-out\n\n", n);
+  std::printf("%8s %14s | %10s %10s | %8s | %s\n", "domain", "join tuples",
+              "naive (s)", "sorted (s)", "speedup", "values agree");
+
+  for (int32_t domain : {10000, 1000, 100, 25}) {
+    Relation r("R", Schema({{"k", AttrType::kCategorical},
+                            {"x", AttrType::kDouble},
+                            {"m", AttrType::kDouble}}));
+    Relation s("S", Schema({{"k", AttrType::kCategorical},
+                            {"y", AttrType::kDouble}}));
+    Rng rng(42);
+    for (int i = 0; i < n; ++i) {
+      r.AppendRow({static_cast<double>(rng.Below(domain)),
+                   rng.Uniform(-1, 1), rng.Uniform(0, 1)});
+      s.AppendRow({static_cast<double>(rng.Below(domain)),
+                   rng.Uniform(-1, 1)});
+    }
+    InequalityAggregateSpec spec;
+    spec.r_measure_attr = 2;
+
+    WallTimer t_naive;
+    InequalityAggregateResult naive = InequalityAggregateNaive(r, s, spec);
+    double naive_secs = t_naive.Seconds();
+
+    WallTimer t_sorted;
+    InequalityAggregateResult sorted = InequalityAggregateSorted(r, s, spec);
+    double sorted_secs = t_sorted.Seconds();
+
+    bool agree =
+        std::abs(naive.value - sorted.value) <= 1e-6 * (1 + naive.value);
+    std::printf("%8d %14zu | %10.3f %10.3f | %7.1fx | %s\n", domain,
+                naive.tuples_inspected, naive_secs, sorted_secs,
+                naive_secs / std::max(1e-9, sorted_secs),
+                agree ? "yes" : "NO (BUG)");
+  }
+  std::printf("\nShape: the sorted algorithm's time is flat in the fan-out; "
+              "the naive algorithm scales with the join size (Sec. 2.3: "
+              "\"polynomially less time\").\n");
+}
+
+}  // namespace
+}  // namespace relborg
+
+int main() {
+  relborg::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Section 3.3 reproduction: Rk-means — constant-factor-approximate k-means
+// over the join by clustering a small coreset instead of the materialized
+// join. We compare weighted Lloyd's over the full join against the
+// relational grid coreset (per-relation clustering + one factorized
+// counting pass for exact coreset weights), reporting runtime and the
+// objective ratio evaluated on the full join.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/materializer.h"
+#include "bench/bench_util.h"
+#include "data/dataset.h"
+#include "ml/kmeans.h"
+#include "util/timer.h"
+
+namespace relborg {
+namespace {
+
+void Run() {
+  const double scale = 0.1 * bench::ScaleMultiplier();
+  GenOptions gen;
+  gen.scale = scale;
+  Dataset ds = MakeRetailer(gen);
+  // Cluster on a handful of scale-comparable dimensions.
+  ds.features = {{"Items", "price"},
+                 {"Weather", "maxtmp"},
+                 {"Weather", "mintmp"},
+                 {"Stores", "avghhi"}};
+  FeatureMap fm(ds.query, ds.features);
+  RootedTree tree = ds.RootAtFact();
+
+  bench::PrintHeader("SEC 3.3", "Rk-means: clustering the join via a coreset");
+
+  WallTimer t_mat;
+  DataMatrix matrix = MaterializeJoin(tree, fm);
+  double mat_secs = t_mat.Seconds();
+  WeightedPoints full;
+  full.dims = matrix.num_cols();
+  if (matrix.num_rows() > 0) {
+    full.coords.assign(matrix.Row(0),
+                       matrix.Row(0) + matrix.num_rows() * full.dims);
+  }
+
+  std::printf("%4s | %12s %12s | %12s %10s | %9s %9s\n", "k",
+              "Lloyd (s)", "  +join (s)", "Rk-means (s)", "coreset",
+              "obj ratio", "speedup");
+  for (int k : {5, 10, 20}) {
+    KMeansOptions opts;
+    opts.k = k;
+    opts.per_relation_k = 8;
+    opts.seed = 13 + k;
+
+    WallTimer t_lloyd;
+    KMeansResult base = LloydKMeans(full, opts);
+    double lloyd_secs = t_lloyd.Seconds();
+
+    WallTimer t_rk;
+    KMeansResult rk = RelationalKMeans(tree, fm, opts);
+    double rk_secs = t_rk.Seconds();
+
+    double rk_obj_on_full = KMeansObjective(full, rk.centroids);
+    std::printf("%4d | %12.3f %12.3f | %12.3f %10zu | %8.3fx %8.1fx\n", k,
+                lloyd_secs, lloyd_secs + mat_secs, rk_secs, rk.coreset_size,
+                rk_obj_on_full / std::max(1e-12, base.objective),
+                (lloyd_secs + mat_secs) / std::max(1e-9, rk_secs));
+  }
+  std::printf("\nJoin: %zu tuples (materialization alone took %.3f s).\n",
+              matrix.num_rows(), mat_secs);
+  std::printf("Shape: objective ratio stays a small constant (~1x) while "
+              "Rk-means avoids materializing/scanning the join.\n");
+}
+
+}  // namespace
+}  // namespace relborg
+
+int main() {
+  relborg::Run();
+  return 0;
+}

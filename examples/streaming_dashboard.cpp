@@ -1,0 +1,67 @@
+// "Keeping models fresh" (Sec. 1.5 of the paper): F-IVM maintains the
+// covariance matrix of the Favorita join under a live insert stream; after
+// every few batches the linear model is refreshed by resuming gradient
+// descent from the previous parameters (warm start) — milliseconds per
+// refresh instead of retraining from scratch over a data matrix.
+#include <cstdio>
+
+#include "core/covar_engine.h"
+#include "data/dataset.h"
+#include "ivm/ivm.h"
+#include "ivm/update_stream.h"
+#include "ml/linear_regression.h"
+#include "util/timer.h"
+
+using namespace relborg;
+
+int main() {
+  GenOptions gen;
+  gen.scale = 0.02;
+  Dataset favorita = MakeFavorita(gen);
+
+  ShadowDb shadow(favorita.query, favorita.query.IndexOf(favorita.fact));
+  FeatureMap fm(shadow.query(), favorita.features);
+  CovarFivm fivm(&shadow, &fm);
+  const int response = fm.num_features() - 1;
+
+  UpdateStreamOptions stream_opts;
+  stream_opts.batch_size = 2000;
+  std::vector<UpdateBatch> stream = BuildInsertStream(favorita.query,
+                                                      stream_opts);
+  std::printf("streaming %zu tuples into an empty Favorita database...\n",
+              StreamRowCount(stream));
+  std::printf("%10s %12s %14s %14s %12s\n", "batch", "db tuples",
+              "maintain (ms)", "refresh (ms)", "model RMSE");
+
+  std::vector<double> warm;
+  size_t applied = 0;
+  size_t batch_no = 0;
+  double maintain_ms = 0;
+  for (const UpdateBatch& batch : stream) {
+    WallTimer t_maintain;
+    size_t first = shadow.AppendRows(batch.node, batch.rows);
+    fivm.ApplyBatch(batch.node, first, batch.rows.size());
+    maintain_ms += t_maintain.Millis();
+    applied += batch.rows.size();
+    ++batch_no;
+
+    if (batch_no % 8 == 0 || batch_no == stream.size()) {
+      CovarMatrix covar = fivm.Current();
+      if (covar.count() < 100) continue;
+      WallTimer t_refresh;
+      RidgeOptions opts;
+      opts.warm_start = warm;  // resume convergence (Sec. 1.5)
+      TrainInfo info;
+      LinearModel model = TrainRidgeGd(covar, response, opts, {}, &info);
+      warm = model.weights;
+      std::printf("%10zu %12.0f %14.2f %14.2f %12.4f   (%d GD iters)\n",
+                  batch_no, covar.count(), maintain_ms, t_refresh.Millis(),
+                  std::sqrt(MseFromCovar(covar, response, model)),
+                  info.iterations);
+      maintain_ms = 0;
+    }
+  }
+  std::printf("\nThe model stays fresh at millisecond refresh latency while "
+              "the database grows — no data matrix is ever rebuilt.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "baseline/data_matrix.h"
+
+#include <algorithm>
+
+namespace relborg {
+
+void DataMatrix::ShuffleRows(Rng* rng) {
+  const size_t rows = num_rows();
+  const int cols = num_cols();
+  if (rows < 2) return;
+  std::vector<double> tmp(cols);
+  for (size_t i = rows; i > 1; --i) {
+    size_t j = rng->Below(i);
+    double* a = data_.data() + (i - 1) * cols;
+    double* b = data_.data() + j * cols;
+    std::copy(a, a + cols, tmp.data());
+    std::copy(b, b + cols, a);
+    std::copy(tmp.data(), tmp.data() + cols, b);
+  }
+}
+
+}  // namespace relborg

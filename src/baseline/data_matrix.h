@@ -1,0 +1,55 @@
+// Row-major data matrix: the materialized result of a feature-extraction
+// query, i.e. the input the structure-agnostic pipeline hands to its
+// learning library.
+#ifndef RELBORG_BASELINE_DATA_MATRIX_H_
+#define RELBORG_BASELINE_DATA_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace relborg {
+
+class DataMatrix {
+ public:
+  DataMatrix() = default;
+  explicit DataMatrix(std::vector<std::string> col_names)
+      : col_names_(std::move(col_names)) {}
+
+  int num_cols() const { return static_cast<int>(col_names_.size()); }
+  size_t num_rows() const {
+    return col_names_.empty() ? 0 : data_.size() / col_names_.size();
+  }
+  const std::vector<std::string>& col_names() const { return col_names_; }
+
+  const double* Row(size_t i) const { return data_.data() + i * num_cols(); }
+  double At(size_t row, int col) const { return data_[row * num_cols() + col]; }
+
+  void AppendRow(const double* values) {
+    data_.insert(data_.end(), values, values + num_cols());
+  }
+
+  void Reserve(size_t rows) { data_.reserve(rows * num_cols()); }
+
+  size_t ByteSize() const { return data_.size() * sizeof(double); }
+
+  // Fisher-Yates shuffle of whole rows (the "Shuffling" step of Fig. 3).
+  void ShuffleRows(Rng* rng);
+
+  int ColIndex(const std::string& name) const {
+    for (int i = 0; i < num_cols(); ++i) {
+      if (col_names_[i] == name) return i;
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::string> col_names_;
+  std::vector<double> data_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_BASELINE_DATA_MATRIX_H_

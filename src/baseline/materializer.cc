@@ -1,0 +1,147 @@
+#include "baseline/materializer.h"
+
+#include <functional>
+
+#include "util/check.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+namespace {
+
+struct OutputCol {
+  int node;
+  int attr;
+};
+
+// Shared enumeration machinery for the recursive hash-join expansion.
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const RootedTree& tree, const FilterSet& filters)
+      : tree_(tree), filters_(filters), indexes_(tree.num_nodes()) {
+    // Build, for every non-root node, an index from its parent-edge key to
+    // the (filter-passing) row ids.
+    for (int v = 0; v < tree_.num_nodes(); ++v) {
+      if (v == tree_.root()) continue;
+      const Relation& rel = tree_.relation(v);
+      indexes_[v].Reserve(rel.num_rows());
+      for (size_t row = 0; row < rel.num_rows(); ++row) {
+        if (!Passes(v, row)) continue;
+        indexes_[v][tree_.RowKeyToParent(v, row)].push_back(row);
+      }
+    }
+  }
+
+  // Invokes fn(rows) for every tuple of the join, where rows[v] is the row
+  // id of node v contributing to the tuple.
+  void Enumerate(const std::function<void(const std::vector<size_t>&)>& fn) {
+    std::vector<size_t> rows(tree_.num_nodes(), 0);
+    const int root = tree_.root();
+    const Relation& root_rel = tree_.relation(root);
+    for (size_t row = 0; row < root_rel.num_rows(); ++row) {
+      if (!Passes(root, row)) continue;
+      rows[root] = row;
+      ExpandChildren(root, row, 0, &rows, [&] { fn(rows); });
+    }
+  }
+
+ private:
+  bool Passes(int v, size_t row) const {
+    if (filters_.empty() || filters_[v].empty()) return true;
+    return RowPasses(tree_.relation(v), row, filters_[v]);
+  }
+
+  // Enumerates all assignments of the subtrees of children ci.. of node v
+  // (whose row is fixed), calling cont() once per complete assignment.
+  void ExpandChildren(int v, size_t row, size_t ci, std::vector<size_t>* rows,
+                      const std::function<void()>& cont) {
+    const auto& children = tree_.node(v).children;
+    if (ci == children.size()) {
+      cont();
+      return;
+    }
+    int c = children[ci];
+    const std::vector<size_t>* matches =
+        indexes_[c].Find(tree_.RowKeyToChild(v, c, row));
+    if (matches == nullptr) return;
+    for (size_t child_row : *matches) {
+      (*rows)[c] = child_row;
+      ExpandChildren(c, child_row, 0, rows,
+                     [&] { ExpandChildren(v, row, ci + 1, rows, cont); });
+    }
+  }
+
+  const RootedTree& tree_;
+  const FilterSet& filters_;
+  std::vector<FlatHashMap<std::vector<size_t>>> indexes_;
+};
+
+}  // namespace
+
+DataMatrix MaterializeJoin(const RootedTree& tree,
+                           const std::vector<ColumnRef>& columns,
+                           const FilterSet& filters) {
+  std::vector<OutputCol> cols;
+  std::vector<std::string> names;
+  cols.reserve(columns.size());
+  for (const ColumnRef& ref : columns) {
+    int node = tree.query().IndexOf(ref.relation);
+    int attr = tree.relation(node).schema().MustIndexOf(ref.attr);
+    cols.push_back(OutputCol{node, attr});
+    names.push_back(ref.relation + "." + ref.attr);
+  }
+  DataMatrix matrix(std::move(names));
+  JoinEnumerator enumerator(tree, filters);
+  std::vector<double> scratch(cols.size());
+  enumerator.Enumerate([&](const std::vector<size_t>& rows) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      scratch[i] = tree.relation(cols[i].node).AsDouble(rows[cols[i].node],
+                                                        cols[i].attr);
+    }
+    matrix.AppendRow(scratch.data());
+  });
+  return matrix;
+}
+
+DataMatrix MaterializeJoin(const RootedTree& tree, const FeatureMap& fm,
+                           const FilterSet& filters) {
+  std::vector<ColumnRef> columns;
+  columns.reserve(fm.num_features());
+  for (int f = 0; f < fm.num_features(); ++f) {
+    const Relation& rel = tree.relation(fm.NodeOf(f));
+    columns.push_back(ColumnRef{rel.name(), rel.schema().attr(fm.AttrOf(f)).name});
+  }
+  return MaterializeJoin(tree, columns, filters);
+}
+
+double CountJoin(const RootedTree& tree, const FilterSet& filters) {
+  // Counting pass with scalar payloads: SUM(1) over the join.
+  std::vector<FlatHashMap<double>> views(tree.num_nodes());
+  for (int v : tree.postorder()) {
+    const Relation& rel = tree.relation(v);
+    const RootedNode& node = tree.node(v);
+    const std::vector<Predicate>* preds =
+        filters.empty() ? nullptr : &filters[v];
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      if (preds != nullptr && !preds->empty() &&
+          !RowPasses(rel, row, *preds)) {
+        continue;
+      }
+      double m = 1.0;
+      bool dangling = false;
+      for (int c : node.children) {
+        const double* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
+        if (cp == nullptr) {
+          dangling = true;
+          break;
+        }
+        m *= *cp;
+      }
+      if (dangling) continue;
+      views[v][tree.RowKeyToParent(v, row)] += m;
+    }
+  }
+  const double* result = views[tree.root()].Find(kUnitKey);
+  return result == nullptr ? 0.0 : *result;
+}
+
+}  // namespace relborg

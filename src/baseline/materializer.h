@@ -1,0 +1,42 @@
+// Join materialization: the first step of the structure-agnostic pipeline
+// (Fig. 2, top flow). Produces the full data matrix of the feature
+// extraction query via hash joins. Also used throughout the test suite as
+// the reference implementation that the factorized engines must agree with.
+#ifndef RELBORG_BASELINE_MATERIALIZER_H_
+#define RELBORG_BASELINE_MATERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/data_matrix.h"
+#include "core/feature_map.h"
+#include "query/join_tree.h"
+#include "query/predicate.h"
+
+namespace relborg {
+
+// A column of the materialized output: any attribute of any relation
+// (categorical codes are emitted as doubles).
+struct ColumnRef {
+  std::string relation;
+  std::string attr;
+};
+
+// Materializes the join defined by `tree`, emitting the given columns, with
+// optional per-node filters. Output row order follows the recursive
+// enumeration of the join (deterministic).
+DataMatrix MaterializeJoin(const RootedTree& tree,
+                           const std::vector<ColumnRef>& columns,
+                           const FilterSet& filters = {});
+
+// Convenience: emit exactly the feature-map columns, in feature order.
+DataMatrix MaterializeJoin(const RootedTree& tree, const FeatureMap& fm,
+                           const FilterSet& filters = {});
+
+// Number of tuples in the join result without materializing it (used to
+// report the blow-up factor; computed with the counting ring).
+double CountJoin(const RootedTree& tree, const FilterSet& filters = {});
+
+}  // namespace relborg
+
+#endif  // RELBORG_BASELINE_MATERIALIZER_H_

@@ -1,0 +1,76 @@
+#include "baseline/query_at_a_time.h"
+
+#include "util/check.h"
+
+namespace relborg {
+
+CovarMatrix CovarByQueryAtATime(const DataMatrix& data, size_t* scans_out) {
+  const int n = data.num_cols();
+  const size_t rows = data.num_rows();
+  CovarPayload payload = CovarPayload::Zero(n);
+  size_t scans = 0;
+
+  // COUNT(*).
+  {
+    double c = 0;
+    for (size_t r = 0; r < rows; ++r) c += 1.0;
+    payload.count = c;
+    ++scans;
+  }
+  // SUM(x_i), each in its own pass.
+  for (int i = 0; i < n; ++i) {
+    double s = 0;
+    for (size_t r = 0; r < rows; ++r) s += data.At(r, i);
+    payload.sum[i] = s;
+    ++scans;
+  }
+  // SUM(x_i * x_j), each in its own pass.
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      double q = 0;
+      for (size_t r = 0; r < rows; ++r) q += data.At(r, i) * data.At(r, j);
+      payload.quad[UpperTriIndex(n, i, j)] = q;
+      ++scans;
+    }
+  }
+  if (scans_out != nullptr) *scans_out = scans;
+  return CovarMatrix(n, std::move(payload));
+}
+
+std::vector<double> DecisionNodeByQueryAtATime(
+    const DataMatrix& data, const std::vector<int>& cols,
+    const std::vector<double>& thresholds, int y, size_t* scans_out) {
+  RELBORG_CHECK(cols.size() == thresholds.size());
+  const size_t rows = data.num_rows();
+  std::vector<double> out;
+  out.reserve(3 * cols.size());
+  size_t scans = 0;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    // Three scalar aggregates, each its own scan (as a DBMS would execute
+    // three separate filtered aggregate queries).
+    double count = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      if (data.At(r, cols[i]) >= thresholds[i]) count += 1;
+    }
+    ++scans;
+    double sum = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      if (data.At(r, cols[i]) >= thresholds[i]) sum += data.At(r, y);
+    }
+    ++scans;
+    double sum_sq = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      if (data.At(r, cols[i]) >= thresholds[i]) {
+        sum_sq += data.At(r, y) * data.At(r, y);
+      }
+    }
+    ++scans;
+    out.push_back(count);
+    out.push_back(sum);
+    out.push_back(sum_sq);
+  }
+  if (scans_out != nullptr) *scans_out = scans;
+  return out;
+}
+
+}  // namespace relborg

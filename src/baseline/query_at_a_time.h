@@ -1,0 +1,33 @@
+// Query-at-a-time aggregate evaluation: the stand-in for the commercial
+// DBMS baselines of Fig. 4 (left). Real systems evaluate each aggregate of
+// a batch as its own query with no cross-aggregate sharing — the paper
+// observes LMFAO's speedup over them is "on par with the number of
+// aggregates". This baseline is charitable: the join is materialized once
+// (not per query) and each aggregate then costs one full scan.
+#ifndef RELBORG_BASELINE_QUERY_AT_A_TIME_H_
+#define RELBORG_BASELINE_QUERY_AT_A_TIME_H_
+
+#include <vector>
+
+#include "baseline/data_matrix.h"
+#include "ring/covariance.h"
+
+namespace relborg {
+
+// Computes the covariance batch with one scan per aggregate over a
+// materialized matrix whose columns are the features. Returns the same
+// matrix the factorized engine produces; `scans_out` (optional) receives
+// the number of passes performed.
+CovarMatrix CovarByQueryAtATime(const DataMatrix& data,
+                                size_t* scans_out = nullptr);
+
+// Computes a decision-node batch (count, sum_y, sumsq_y per candidate
+// threshold) with one scan per scalar aggregate. thresholds[i] applies to
+// column cols[i]; the response is column y. Returns flattened triples.
+std::vector<double> DecisionNodeByQueryAtATime(
+    const DataMatrix& data, const std::vector<int>& cols,
+    const std::vector<double>& thresholds, int y, size_t* scans_out = nullptr);
+
+}  // namespace relborg
+
+#endif  // RELBORG_BASELINE_QUERY_AT_A_TIME_H_

@@ -1,0 +1,90 @@
+#include "baseline/sgd_learner.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace relborg {
+
+LinearModel TrainSgd(const DataMatrix& data, int response_col,
+                     const SgdOptions& options) {
+  const int cols = data.num_cols();
+  const size_t rows = data.num_rows();
+  RELBORG_CHECK(rows > 0);
+  std::vector<int> feats;
+  for (int c = 0; c < cols; ++c) {
+    if (c != response_col) feats.push_back(c);
+  }
+  const int p = static_cast<int>(feats.size());
+
+  // Standardization pass (mean / std per column).
+  std::vector<double> mean(p, 0.0);
+  std::vector<double> scale(p, 0.0);
+  double mean_y = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = data.Row(r);
+    for (int a = 0; a < p; ++a) mean[a] += row[feats[a]];
+    mean_y += row[response_col];
+  }
+  for (int a = 0; a < p; ++a) mean[a] /= static_cast<double>(rows);
+  mean_y /= static_cast<double>(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = data.Row(r);
+    for (int a = 0; a < p; ++a) {
+      double d = row[feats[a]] - mean[a];
+      scale[a] += d * d;
+    }
+  }
+  for (int a = 0; a < p; ++a) {
+    scale[a] = std::sqrt(scale[a] / static_cast<double>(rows));
+    if (scale[a] < 1e-9) scale[a] = 1.0;
+  }
+
+  // Mini-batch SGD in standardized space, accumulating the batch gradient
+  // then stepping once per batch.
+  std::vector<double> theta(p, 0.0);
+  double bias = 0.0;  // predicts y - mean_y
+  std::vector<double> grad(p, 0.0);
+  double grad_bias = 0.0;
+  std::vector<double> x(p);
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    size_t in_batch = 0;
+    std::fill(grad.begin(), grad.end(), 0.0);
+    grad_bias = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      const double* row = data.Row(r);
+      double pred = bias;
+      for (int a = 0; a < p; ++a) {
+        x[a] = (row[feats[a]] - mean[a]) / scale[a];
+        pred += theta[a] * x[a];
+      }
+      double err = pred - (row[response_col] - mean_y);
+      for (int a = 0; a < p; ++a) grad[a] += err * x[a];
+      grad_bias += err;
+      if (++in_batch == options.batch_size || r + 1 == rows) {
+        double inv = 1.0 / static_cast<double>(in_batch);
+        for (int a = 0; a < p; ++a) {
+          theta[a] -= options.learning_rate *
+                      (grad[a] * inv + options.lambda * theta[a]);
+          grad[a] = 0;
+        }
+        bias -= options.learning_rate * grad_bias * inv;
+        grad_bias = 0;
+        in_batch = 0;
+      }
+    }
+  }
+
+  LinearModel model;
+  model.feature_indices = feats;
+  model.weights.resize(p);
+  double b = mean_y + bias;
+  for (int a = 0; a < p; ++a) {
+    model.weights[a] = theta[a] / scale[a];
+    b -= model.weights[a] * mean[a];
+  }
+  model.bias = b;
+  return model;
+}
+
+}  // namespace relborg

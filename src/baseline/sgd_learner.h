@@ -1,0 +1,32 @@
+// Mini-batch SGD linear regression over a materialized data matrix — the
+// stand-in for the "TensorFlow" leg of the Fig. 3 experiment. Matches the
+// paper's setup: one epoch (a single pass over the shuffled data matrix)
+// with 100K-tuple batches.
+#ifndef RELBORG_BASELINE_SGD_LEARNER_H_
+#define RELBORG_BASELINE_SGD_LEARNER_H_
+
+#include <vector>
+
+#include "baseline/data_matrix.h"
+#include "ml/linear_regression.h"
+
+namespace relborg {
+
+struct SgdOptions {
+  int epochs = 1;                // the paper's TensorFlow run uses 1 epoch
+  size_t batch_size = 100000;    // 100K-tuple batches, as in Fig. 3
+  double learning_rate = 0.05;   // on standardized features
+  double lambda = 1e-3;
+  uint64_t seed = 42;
+};
+
+// Trains on all columns except `response_col` (which is the label). The
+// data is standardized internally (mean/std estimated from the matrix —
+// an extra data pass, also charged to the baseline in the benchmarks).
+// Column c of the matrix is feature index c in the returned model.
+LinearModel TrainSgd(const DataMatrix& data, int response_col,
+                     const SgdOptions& options = {});
+
+}  // namespace relborg
+
+#endif  // RELBORG_BASELINE_SGD_LEARNER_H_

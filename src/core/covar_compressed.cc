@@ -1,0 +1,209 @@
+#include "core/covar_compressed.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+namespace {
+
+// Flat payload layout helpers: [0] count, [1..W] sums, then the upper
+// triangle of the W x W second-moment matrix.
+inline size_t PayloadSize(int width) {
+  return 1 + width + UpperTriSize(width);
+}
+inline double& Count(std::vector<double>& p) { return p[0]; }
+inline double* Sums(std::vector<double>& p) { return p.data() + 1; }
+inline const double* Sums(const std::vector<double>& p) {
+  return p.data() + 1;
+}
+inline double* Quad(std::vector<double>& p, int width) {
+  return p.data() + 1 + width;
+}
+inline const double* Quad(const std::vector<double>& p, int width) {
+  return p.data() + 1 + width;
+}
+
+struct NodeLayout {
+  std::vector<int> subtree_features;           // global ids, sorted
+  std::vector<std::pair<int, int>> own;        // (attr, local index)
+  std::vector<std::vector<int>> child_remap;   // child-local -> local
+  int width = 0;
+};
+
+// acc (over this node's width W) *= child payload b (over the child's
+// width, remapped into acc via `remap`). Implements the covariance-ring
+// product with the second operand zero outside the child's features.
+void MulChildInPlace(std::vector<double>* acc, int width,
+                     const std::vector<double>& b,
+                     const std::vector<int>& remap) {
+  const int child_width = static_cast<int>(remap.size());
+  const double a0 = (*acc)[0];
+  const double b0 = b[0];
+  const double* as = Sums(*acc);
+  const double* bs = Sums(b);
+  const double* bq = Quad(b, child_width);
+  double* q = Quad(*acc, width);
+
+  // q = b0 * q_old  (+ cross terms and child quads below, all of which use
+  // the OLD sums, so the sum update comes last).
+  const size_t tri = UpperTriSize(width);
+  for (size_t t = 0; t < tri; ++t) q[t] *= b0;
+  // + a0 * b_quad at remapped positions.
+  {
+    size_t idx = 0;
+    for (int a = 0; a < child_width; ++a) {
+      for (int c = a; c < child_width; ++c, ++idx) {
+        int i = remap[a];
+        int j = remap[c];
+        if (i > j) std::swap(i, j);
+        q[UpperTriIndex(width, i, j)] += a0 * bq[idx];
+      }
+    }
+  }
+  // + cross terms a_s[i] * b_s[j] + b_s[i] * a_s[j]: loop each child
+  // position g against every local j; the diagonal (j == g) needs the
+  // factor 2 the symmetric formula produces.
+  for (int a = 0; a < child_width; ++a) {
+    const int g = remap[a];
+    const double bg = bs[a];
+    if (bg == 0.0) continue;
+    for (int j = 0; j < width; ++j) {
+      double term = bg * as[j];
+      if (j == g) term *= 2.0;
+      int i = g;
+      int jj = j;
+      if (i > jj) std::swap(i, jj);
+      q[UpperTriIndex(width, i, jj)] += term;
+    }
+  }
+  // Sums and count.
+  double* s = Sums(*acc);
+  for (int i = 0; i < width; ++i) s[i] *= b0;
+  for (int a = 0; a < child_width; ++a) s[remap[a]] += a0 * bs[a];
+  (*acc)[0] = a0 * b0;
+}
+
+void AddInPlace(std::vector<double>* dst, const std::vector<double>& src) {
+  if (dst->empty()) {
+    *dst = src;
+    return;
+  }
+  RELBORG_DCHECK(dst->size() == src.size());
+  for (size_t i = 0; i < src.size(); ++i) (*dst)[i] += src[i];
+}
+
+}  // namespace
+
+CovarMatrix ComputeCovarMatrixCompressed(const RootedTree& tree,
+                                         const FeatureMap& fm,
+                                         const FilterSet& filters) {
+  RELBORG_CHECK(filters.empty() ||
+                static_cast<int>(filters.size()) == tree.num_nodes());
+  const int num_nodes = tree.num_nodes();
+  const int n = fm.num_features();
+
+  // --- Plan per-node layouts bottom-up. ---
+  std::vector<NodeLayout> layouts(num_nodes);
+  for (int v : tree.postorder()) {
+    NodeLayout& layout = layouts[v];
+    for (const auto& [attr, f] : fm.NodeFeatures(v)) {
+      layout.subtree_features.push_back(f);
+    }
+    for (int c : tree.node(v).children) {
+      for (int f : layouts[c].subtree_features) {
+        layout.subtree_features.push_back(f);
+      }
+    }
+    std::sort(layout.subtree_features.begin(), layout.subtree_features.end());
+    layout.width = static_cast<int>(layout.subtree_features.size());
+    auto local_of = [&](int f) {
+      return static_cast<int>(
+          std::lower_bound(layout.subtree_features.begin(),
+                           layout.subtree_features.end(), f) -
+          layout.subtree_features.begin());
+    };
+    for (const auto& [attr, f] : fm.NodeFeatures(v)) {
+      layout.own.push_back({attr, local_of(f)});
+    }
+    for (int c : tree.node(v).children) {
+      std::vector<int> remap;
+      remap.reserve(layouts[c].subtree_features.size());
+      for (int f : layouts[c].subtree_features) remap.push_back(local_of(f));
+      layout.child_remap.push_back(std::move(remap));
+    }
+  }
+
+  // --- Bottom-up evaluation. ---
+  std::vector<FlatHashMap<std::vector<double>>> views(num_nodes);
+  std::vector<double> acc;
+  for (int v : tree.postorder()) {
+    const Relation& rel = tree.relation(v);
+    const RootedNode& node = tree.node(v);
+    const NodeLayout& layout = layouts[v];
+    const std::vector<Predicate>* preds =
+        filters.empty() ? nullptr : &filters[v];
+    const int width = layout.width;
+    FlatHashMap<std::vector<double>>& out = views[v];
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      if (preds != nullptr && !preds->empty() &&
+          !RowPasses(rel, row, *preds)) {
+        continue;
+      }
+      // Lift: count 1, own feature sums and pairwise products.
+      acc.assign(PayloadSize(width), 0.0);
+      acc[0] = 1.0;
+      double* s = Sums(acc);
+      double* q = Quad(acc, width);
+      for (const auto& [attr, local] : layout.own) {
+        s[local] = rel.Double(row, attr);
+      }
+      for (size_t a = 0; a < layout.own.size(); ++a) {
+        for (size_t b = a; b < layout.own.size(); ++b) {
+          int i = layout.own[a].second;
+          int j = layout.own[b].second;
+          if (i > j) std::swap(i, j);
+          q[UpperTriIndex(width, i, j)] = s[i] * s[j];
+        }
+      }
+      // Multiply in the children's payloads.
+      bool dangling = false;
+      for (size_t ci = 0; ci < node.children.size(); ++ci) {
+        int c = node.children[ci];
+        const std::vector<double>* cp =
+            views[c].Find(tree.RowKeyToChild(v, c, row));
+        if (cp == nullptr || cp->empty()) {
+          dangling = true;
+          break;
+        }
+        MulChildInPlace(&acc, width, *cp, layout.child_remap[ci]);
+      }
+      if (dangling) continue;
+      AddInPlace(&out[tree.RowKeyToParent(v, row)], acc);
+    }
+  }
+
+  // --- Unpack the root payload into the full-width convention. ---
+  CovarPayload payload = CovarPayload::Zero(n);
+  const std::vector<double>* root = views[tree.root()].Find(kUnitKey);
+  if (root != nullptr && !root->empty()) {
+    const NodeLayout& layout = layouts[tree.root()];
+    payload.count = (*root)[0];
+    const double* s = Sums(*root);
+    const double* q = Quad(*root, layout.width);
+    for (int a = 0; a < layout.width; ++a) {
+      payload.sum[layout.subtree_features[a]] = s[a];
+      for (int b = a; b < layout.width; ++b) {
+        int i = layout.subtree_features[a];
+        int j = layout.subtree_features[b];
+        if (i > j) std::swap(i, j);
+        payload.quad[UpperTriIndex(n, i, j)] =
+            q[UpperTriIndex(layout.width, a, b)];
+      }
+    }
+  }
+  return CovarMatrix(n, std::move(payload));
+}
+
+}  // namespace relborg

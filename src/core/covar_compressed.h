@@ -1,0 +1,40 @@
+// Covariance batches with SUBTREE-RESTRICTED payloads.
+//
+// The plain shared engine (core/covar_engine.h, ExecMode::kShared) carries
+// full-width (all-features) covariance payloads in every view. LMFAO's
+// generated code restricts each view's payload to the features of its own
+// subtree: a view over Items carries 1 sum and 1 square, not the whole
+// (n, n^2/2) block. Payload width then grows only along the path to the
+// root, which shrinks both the views' memory and the per-tuple ring work —
+// part of the "specialization" Sec. 4 of the paper credits for LMFAO's
+// constants.
+//
+// Payload layout per node v with subtree feature set S_v (|S_v| = W):
+//   flat double vector [count, s_0..s_{W-1}, upper-tri quad of W]
+// Products remap child-local indices into the parent's local indices via
+// precomputed tables.
+#ifndef RELBORG_CORE_COVAR_COMPRESSED_H_
+#define RELBORG_CORE_COVAR_COMPRESSED_H_
+
+#include "core/feature_map.h"
+#include "query/join_tree.h"
+#include "query/predicate.h"
+#include "ring/covariance.h"
+
+namespace relborg {
+
+// Same result as ComputeCovarMatrix, computed with subtree-restricted
+// payloads.
+CovarMatrix ComputeCovarMatrixCompressed(const RootedTree& tree,
+                                         const FeatureMap& fm,
+                                         const FilterSet& filters = {});
+
+// Bytes a payload of the given feature width occupies (for the view-size
+// accounting in benchmarks/tests).
+inline size_t CompressedPayloadBytes(int width) {
+  return (1 + width + UpperTriSize(width)) * sizeof(double);
+}
+
+}  // namespace relborg
+
+#endif  // RELBORG_CORE_COVAR_COMPRESSED_H_

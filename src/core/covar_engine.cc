@@ -1,0 +1,332 @@
+#include "core/covar_engine.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+namespace {
+
+const std::vector<Predicate>& NodeFilters(const FilterSet& filters, int v) {
+  static const std::vector<Predicate> kNone;
+  if (filters.empty()) return kNone;
+  return filters[v];
+}
+
+// ---------------------------------------------------------------------------
+// Shared execution: one pass, covariance-ring payloads.
+// ---------------------------------------------------------------------------
+
+using CovarView = FlatHashMap<CovarPayload>;
+
+// Computes the view of node v given its children's views. If `row_begin` /
+// `row_end` restrict the scan, only that partition contributes (used for
+// domain parallelism over the root).
+void ComputeCovarNodeView(const RootedTree& tree, const FeatureMap& fm,
+                          const FilterSet& filters, int v,
+                          const std::vector<CovarView>& views, size_t row_begin,
+                          size_t row_end, CovarView* out) {
+  const Relation& rel = tree.relation(v);
+  const RootedNode& node = tree.node(v);
+  const std::vector<Predicate>& preds = NodeFilters(filters, v);
+  const auto& feats = fm.NodeFeatures(v);
+  const int n = fm.num_features();
+
+  std::vector<std::pair<int, double>> feat_vals(feats.size());
+  CovarPayload lift;
+  CovarPayload buf_a;
+  CovarPayload buf_b;
+  for (size_t row = row_begin; row < row_end; ++row) {
+    if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+    for (size_t k = 0; k < feats.size(); ++k) {
+      feat_vals[k] = {feats[k].second, rel.Double(row, feats[k].first)};
+    }
+    CovarLiftInto(n, feat_vals, &lift);
+    CovarPayload* cur = &lift;
+    CovarPayload* nxt = &buf_a;
+    bool dangling = false;
+    for (int c : node.children) {
+      const CovarPayload* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
+      if (cp == nullptr || cp->IsUnset()) {
+        dangling = true;  // row has no join partner in subtree c
+        break;
+      }
+      CovarMulInto(n, *cur, *cp, nxt);
+      cur = nxt;
+      nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
+    }
+    if (dangling) continue;
+    CovarAddInPlace(&(*out)[tree.RowKeyToParent(v, row)], *cur);
+  }
+}
+
+CovarMatrix ComputeSharedCovar(const RootedTree& tree, const FeatureMap& fm,
+                               const FilterSet& filters, bool parallel,
+                               ThreadPool* pool) {
+  const int num_nodes = tree.num_nodes();
+  const int n = fm.num_features();
+  std::vector<CovarView> views(num_nodes);
+
+  if (!parallel) {
+    for (int v : tree.postorder()) {
+      ComputeCovarNodeView(tree, fm, filters, v, views, 0,
+                           tree.relation(v).num_rows(), &views[v]);
+    }
+  } else {
+    if (pool == nullptr) pool = &ThreadPool::Default();
+    // Task parallelism: nodes grouped by depth (deepest first) are mutually
+    // independent within a group.
+    std::vector<int> depth(num_nodes, 0);
+    int max_depth = 0;
+    // Preorder = reversed postorder gives parents before children.
+    const auto& post = tree.postorder();
+    for (auto it = post.rbegin(); it != post.rend(); ++it) {
+      int v = *it;
+      int p = tree.node(v).parent;
+      depth[v] = p < 0 ? 0 : depth[p] + 1;
+      max_depth = std::max(max_depth, depth[v]);
+    }
+    for (int d = max_depth; d >= 1; --d) {
+      std::vector<int> level;
+      for (int v = 0; v < num_nodes; ++v) {
+        if (depth[v] == d) level.push_back(v);
+      }
+      pool->ParallelFor(level.size(), [&](size_t idx) {
+        int v = level[idx];
+        ComputeCovarNodeView(tree, fm, filters, v, views, 0,
+                             tree.relation(v).num_rows(), &views[v]);
+      });
+    }
+    // Domain parallelism over the root relation: per-thread partial views
+    // merged at the end.
+    int root = tree.root();
+    size_t rows = tree.relation(root).num_rows();
+    int num_parts = pool->num_threads() + 1;
+    std::vector<CovarView> partials(num_parts);
+    pool->ParallelFor(num_parts, [&](size_t part) {
+      size_t begin = rows * part / num_parts;
+      size_t end = rows * (part + 1) / num_parts;
+      ComputeCovarNodeView(tree, fm, filters, root, views, begin, end,
+                           &partials[part]);
+    });
+    for (CovarView& partial : partials) {
+      partial.ForEach([&](uint64_t key, const CovarPayload& p) {
+        CovarAddInPlace(&views[root][key], p);
+      });
+    }
+  }
+
+  const CovarPayload* result = views[tree.root()].Find(kUnitKey);
+  return CovarMatrix(n, result == nullptr || result->IsUnset()
+                            ? CovarPayload::Zero(n)
+                            : *result);
+}
+
+// ---------------------------------------------------------------------------
+// Per-aggregate execution (specialized): one scalar pass per SUM(x_i * x_j).
+// ---------------------------------------------------------------------------
+
+double ComputeScalarSpecialized(const RootedTree& tree, const FilterSet& filters,
+                                const std::vector<std::vector<int>>& mults) {
+  std::vector<FlatHashMap<double>> views(tree.num_nodes());
+  for (int v : tree.postorder()) {
+    const Relation& rel = tree.relation(v);
+    const RootedNode& node = tree.node(v);
+    const std::vector<Predicate>& preds = NodeFilters(filters, v);
+    const std::vector<int>& node_mults = mults[v];
+    FlatHashMap<double>& out = views[v];
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+      double m = 1.0;
+      for (int attr : node_mults) m *= rel.Double(row, attr);
+      bool dangling = false;
+      for (int c : node.children) {
+        const double* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
+        if (cp == nullptr) {
+          dangling = true;
+          break;
+        }
+        m *= *cp;
+      }
+      if (dangling) continue;
+      out[tree.RowKeyToParent(v, row)] += m;
+    }
+  }
+  const double* result = views[tree.root()].Find(kUnitKey);
+  return result == nullptr ? 0.0 : *result;
+}
+
+// ---------------------------------------------------------------------------
+// Per-aggregate execution (interpreted): models a tuple-at-a-time engine
+// without code specialization — each scanned tuple is materialized into a
+// generic row buffer, expressions and key extractors are evaluated through
+// virtual dispatch, and views live in generic hash tables. This is the 1x
+// baseline of the Figure 6 ablation (AC/DC before LMFAO's compilation).
+// ---------------------------------------------------------------------------
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  // Evaluates over a materialized generic tuple.
+  virtual double Eval(const double* tuple) const = 0;
+};
+
+class ConstExpr : public Expr {
+ public:
+  explicit ConstExpr(double v) : v_(v) {}
+  double Eval(const double*) const override { return v_; }
+
+ private:
+  double v_;
+};
+
+class AttrExpr : public Expr {
+ public:
+  explicit AttrExpr(int attr) : attr_(attr) {}
+  double Eval(const double* tuple) const override { return tuple[attr_]; }
+
+ private:
+  int attr_;
+};
+
+class MulExpr : public Expr {
+ public:
+  MulExpr(std::unique_ptr<Expr> l, std::unique_ptr<Expr> r)
+      : l_(std::move(l)), r_(std::move(r)) {}
+  double Eval(const double* tuple) const override {
+    return l_->Eval(tuple) * r_->Eval(tuple);
+  }
+
+ private:
+  std::unique_ptr<Expr> l_;
+  std::unique_ptr<Expr> r_;
+};
+
+std::unique_ptr<Expr> BuildProductExpr(const std::vector<int>& attrs) {
+  std::unique_ptr<Expr> e = std::make_unique<ConstExpr>(1.0);
+  for (int a : attrs) {
+    e = std::make_unique<MulExpr>(std::move(e), std::make_unique<AttrExpr>(a));
+  }
+  return e;
+}
+
+// Generic key extractor: packs key attributes read from the tuple buffer.
+class KeyExpr {
+ public:
+  explicit KeyExpr(std::vector<int> attrs) : attrs_(std::move(attrs)) {}
+  virtual ~KeyExpr() = default;
+  virtual uint64_t Eval(const double* tuple) const {
+    if (attrs_.empty()) return kUnitKey;
+    if (attrs_.size() == 1) {
+      return PackKey1(static_cast<int32_t>(tuple[attrs_[0]]));
+    }
+    return PackKey2(static_cast<int32_t>(tuple[attrs_[0]]),
+                    static_cast<int32_t>(tuple[attrs_[1]]));
+  }
+
+ private:
+  std::vector<int> attrs_;
+};
+
+double ComputeScalarInterpreted(const RootedTree& tree,
+                                const FilterSet& filters,
+                                const std::vector<std::vector<int>>& mults) {
+  std::vector<std::unordered_map<uint64_t, double>> views(tree.num_nodes());
+  for (int v : tree.postorder()) {
+    const Relation& rel = tree.relation(v);
+    const RootedNode& node = tree.node(v);
+    const std::vector<Predicate>& preds = NodeFilters(filters, v);
+    std::unique_ptr<Expr> expr = BuildProductExpr(mults[v]);
+    KeyExpr parent_key(node.key_attrs);
+    std::vector<std::unique_ptr<KeyExpr>> child_keys;
+    for (int c : node.children) {
+      child_keys.push_back(std::make_unique<KeyExpr>(tree.node(c).parent_key_attrs));
+    }
+    auto& out = views[v];
+    std::vector<double> tuple(rel.num_attrs());
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+      // Tuple-at-a-time: materialize the generic row buffer.
+      for (int a = 0; a < rel.num_attrs(); ++a) {
+        tuple[a] = rel.AsDouble(row, a);
+      }
+      double m = expr->Eval(tuple.data());
+      bool dangling = false;
+      for (size_t ci = 0; ci < node.children.size(); ++ci) {
+        auto it = views[node.children[ci]].find(
+            child_keys[ci]->Eval(tuple.data()));
+        if (it == views[node.children[ci]].end()) {
+          dangling = true;
+          break;
+        }
+        m *= it->second;
+      }
+      if (dangling) continue;
+      out[parent_key.Eval(tuple.data())] += m;
+    }
+  }
+  auto it = views[tree.root()].find(kUnitKey);
+  return it == views[tree.root()].end() ? 0.0 : it->second;
+}
+
+// Per-node multiplier attribute lists for SUM(x_i * x_j); index n (== number
+// of features) denotes the constant feature 1 and adds no multiplier.
+std::vector<std::vector<int>> MultipliersFor(const RootedTree& tree,
+                                             const FeatureMap& fm, int i,
+                                             int j) {
+  const int n = fm.num_features();
+  std::vector<std::vector<int>> mults(tree.num_nodes());
+  if (i < n) mults[fm.NodeOf(i)].push_back(fm.AttrOf(i));
+  if (j < n) mults[fm.NodeOf(j)].push_back(fm.AttrOf(j));
+  return mults;
+}
+
+}  // namespace
+
+double ComputeScalarMoment(const RootedTree& tree, const FeatureMap& fm, int i,
+                           int j, const FilterSet& filters, bool interpreted) {
+  const int n = fm.num_features();
+  RELBORG_CHECK(i >= 0 && i <= n && j >= 0 && j <= n);
+  std::vector<std::vector<int>> mults = MultipliersFor(tree, fm, i, j);
+  return interpreted ? ComputeScalarInterpreted(tree, filters, mults)
+                     : ComputeScalarSpecialized(tree, filters, mults);
+}
+
+CovarMatrix ComputeCovarMatrix(const RootedTree& tree, const FeatureMap& fm,
+                               const FilterSet& filters,
+                               const CovarEngineOptions& options) {
+  RELBORG_CHECK(filters.empty() ||
+                static_cast<int>(filters.size()) == tree.num_nodes());
+  const int n = fm.num_features();
+  switch (options.mode) {
+    case ExecMode::kShared:
+      return ComputeSharedCovar(tree, fm, filters, /*parallel=*/false,
+                                options.pool);
+    case ExecMode::kSharedParallel:
+      return ComputeSharedCovar(tree, fm, filters, /*parallel=*/true,
+                                options.pool);
+    case ExecMode::kPerAggregate:
+    case ExecMode::kPerAggregateInterpreted: {
+      const bool interpreted =
+          options.mode == ExecMode::kPerAggregateInterpreted;
+      CovarPayload payload = CovarPayload::Zero(n);
+      payload.count = ComputeScalarMoment(tree, fm, n, n, filters, interpreted);
+      for (int i = 0; i < n; ++i) {
+        payload.sum[i] = ComputeScalarMoment(tree, fm, i, n, filters,
+                                             interpreted);
+        for (int j = i; j < n; ++j) {
+          payload.quad[UpperTriIndex(n, i, j)] =
+              ComputeScalarMoment(tree, fm, i, j, filters, interpreted);
+        }
+      }
+      return CovarMatrix(n, std::move(payload));
+    }
+  }
+  RELBORG_CHECK(false);
+  return CovarMatrix(0, CovarPayload::Zero(0));
+}
+
+}  // namespace relborg

@@ -1,0 +1,204 @@
+#include "core/decision_node_engine.h"
+
+#include "ring/group_ring.h"
+#include "util/check.h"
+
+namespace relborg {
+namespace {
+
+// Scalar covariance-ring payload specialized to a single feature (the
+// response): (count, sum, sum of squares). This is the n=1 covariance ring
+// without the vector/matrix indirection — decision-node batches are hot.
+struct Triple {
+  double c = 0;
+  double s = 0;
+  double q = 0;
+};
+
+inline Triple Mul(const Triple& a, const Triple& b) {
+  return Triple{a.c * b.c, b.c * a.s + a.c * b.s,
+                b.c * a.q + a.c * b.q + 2 * a.s * b.s};
+}
+
+inline void AddInPlace(Triple* dst, const Triple& src) {
+  dst->c += src.c;
+  dst->s += src.s;
+  dst->q += src.q;
+}
+
+const std::vector<Predicate>& NodeFilters(const FilterSet& filters, int v) {
+  static const std::vector<Predicate> kNone;
+  if (filters.empty()) return kNone;
+  return filters[v];
+}
+
+// Groups candidate indices by their owning node.
+std::vector<std::vector<size_t>> CandidatesByNode(
+    int num_nodes, const std::vector<SplitCandidate>& candidates) {
+  std::vector<std::vector<size_t>> by_node(num_nodes);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    RELBORG_CHECK(candidates[i].node >= 0 && candidates[i].node < num_nodes);
+    by_node[candidates[i].node].push_back(i);
+  }
+  return by_node;
+}
+
+}  // namespace
+
+std::vector<SplitStats> ComputeSplitStats(
+    const JoinQuery& query, int response_node, int response_attr,
+    const FilterSet& path_filters,
+    const std::vector<SplitCandidate>& candidates) {
+  const int num_nodes = query.num_relations();
+  std::vector<SplitStats> stats(candidates.size());
+  std::vector<std::vector<size_t>> by_node =
+      CandidatesByNode(num_nodes, candidates);
+
+  for (int r = 0; r < num_nodes; ++r) {
+    if (by_node[r].empty()) continue;
+    RootedTree tree = query.Root(r);
+    // Bottom-up views for every node except the root r.
+    std::vector<FlatHashMap<Triple>> views(num_nodes);
+    for (int v : tree.postorder()) {
+      const Relation& rel = tree.relation(v);
+      const RootedNode& node = tree.node(v);
+      const std::vector<Predicate>& preds = NodeFilters(path_filters, v);
+      const bool has_response = v == response_node;
+      if (v == r) break;  // root handled below (postorder ends with root)
+      FlatHashMap<Triple>& out = views[v];
+      for (size_t row = 0; row < rel.num_rows(); ++row) {
+        if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+        Triple p{1, 0, 0};
+        if (has_response) {
+          double y = rel.Double(row, response_attr);
+          p = Triple{1, y, y * y};
+        }
+        bool dangling = false;
+        for (int c : node.children) {
+          const Triple* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
+          if (cp == nullptr) {
+            dangling = true;
+            break;
+          }
+          p = Mul(p, *cp);
+        }
+        if (dangling) continue;
+        AddInPlace(&out[tree.RowKeyToParent(v, row)], p);
+      }
+    }
+    // Root scan: one pass serves every candidate owned by r.
+    const Relation& rel = tree.relation(r);
+    const RootedNode& node = tree.node(r);
+    const std::vector<Predicate>& preds = NodeFilters(path_filters, r);
+    const bool has_response = r == response_node;
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+      Triple p{1, 0, 0};
+      if (has_response) {
+        double y = rel.Double(row, response_attr);
+        p = Triple{1, y, y * y};
+      }
+      bool dangling = false;
+      for (int c : node.children) {
+        const Triple* cp = views[c].Find(tree.RowKeyToChild(r, c, row));
+        if (cp == nullptr) {
+          dangling = true;
+          break;
+        }
+        p = Mul(p, *cp);
+      }
+      if (dangling) continue;
+      for (size_t idx : by_node[r]) {
+        if (candidates[idx].pred.Matches(rel, row)) {
+          stats[idx].count += p.c;
+          stats[idx].sum += p.s;
+          stats[idx].sum_sq += p.q;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<FlatHashMap<double>> ComputeSplitClassCounts(
+    const JoinQuery& query, int response_node, int response_attr,
+    const FilterSet& path_filters,
+    const std::vector<SplitCandidate>& candidates) {
+  const int num_nodes = query.num_relations();
+  std::vector<FlatHashMap<double>> counts(candidates.size());
+  std::vector<std::vector<size_t>> by_node =
+      CandidatesByNode(num_nodes, candidates);
+
+  for (int r = 0; r < num_nodes; ++r) {
+    if (by_node[r].empty()) continue;
+    RootedTree tree = query.Root(r);
+    std::vector<FlatHashMap<GroupPayload>> views(num_nodes);
+    GroupPayload buf_a;
+    GroupPayload buf_b;
+    auto lift = [&](int v, const Relation& rel, size_t row) {
+      if (v == response_node) {
+        return GroupPayload::Single(GroupKeyHigh(rel.Cat(row, response_attr)),
+                                    1.0);
+      }
+      return GroupPayload::One();
+    };
+    for (int v : tree.postorder()) {
+      if (v == r) break;
+      const Relation& rel = tree.relation(v);
+      const RootedNode& node = tree.node(v);
+      const std::vector<Predicate>& preds = NodeFilters(path_filters, v);
+      FlatHashMap<GroupPayload>& out = views[v];
+      for (size_t row = 0; row < rel.num_rows(); ++row) {
+        if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+        GroupPayload p = lift(v, rel, row);
+        GroupPayload* cur = &p;
+        GroupPayload* nxt = &buf_a;
+        bool dangling = false;
+        for (int c : node.children) {
+          const GroupPayload* cp =
+              views[c].Find(tree.RowKeyToChild(v, c, row));
+          if (cp == nullptr || cp->empty()) {
+            dangling = true;
+            break;
+          }
+          GroupMulInto(*cur, *cp, nxt);
+          cur = nxt;
+          nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
+        }
+        if (dangling) continue;
+        out[tree.RowKeyToParent(v, row)].AddInPlace(*cur);
+      }
+    }
+    const Relation& rel = tree.relation(r);
+    const RootedNode& node = tree.node(r);
+    const std::vector<Predicate>& preds = NodeFilters(path_filters, r);
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+      GroupPayload p = lift(r, rel, row);
+      GroupPayload* cur = &p;
+      GroupPayload* nxt = &buf_a;
+      bool dangling = false;
+      for (int c : node.children) {
+        const GroupPayload* cp = views[c].Find(tree.RowKeyToChild(r, c, row));
+        if (cp == nullptr || cp->empty()) {
+          dangling = true;
+          break;
+        }
+        GroupMulInto(*cur, *cp, nxt);
+        cur = nxt;
+        nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
+      }
+      if (dangling) continue;
+      for (size_t idx : by_node[r]) {
+        if (candidates[idx].pred.Matches(rel, row)) {
+          for (const auto& e : cur->entries()) {
+            counts[idx][PackKey1(UnpackHigh(e.key))] += e.value;
+          }
+        }
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace relborg

@@ -1,0 +1,68 @@
+// Shared evaluation of decision-tree node cost batches (Sec. 2.2).
+//
+// At a CART node, every candidate split (attribute, threshold/category-set)
+// needs VARIANCE(Y) restricted by the node's path condition AND the split
+// condition — i.e. the triple (COUNT, SUM(y), SUM(y^2)) per candidate (or
+// per-class counts for classification). Evaluating each candidate as its
+// own query is what the commercial systems of Fig. 4 effectively do; this
+// engine instead shares work the LMFAO way: one pass per relation that owns
+// candidates, with the rest of the join collapsed into factorized views
+// computed once per pass.
+#ifndef RELBORG_CORE_DECISION_NODE_ENGINE_H_
+#define RELBORG_CORE_DECISION_NODE_ENGINE_H_
+
+#include <vector>
+
+#include "core/feature_map.h"
+#include "query/join_tree.h"
+#include "query/predicate.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+
+// One candidate split: a predicate on an attribute of the relation at
+// join-tree node `node`.
+struct SplitCandidate {
+  int node = -1;
+  Predicate pred;
+};
+
+// Sufficient statistics of a regression split.
+struct SplitStats {
+  double count = 0;
+  double sum = 0;     // SUM(y)
+  double sum_sq = 0;  // SUM(y^2)
+
+  double Variance() const {
+    if (count <= 0) return 0;
+    double mean = sum / count;
+    double v = sum_sq / count - mean * mean;
+    return v < 0 ? 0 : v;
+  }
+};
+
+// Computes, for each candidate, the (count, sum_y, sumsq_y) triple over the
+// join restricted by `path_filters` AND the candidate's predicate. The
+// response is identified by (response_node, response_attr) and must be
+// continuous. Candidates sharing a node share one pass.
+std::vector<SplitStats> ComputeSplitStats(
+    const JoinQuery& query, int response_node, int response_attr,
+    const FilterSet& path_filters,
+    const std::vector<SplitCandidate>& candidates);
+
+// Classification variant: per-candidate counts per class of the categorical
+// response. Result maps class code -> count.
+std::vector<FlatHashMap<double>> ComputeSplitClassCounts(
+    const JoinQuery& query, int response_node, int response_attr,
+    const FilterSet& path_filters,
+    const std::vector<SplitCandidate>& candidates);
+
+// Number of scalar aggregates the regression batch expands to (3 per
+// candidate); used by the Fig. 5 aggregate-count table.
+inline size_t DecisionNodeBatchSize(size_t num_candidates) {
+  return 3 * num_candidates;
+}
+
+}  // namespace relborg
+
+#endif  // RELBORG_CORE_DECISION_NODE_ENGINE_H_

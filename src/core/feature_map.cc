@@ -1,0 +1,33 @@
+#include "core/feature_map.h"
+
+#include "util/check.h"
+
+namespace relborg {
+
+FeatureMap::FeatureMap(const JoinQuery& query,
+                       const std::vector<FeatureRef>& features) {
+  node_features_.resize(query.num_relations());
+  for (const FeatureRef& ref : features) {
+    int node = query.IndexOf(ref.relation);
+    const Relation* rel = query.relation(node);
+    int attr = rel->schema().MustIndexOf(ref.attr);
+    RELBORG_CHECK_MSG(rel->schema().attr(attr).type == AttrType::kDouble,
+                      "covariance features must be continuous");
+    int f = num_features();
+    names_.push_back(ref.relation + "." + ref.attr);
+    owner_node_.push_back(node);
+    owner_attr_.push_back(attr);
+    node_features_[node].push_back({attr, f});
+  }
+}
+
+int FeatureMap::IndexOf(const std::string& relation,
+                        const std::string& attr) const {
+  std::string full = relation + "." + attr;
+  for (int f = 0; f < num_features(); ++f) {
+    if (names_[f] == full) return f;
+  }
+  return -1;
+}
+
+}  // namespace relborg

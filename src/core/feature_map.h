@@ -1,0 +1,54 @@
+// Maps model features to (join-tree node, attribute) pairs and dense
+// feature indices. The covariance engine, the ML layer, and the baselines
+// all address features through this map so that the factorized and the
+// materialized paths agree on feature order.
+#ifndef RELBORG_CORE_FEATURE_MAP_H_
+#define RELBORG_CORE_FEATURE_MAP_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/join_tree.h"
+
+namespace relborg {
+
+struct FeatureRef {
+  std::string relation;
+  std::string attr;
+};
+
+class FeatureMap {
+ public:
+  // Builds the map for `query`. Every referenced attribute must exist and be
+  // continuous (categorical features are handled by the group-by engine's
+  // sparse tensors, not by the covariance matrix).
+  FeatureMap(const JoinQuery& query, const std::vector<FeatureRef>& features);
+
+  int num_features() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int f) const { return names_[f]; }
+
+  // Features owned by join-tree node `v`, as (attribute index, feature
+  // index) pairs.
+  const std::vector<std::pair<int, int>>& NodeFeatures(int v) const {
+    return node_features_[v];
+  }
+
+  // Feature index of (relation, attr) or -1.
+  int IndexOf(const std::string& relation, const std::string& attr) const;
+
+  // Node owning feature f.
+  int NodeOf(int f) const { return owner_node_[f]; }
+  // Attribute index (within its relation) of feature f.
+  int AttrOf(int f) const { return owner_attr_[f]; }
+
+ private:
+  std::vector<std::string> names_;  // "relation.attr"
+  std::vector<int> owner_node_;
+  std::vector<int> owner_attr_;
+  std::vector<std::vector<std::pair<int, int>>> node_features_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_CORE_FEATURE_MAP_H_

@@ -1,0 +1,71 @@
+// Factorized evaluation of group-by aggregates (Sec. 2.1 of the paper):
+//
+//   SUM(m1 * m2 * ...) GROUP BY G1 [, G2]
+//
+// where the measures are continuous attributes (an empty measure list means
+// COUNT(*)) and the group-by attributes are categorical attributes anywhere
+// in the join tree. Group values travel up the tree inside group-ring
+// payloads (the sparse-tensor encoding), so any root works; re-rooting is a
+// performance choice, not a correctness requirement.
+#ifndef RELBORG_CORE_GROUPBY_ENGINE_H_
+#define RELBORG_CORE_GROUPBY_ENGINE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "query/join_tree.h"
+#include "query/predicate.h"
+#include "ring/group_ring.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+
+struct GroupByAggregate {
+  struct GroupBy {
+    int node = -1;  // join-tree node owning the attribute
+    int attr = -1;  // attribute index within that relation
+    int slot = 0;   // 0 = high 32 bits of the group key, 1 = low 32 bits
+  };
+
+  // Product measure: (node, attr) pairs of continuous attributes. Empty
+  // means COUNT(*). The same attribute may appear twice (squares).
+  std::vector<std::pair<int, int>> measure;
+  std::vector<GroupBy> group_by;  // at most 2, with distinct slots
+};
+
+// Result: canonical group key (see ring/group_ring.h) -> aggregate value.
+// For aggregates without group-by the single entry has key kUnitKey.
+using GroupByResult = FlatHashMap<double>;
+
+GroupByResult ComputeGroupBy(const RootedTree& tree,
+                             const GroupByAggregate& agg,
+                             const FilterSet& filters = {});
+
+// Evaluates a whole batch of group-by aggregates in ONE bottom-up pass:
+// the relation scans, join-key computations and child-view probes are
+// shared across the batch; each view entry carries one group-ring payload
+// per aggregate. This is the LMFAO-style sharing applied to group-by
+// batches (mutual information, sparse covariance, decision-node batches).
+std::vector<GroupByResult> ComputeGroupByBatch(
+    const RootedTree& tree, const std::vector<GroupByAggregate>& aggs,
+    const FilterSet& filters = {});
+
+// Convenience helpers for building aggregates against named attributes.
+GroupByAggregate CountGroupedBy(const JoinQuery& query,
+                                const std::string& rel1,
+                                const std::string& attr1);
+GroupByAggregate CountGroupedByPair(const JoinQuery& query,
+                                    const std::string& rel1,
+                                    const std::string& attr1,
+                                    const std::string& rel2,
+                                    const std::string& attr2);
+GroupByAggregate SumGroupedBy(const JoinQuery& query,
+                              const std::string& measure_rel,
+                              const std::string& measure_attr,
+                              const std::string& rel1,
+                              const std::string& attr1);
+
+}  // namespace relborg
+
+#endif  // RELBORG_CORE_GROUPBY_ENGINE_H_

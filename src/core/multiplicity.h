@@ -1,0 +1,23 @@
+// Join multiplicities: for every base-relation tuple, the number of join
+// tuples it participates in, computed without materializing the join by an
+// up-down pass over the join tree (counting ring up, context products
+// down). Used by relational k-means (per-tuple coreset weights) and by the
+// weighted quantile sketches of the decision-tree layer.
+#ifndef RELBORG_CORE_MULTIPLICITY_H_
+#define RELBORG_CORE_MULTIPLICITY_H_
+
+#include <vector>
+
+#include "query/join_tree.h"
+#include "query/predicate.h"
+
+namespace relborg {
+
+// result[v][row] = number of tuples of the (filtered) join containing row
+// `row` of the relation at node v. Rows failing their own filter get 0.
+std::vector<std::vector<double>> ComputeRowMultiplicities(
+    const RootedTree& tree, const FilterSet& filters = {});
+
+}  // namespace relborg
+
+#endif  // RELBORG_CORE_MULTIPLICITY_H_

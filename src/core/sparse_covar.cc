@@ -1,0 +1,76 @@
+#include "core/sparse_covar.h"
+
+#include "core/groupby_engine.h"
+#include "util/check.h"
+
+namespace relborg {
+
+size_t SparseCovar::num_aggregates() const {
+  const int m = num_categorical();
+  // 1 count per categorical, n sums per categorical, one pair count per
+  // unordered categorical pair, plus the dense block.
+  return CovarBatchSize(num_continuous()) +
+         static_cast<size_t>(m) * (1 + num_continuous()) +
+         static_cast<size_t>(m) * (m - 1) / 2;
+}
+
+SparseCovar ComputeSparseCovar(const RootedTree& tree, const FeatureMap& fm,
+                               const std::vector<FeatureRef>& categoricals,
+                               const FilterSet& filters) {
+  const JoinQuery& query = tree.query();
+  SparseCovar result(ComputeCovarMatrix(tree, fm, filters),
+                     static_cast<int>(categoricals.size()));
+
+  // Build the whole group-by batch and evaluate it in ONE shared pass.
+  std::vector<GroupByAggregate> batch;
+  struct Sink {
+    enum Kind { kCount, kSum, kPair } kind;
+    int a;
+    int b_or_i;
+  };
+  std::vector<Sink> sinks;
+  for (size_t a = 0; a < categoricals.size(); ++a) {
+    batch.push_back(CountGroupedBy(query, categoricals[a].relation,
+                                   categoricals[a].attr));
+    sinks.push_back({Sink::kCount, static_cast<int>(a), 0});
+    for (int i = 0; i < fm.num_features(); ++i) {
+      const Relation& rel = tree.relation(fm.NodeOf(i));
+      batch.push_back(SumGroupedBy(
+          query, rel.name(), rel.schema().attr(fm.AttrOf(i)).name,
+          categoricals[a].relation, categoricals[a].attr));
+      sinks.push_back({Sink::kSum, static_cast<int>(a), i});
+    }
+    for (size_t b = a + 1; b < categoricals.size(); ++b) {
+      batch.push_back(CountGroupedByPair(
+          query, categoricals[a].relation, categoricals[a].attr,
+          categoricals[b].relation, categoricals[b].attr));
+      sinks.push_back({Sink::kPair, static_cast<int>(a),
+                       static_cast<int>(b)});
+    }
+  }
+  std::vector<GroupByResult> results = ComputeGroupByBatch(tree, batch,
+                                                           filters);
+  for (size_t q = 0; q < results.size(); ++q) {
+    const Sink& sink = sinks[q];
+    switch (sink.kind) {
+      case Sink::kCount:
+        results[q].ForEach([&](uint64_t key, double c) {
+          result.cat_count(sink.a)[PackKey1(UnpackHigh(key))] = c;
+        });
+        break;
+      case Sink::kSum:
+        results[q].ForEach([&](uint64_t key, double s) {
+          result.cat_sum(sink.a, sink.b_or_i)[PackKey1(UnpackHigh(key))] = s;
+        });
+        break;
+      case Sink::kPair:
+        results[q].ForEach([&](uint64_t key, double c) {
+          result.pair_count(sink.a, sink.b_or_i)[key] = c;
+        });
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace relborg

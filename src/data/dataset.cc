@@ -1,0 +1,22 @@
+#include "data/dataset.h"
+
+#include "util/check.h"
+
+namespace relborg {
+
+Dataset MakeDataset(const std::string& name, const GenOptions& options) {
+  if (name == "retailer") return MakeRetailer(options);
+  if (name == "favorita") return MakeFavorita(options);
+  if (name == "yelp") return MakeYelp(options);
+  if (name == "tpcds") return MakeTpcDs(options);
+  RELBORG_CHECK_MSG(false, name.c_str());
+  return {};
+}
+
+const std::vector<std::string>& DatasetNames() {
+  static const std::vector<std::string>* names =
+      new std::vector<std::string>{"retailer", "favorita", "yelp", "tpcds"};
+  return *names;
+}
+
+}  // namespace relborg

@@ -1,0 +1,68 @@
+// Synthetic dataset generators mirroring the four datasets of the paper's
+// experiments (Retailer, Favorita, Yelp, TPC-DS).
+//
+// The originals are proprietary or too large for a laptop-scale repro, so
+// each generator reproduces the *structure* that drives the experiments:
+// the schema, the join shape (star / snowflake / chain), realistic key
+// fan-outs and skew, a mix of continuous and categorical attributes, and a
+// response correlated with features across several relations (so learned
+// models have signal). Row counts scale linearly with GenOptions::scale.
+#ifndef RELBORG_DATA_DATASET_H_
+#define RELBORG_DATA_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_map.h"
+#include "query/join_tree.h"
+#include "relational/catalog.h"
+
+namespace relborg {
+
+struct GenOptions {
+  double scale = 1.0;  // 1.0 ~= 2M fact rows for Retailer
+  uint64_t seed = 20200901;  // date of the VLDB 2020 keynote
+};
+
+struct Dataset {
+  std::string name;
+  std::unique_ptr<Catalog> catalog;
+  JoinQuery query;          // relations owned by `catalog`
+  std::string fact;         // name of the fact (root) relation
+  std::vector<FeatureRef> features;  // continuous features, response last
+  FeatureRef response;               // element of `features`
+  // Categorical attributes used by decision trees, mutual information and
+  // the sparse-tensor aggregates.
+  std::vector<FeatureRef> categoricals;
+
+  RootedTree RootAtFact() const { return query.Root(query.IndexOf(fact)); }
+};
+
+// Retailer (Fig. 3): Inventory |X| Items |X| Stores |X| Demographics
+// |X| Weather. Inventory(locn, dateid, ksn, inventoryunits) is the fact;
+// Weather joins on the composite key (locn, dateid); Demographics chains
+// off Stores via zip (a snowflake edge).
+Dataset MakeRetailer(const GenOptions& options = {});
+
+// Favorita: Sales |X| Items |X| Stores |X| Transactions |X| Oil |X|
+// Holidays; Transactions joins on (dateid, store).
+Dataset MakeFavorita(const GenOptions& options = {});
+
+// Yelp: Reviews |X| Businesses |X| Users.
+Dataset MakeYelp(const GenOptions& options = {});
+
+// TPC-DS (store-sales slice): StoreSales |X| DateDim |X| Item |X| Store
+// |X| CustomerDemographics.
+Dataset MakeTpcDs(const GenOptions& options = {});
+
+// Lookup by name ("retailer", "favorita", "yelp", "tpcds"); aborts on
+// unknown names.
+Dataset MakeDataset(const std::string& name, const GenOptions& options = {});
+
+// The four canonical dataset names, in the order the paper's figures use.
+const std::vector<std::string>& DatasetNames();
+
+}  // namespace relborg
+
+#endif  // RELBORG_DATA_DATASET_H_

@@ -1,0 +1,151 @@
+// Synthetic Favorita dataset (Corporación Favorita grocery forecasting, one
+// of the public datasets used by the paper's experiments). Star join with a
+// composite-key edge: Sales is the fact; Transactions joins on
+// (dateid, store); Oil and Holidays join on dateid; Items and Stores join
+// on their keys.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace relborg {
+
+Dataset MakeFavorita(const GenOptions& options) {
+  const double s = options.scale;
+  const int kDates = std::max(40, static_cast<int>(350 * std::sqrt(s)));
+  const int kStores = std::max(10, static_cast<int>(60 * std::sqrt(s)));
+  const int kItems = std::max(50, static_cast<int>(1500 * std::sqrt(s)));
+  const size_t kSalesRows = static_cast<size_t>(1500000 * s);
+
+  Dataset ds;
+  ds.name = "favorita";
+  ds.catalog = std::make_unique<Catalog>();
+  Rng rng(options.seed + 1);
+
+  // --- Items(item, family, class, perishable) ---
+  Schema items_schema({{"item", AttrType::kCategorical},
+                       {"family", AttrType::kCategorical},
+                       {"class", AttrType::kCategorical},
+                       {"perishable", AttrType::kDouble}});
+  Relation* items = ds.catalog->AddRelation("Items", items_schema);
+  std::vector<double> item_effect(kItems);
+  for (int i = 0; i < kItems; ++i) {
+    int32_t family = rng.SkewedCategory(20);
+    double perishable = rng.Uniform() < 0.25 ? 1.0 : 0.0;
+    item_effect[i] = rng.Gaussian(0, 1.2) + 0.8 * perishable;
+    items->AppendRow({static_cast<double>(i), static_cast<double>(family),
+                      static_cast<double>(family * 3 + rng.Below(3)),
+                      perishable});
+  }
+
+  // --- Stores(store, city, state, type, cluster, capacity) ---
+  Schema stores_schema({{"store", AttrType::kCategorical},
+                        {"city", AttrType::kCategorical},
+                        {"state", AttrType::kCategorical},
+                        {"type", AttrType::kCategorical},
+                        {"cluster", AttrType::kCategorical},
+                        {"capacity", AttrType::kDouble}});
+  Relation* stores = ds.catalog->AddRelation("Stores", stores_schema);
+  std::vector<double> store_effect(kStores);
+  for (int st = 0; st < kStores; ++st) {
+    int32_t city = rng.SkewedCategory(22);
+    double capacity = rng.Uniform(10, 100);
+    store_effect[st] = 0.02 * capacity + rng.Gaussian(0, 0.8);
+    stores->AppendRow({static_cast<double>(st), static_cast<double>(city),
+                       static_cast<double>(city % 16),
+                       static_cast<double>(rng.Below(5)),
+                       static_cast<double>(rng.Below(17)), capacity});
+  }
+
+  // --- Oil(dateid, oilprice) --- (random walk)
+  Schema oil_schema({{"dateid", AttrType::kCategorical},
+                     {"oilprice", AttrType::kDouble}});
+  Relation* oil = ds.catalog->AddRelation("Oil", oil_schema);
+  std::vector<double> oil_price(kDates);
+  double price = 55.0;
+  for (int d = 0; d < kDates; ++d) {
+    price = std::max(20.0, price + rng.Gaussian(0, 1.0));
+    oil_price[d] = price;
+    oil->AppendRow({static_cast<double>(d), price});
+  }
+
+  // --- Holidays(dateid, holidaytype, is_holiday) ---
+  Schema holiday_schema({{"dateid", AttrType::kCategorical},
+                         {"holidaytype", AttrType::kCategorical},
+                         {"is_holiday", AttrType::kDouble}});
+  Relation* holidays = ds.catalog->AddRelation("Holidays", holiday_schema);
+  std::vector<double> holiday_boost(kDates);
+  for (int d = 0; d < kDates; ++d) {
+    bool is_holiday = rng.Uniform() < 0.1;
+    holiday_boost[d] = is_holiday ? 1.5 : 0.0;
+    holidays->AppendRow({static_cast<double>(d),
+                         static_cast<double>(is_holiday ? rng.Below(5) : 5),
+                         is_holiday ? 1.0 : 0.0});
+  }
+
+  // --- Transactions(dateid, store, transactions) --- composite key edge.
+  Schema txn_schema({{"dateid", AttrType::kCategorical},
+                     {"store", AttrType::kCategorical},
+                     {"transactions", AttrType::kDouble}});
+  Relation* txns = ds.catalog->AddRelation("Transactions", txn_schema);
+  std::vector<uint8_t> has_txn(static_cast<size_t>(kDates) * kStores, 0);
+  for (int d = 0; d < kDates; ++d) {
+    for (int st = 0; st < kStores; ++st) {
+      if (rng.Uniform() < 0.08) continue;  // store closed / data missing
+      has_txn[static_cast<size_t>(d) * kStores + st] = 1;
+      double t = 800 + 40 * store_effect[st] + 300 * (holiday_boost[d] > 0) +
+                 rng.Gaussian(0, 120);
+      txns->AppendRow({static_cast<double>(d), static_cast<double>(st),
+                       std::max(50.0, t)});
+    }
+  }
+
+  // --- Sales(dateid, store, item, unitsales, onpromotion) ---
+  Schema sales_schema({{"dateid", AttrType::kCategorical},
+                       {"store", AttrType::kCategorical},
+                       {"item", AttrType::kCategorical},
+                       {"unitsales", AttrType::kDouble},
+                       {"onpromotion", AttrType::kDouble}});
+  Relation* sales = ds.catalog->AddRelation("Sales", sales_schema);
+  sales->Reserve(kSalesRows);
+  for (size_t i = 0; i < kSalesRows; ++i) {
+    int d = static_cast<int>(rng.Below(kDates));
+    int st = static_cast<int>(rng.Below(kStores));
+    int it = rng.SkewedCategory(kItems, 0.7);
+    double promo = rng.Uniform() < 0.15 ? 1.0 : 0.0;
+    double units = 6.0 + item_effect[it] + store_effect[st] +
+                   holiday_boost[d] + 2.2 * promo -
+                   0.02 * (oil_price[d] - 55.0) + rng.Gaussian(0, 1.8);
+    sales->AppendRow({static_cast<double>(d), static_cast<double>(st),
+                      static_cast<double>(it), std::max(0.0, units), promo});
+  }
+
+  ds.query.AddRelation(sales);
+  ds.query.AddRelation(items);
+  ds.query.AddRelation(stores);
+  ds.query.AddRelation(txns);
+  ds.query.AddRelation(oil);
+  ds.query.AddRelation(holidays);
+  ds.query.AddJoin("Sales", "Items", {"item"});
+  ds.query.AddJoin("Sales", "Stores", {"store"});
+  ds.query.AddJoin("Sales", "Transactions", {"dateid", "store"});
+  ds.query.AddJoin("Sales", "Oil", {"dateid"});
+  ds.query.AddJoin("Sales", "Holidays", {"dateid"});
+
+  ds.fact = "Sales";
+  ds.features = {{"Sales", "onpromotion"},     {"Items", "perishable"},
+                 {"Stores", "capacity"},       {"Transactions", "transactions"},
+                 {"Oil", "oilprice"},          {"Holidays", "is_holiday"},
+                 {"Sales", "unitsales"}};
+  ds.response = {"Sales", "unitsales"};
+  ds.categoricals = {{"Items", "family"},
+                     {"Stores", "city"},
+                     {"Stores", "type"},
+                     {"Stores", "cluster"},
+                     {"Holidays", "holidaytype"}};
+  return ds;
+}
+
+}  // namespace relborg

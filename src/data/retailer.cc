@@ -1,0 +1,168 @@
+// Synthetic Retailer dataset (the running example of the paper, Fig. 3).
+//
+// Schema mirrors the paper's description: Inventory (fact: location, date,
+// item, inventory units), Items (price and category hierarchy), Stores
+// (size and competitor distances), Demographics (per-zip statistics, joined
+// through Stores — the snowflake edge), and Weather (per location and date,
+// joined on the composite key). The response (inventoryunits) mixes item,
+// store, seasonal and weather effects plus noise, so models trained over
+// the join have real signal.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace relborg {
+
+Dataset MakeRetailer(const GenOptions& options) {
+  const double s = options.scale;
+  const int kLocations = std::max(30, static_cast<int>(300 * std::sqrt(s)));
+  const int kDates = std::max(40, static_cast<int>(400 * std::sqrt(s)));
+  const int kItems = std::max(50, static_cast<int>(2000 * std::sqrt(s)));
+  const int kZips = std::max(8, kLocations / 3);
+  const size_t kInventoryRows = static_cast<size_t>(2000000 * s);
+
+  Dataset ds;
+  ds.name = "retailer";
+  ds.catalog = std::make_unique<Catalog>();
+  Rng rng(options.seed);
+
+  // --- Stores(locn, zip, sqft, avghhi, distance_comp) ---
+  Schema stores_schema({{"locn", AttrType::kCategorical},
+                        {"zip", AttrType::kCategorical},
+                        {"sqft", AttrType::kDouble},
+                        {"avghhi", AttrType::kDouble},
+                        {"distance_comp", AttrType::kDouble}});
+  Relation* stores = ds.catalog->AddRelation("Stores", stores_schema);
+  std::vector<double> store_effect(kLocations);
+  for (int l = 0; l < kLocations; ++l) {
+    double sqft = rng.Uniform(20, 220);           // thousands of sq ft
+    double avghhi = rng.Uniform(25, 140);         // household income, $k
+    double dist = rng.Uniform(0.2, 30.0);         // miles to competitor
+    store_effect[l] = 0.02 * sqft + rng.Gaussian(0, 1.5);
+    stores->AppendRow({static_cast<double>(l),
+                       static_cast<double>(rng.Below(kZips)), sqft, avghhi,
+                       dist});
+  }
+
+  // --- Demographics(zip, population, medianage, households) ---
+  Schema demo_schema({{"zip", AttrType::kCategorical},
+                      {"population", AttrType::kDouble},
+                      {"medianage", AttrType::kDouble},
+                      {"households", AttrType::kDouble}});
+  Relation* demo = ds.catalog->AddRelation("Demographics", demo_schema);
+  for (int z = 0; z < kZips; ++z) {
+    double pop = rng.Uniform(2, 80);  // thousands
+    demo->AppendRow({static_cast<double>(z), pop, rng.Uniform(24, 55),
+                     pop * rng.Uniform(0.3, 0.45)});
+  }
+
+  // --- Items(ksn, subcategory, category, categoryCluster, price) ---
+  Schema items_schema({{"ksn", AttrType::kCategorical},
+                       {"subcategory", AttrType::kCategorical},
+                       {"category", AttrType::kCategorical},
+                       {"categoryCluster", AttrType::kCategorical},
+                       {"price", AttrType::kDouble}});
+  Relation* items = ds.catalog->AddRelation("Items", items_schema);
+  std::vector<double> item_effect(kItems);
+  const int kSubcats = 40;
+  const int kCats = 12;
+  const int kClusters = 6;
+  for (int k = 0; k < kItems; ++k) {
+    int32_t subcat = rng.SkewedCategory(kSubcats);
+    double price = rng.Uniform(0.5, 60.0);
+    item_effect[k] = -0.04 * price + rng.Gaussian(0, 1.0);
+    items->AppendRow({static_cast<double>(k), static_cast<double>(subcat),
+                      static_cast<double>(subcat % kCats),
+                      static_cast<double>(subcat % kClusters), price});
+  }
+
+  // --- Weather(locn, dateid, maxtmp, mintmp, meanwind, rain) ---
+  Schema weather_schema({{"locn", AttrType::kCategorical},
+                         {"dateid", AttrType::kCategorical},
+                         {"maxtmp", AttrType::kDouble},
+                         {"mintmp", AttrType::kDouble},
+                         {"meanwind", AttrType::kDouble},
+                         {"rain", AttrType::kDouble}});
+  Relation* weather = ds.catalog->AddRelation("Weather", weather_schema);
+  // Presence flag and rain/temperature lookup for the response model.
+  std::vector<uint8_t> has_weather(
+      static_cast<size_t>(kLocations) * kDates, 0);
+  std::vector<float> w_rain(has_weather.size(), 0.0f);
+  std::vector<float> w_tmp(has_weather.size(), 0.0f);
+  for (int l = 0; l < kLocations; ++l) {
+    double climate = rng.Uniform(30, 70);
+    for (int d = 0; d < kDates; ++d) {
+      if (rng.Uniform() < 0.12) continue;  // missing station reports
+      double season = 18 * std::sin(6.283185307 * d / 365.0);
+      double maxtmp = climate + season + rng.Gaussian(0, 6);
+      double rain = rng.Uniform() < 0.25 ? 1.0 : 0.0;
+      size_t idx = static_cast<size_t>(l) * kDates + d;
+      has_weather[idx] = 1;
+      w_rain[idx] = static_cast<float>(rain);
+      w_tmp[idx] = static_cast<float>(maxtmp);
+      weather->AppendRow({static_cast<double>(l), static_cast<double>(d),
+                          maxtmp, maxtmp - rng.Uniform(5, 18),
+                          rng.Uniform(0, 25), rain});
+    }
+  }
+
+  // --- Inventory(locn, dateid, ksn, inventoryunits) ---
+  Schema inv_schema({{"locn", AttrType::kCategorical},
+                     {"dateid", AttrType::kCategorical},
+                     {"ksn", AttrType::kCategorical},
+                     {"inventoryunits", AttrType::kDouble}});
+  Relation* inventory = ds.catalog->AddRelation("Inventory", inv_schema);
+  inventory->Reserve(kInventoryRows);
+  for (size_t i = 0; i < kInventoryRows; ++i) {
+    int l = static_cast<int>(rng.Below(kLocations));
+    int d = static_cast<int>(rng.Below(kDates));
+    int k = rng.SkewedCategory(kItems, 0.8);
+    size_t widx = static_cast<size_t>(l) * kDates + d;
+    double weather_effect =
+        has_weather[widx]
+            ? 0.03 * (w_tmp[widx] - 50.0) - 1.2 * w_rain[widx]
+            : 0.0;
+    double season = 2.0 * std::sin(6.283185307 * d / 365.0);
+    double units = 8.0 + item_effect[k] + store_effect[l] + season +
+                   weather_effect + rng.Gaussian(0, 1.5);
+    inventory->AppendRow({static_cast<double>(l), static_cast<double>(d),
+                          static_cast<double>(k), std::max(0.0, units)});
+  }
+
+  // --- Query: Inventory joins Items, Stores, Weather; Demographics
+  // snowflakes off Stores. ---
+  ds.query.AddRelation(inventory);
+  ds.query.AddRelation(items);
+  ds.query.AddRelation(stores);
+  ds.query.AddRelation(demo);
+  ds.query.AddRelation(weather);
+  ds.query.AddJoin("Inventory", "Items", {"ksn"});
+  ds.query.AddJoin("Inventory", "Stores", {"locn"});
+  ds.query.AddJoin("Stores", "Demographics", {"zip"});
+  ds.query.AddJoin("Inventory", "Weather", {"locn", "dateid"});
+
+  ds.fact = "Inventory";
+  ds.features = {{"Items", "price"},
+                 {"Stores", "sqft"},
+                 {"Stores", "avghhi"},
+                 {"Stores", "distance_comp"},
+                 {"Demographics", "population"},
+                 {"Demographics", "medianage"},
+                 {"Demographics", "households"},
+                 {"Weather", "maxtmp"},
+                 {"Weather", "mintmp"},
+                 {"Weather", "meanwind"},
+                 {"Weather", "rain"},
+                 {"Inventory", "inventoryunits"}};
+  ds.response = {"Inventory", "inventoryunits"};
+  ds.categoricals = {{"Items", "subcategory"},
+                     {"Items", "category"},
+                     {"Items", "categoryCluster"},
+                     {"Stores", "zip"}};
+  return ds;
+}
+
+}  // namespace relborg

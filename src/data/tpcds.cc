@@ -1,0 +1,144 @@
+// Synthetic TPC-DS slice: the store_sales star used by the paper's
+// experiments (fact joining date, item, store and customer-demographics
+// dimensions). Largest aggregate batches of Fig. 5 come from this schema's
+// wide feature set.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace relborg {
+
+Dataset MakeTpcDs(const GenOptions& options) {
+  const double s = options.scale;
+  const int kDates = std::max(60, static_cast<int>(365 * std::sqrt(s)));
+  const int kItems = std::max(80, static_cast<int>(3000 * std::sqrt(s)));
+  const int kStores = std::max(8, static_cast<int>(50 * std::sqrt(s)));
+  const int kDemos = std::max(20, static_cast<int>(200 * std::sqrt(s)));
+  const size_t kSalesRows = static_cast<size_t>(1500000 * s);
+
+  Dataset ds;
+  ds.name = "tpcds";
+  ds.catalog = std::make_unique<Catalog>();
+  Rng rng(options.seed + 3);
+
+  // --- DateDim(date_sk, d_year, d_moy, d_dom) ---
+  Schema date_schema({{"date_sk", AttrType::kCategorical},
+                      {"d_year", AttrType::kDouble},
+                      {"d_moy", AttrType::kDouble},
+                      {"d_dom", AttrType::kDouble}});
+  Relation* dates = ds.catalog->AddRelation("DateDim", date_schema);
+  for (int d = 0; d < kDates; ++d) {
+    dates->AppendRow({static_cast<double>(d), 1998.0 + d / 365,
+                      static_cast<double>(1 + (d / 30) % 12),
+                      static_cast<double>(1 + d % 30)});
+  }
+
+  // --- Item(item_sk, category, brand, current_price) ---
+  Schema item_schema({{"item_sk", AttrType::kCategorical},
+                      {"category", AttrType::kCategorical},
+                      {"brand", AttrType::kCategorical},
+                      {"current_price", AttrType::kDouble}});
+  Relation* items = ds.catalog->AddRelation("Item", item_schema);
+  std::vector<double> item_price(kItems);
+  for (int i = 0; i < kItems; ++i) {
+    item_price[i] = rng.Uniform(1, 120);
+    items->AppendRow({static_cast<double>(i),
+                      static_cast<double>(rng.Below(10)),
+                      static_cast<double>(rng.SkewedCategory(100)),
+                      item_price[i]});
+  }
+
+  // --- Store(store_sk, market_id, floor_space, employees) ---
+  Schema store_schema({{"store_sk", AttrType::kCategorical},
+                       {"market_id", AttrType::kCategorical},
+                       {"floor_space", AttrType::kDouble},
+                       {"employees", AttrType::kDouble}});
+  Relation* stores = ds.catalog->AddRelation("Store", store_schema);
+  std::vector<double> store_scale(kStores);
+  for (int st = 0; st < kStores; ++st) {
+    double floor = rng.Uniform(5000, 9000000 / 100.0);
+    store_scale[st] = floor / 50000.0;
+    stores->AppendRow({static_cast<double>(st),
+                       static_cast<double>(rng.Below(10)), floor,
+                       rng.Uniform(200, 300)});
+  }
+
+  // --- CustomerDemographics(cdemo_sk, gender, marital, dep_count,
+  //     vehicle_count) ---
+  Schema demo_schema({{"cdemo_sk", AttrType::kCategorical},
+                      {"gender", AttrType::kCategorical},
+                      {"marital", AttrType::kCategorical},
+                      {"dep_count", AttrType::kDouble},
+                      {"vehicle_count", AttrType::kDouble}});
+  Relation* demos = ds.catalog->AddRelation("CustomerDemographics",
+                                            demo_schema);
+  for (int c = 0; c < kDemos; ++c) {
+    demos->AppendRow({static_cast<double>(c),
+                      static_cast<double>(rng.Below(2)),
+                      static_cast<double>(rng.Below(5)),
+                      static_cast<double>(rng.Below(7)),
+                      static_cast<double>(rng.Below(5))});
+  }
+
+  // --- StoreSales(date_sk, item_sk, store_sk, cdemo_sk, quantity,
+  //     sales_price, ext_discount) ---
+  Schema sales_schema({{"date_sk", AttrType::kCategorical},
+                       {"item_sk", AttrType::kCategorical},
+                       {"store_sk", AttrType::kCategorical},
+                       {"cdemo_sk", AttrType::kCategorical},
+                       {"quantity", AttrType::kDouble},
+                       {"sales_price", AttrType::kDouble},
+                       {"ext_discount", AttrType::kDouble}});
+  Relation* sales = ds.catalog->AddRelation("StoreSales", sales_schema);
+  sales->Reserve(kSalesRows);
+  for (size_t i = 0; i < kSalesRows; ++i) {
+    int d = static_cast<int>(rng.Below(kDates));
+    int it = rng.SkewedCategory(kItems, 0.6);
+    int st = static_cast<int>(rng.Below(kStores));
+    int cd = static_cast<int>(rng.Below(kDemos));
+    double discount = rng.Uniform() < 0.3 ? rng.Uniform(0, 0.4) : 0.0;
+    double sales_price = item_price[it] * (1.0 - discount);
+    double season = 1.5 * std::sin(6.283185307 * d / 365.0);
+    double quantity = std::max(
+        1.0, std::round(4.0 + store_scale[st] + season + 6.0 * discount -
+                        0.015 * sales_price + rng.Gaussian(0, 1.5)));
+    sales->AppendRow({static_cast<double>(d), static_cast<double>(it),
+                      static_cast<double>(st), static_cast<double>(cd),
+                      quantity, sales_price,
+                      discount * item_price[it]});
+  }
+
+  ds.query.AddRelation(sales);
+  ds.query.AddRelation(dates);
+  ds.query.AddRelation(items);
+  ds.query.AddRelation(stores);
+  ds.query.AddRelation(demos);
+  ds.query.AddJoin("StoreSales", "DateDim", {"date_sk"});
+  ds.query.AddJoin("StoreSales", "Item", {"item_sk"});
+  ds.query.AddJoin("StoreSales", "Store", {"store_sk"});
+  ds.query.AddJoin("StoreSales", "CustomerDemographics", {"cdemo_sk"});
+
+  ds.fact = "StoreSales";
+  ds.features = {{"StoreSales", "sales_price"},
+                 {"StoreSales", "ext_discount"},
+                 {"DateDim", "d_moy"},
+                 {"DateDim", "d_dom"},
+                 {"Item", "current_price"},
+                 {"Store", "floor_space"},
+                 {"Store", "employees"},
+                 {"CustomerDemographics", "dep_count"},
+                 {"CustomerDemographics", "vehicle_count"},
+                 {"StoreSales", "quantity"}};
+  ds.response = {"StoreSales", "quantity"};
+  ds.categoricals = {{"Item", "category"},
+                     {"Item", "brand"},
+                     {"Store", "market_id"},
+                     {"CustomerDemographics", "gender"},
+                     {"CustomerDemographics", "marital"}};
+  return ds;
+}
+
+}  // namespace relborg

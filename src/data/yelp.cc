@@ -1,0 +1,92 @@
+// Synthetic Yelp dataset: Reviews fact joining Businesses and Users — the
+// many-to-many shape (a user reviews many businesses, a business has many
+// reviewers) whose join blow-up motivates factorized processing.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace relborg {
+
+Dataset MakeYelp(const GenOptions& options) {
+  const double s = options.scale;
+  const int kBusinesses = std::max(100, static_cast<int>(4000 * std::sqrt(s)));
+  const int kUsers = std::max(200, static_cast<int>(20000 * std::sqrt(s)));
+  const size_t kReviews = static_cast<size_t>(1000000 * s);
+
+  Dataset ds;
+  ds.name = "yelp";
+  ds.catalog = std::make_unique<Catalog>();
+  Rng rng(options.seed + 2);
+
+  // --- Businesses(business, city, state, bstars, breviewcount) ---
+  Schema biz_schema({{"business", AttrType::kCategorical},
+                     {"city", AttrType::kCategorical},
+                     {"state", AttrType::kCategorical},
+                     {"bstars", AttrType::kDouble},
+                     {"breviewcount", AttrType::kDouble}});
+  Relation* businesses = ds.catalog->AddRelation("Businesses", biz_schema);
+  std::vector<double> biz_quality(kBusinesses);
+  for (int b = 0; b < kBusinesses; ++b) {
+    int32_t city = rng.SkewedCategory(60);
+    biz_quality[b] = rng.Gaussian(0, 0.8);
+    double bstars = std::clamp(3.5 + biz_quality[b], 1.0, 5.0);
+    businesses->AppendRow({static_cast<double>(b), static_cast<double>(city),
+                           static_cast<double>(city % 15),
+                           std::round(bstars * 2) / 2,
+                           rng.Uniform(3, 2000)});
+  }
+
+  // --- Users(user, ustars, ureviewcount, fans) ---
+  Schema user_schema({{"user", AttrType::kCategorical},
+                      {"ustars", AttrType::kDouble},
+                      {"ureviewcount", AttrType::kDouble},
+                      {"fans", AttrType::kDouble}});
+  Relation* users = ds.catalog->AddRelation("Users", user_schema);
+  std::vector<double> user_bias(kUsers);
+  for (int u = 0; u < kUsers; ++u) {
+    user_bias[u] = rng.Gaussian(0, 0.5);
+    double reviews = std::floor(std::exp(rng.Uniform(0, 6)));
+    users->AppendRow({static_cast<double>(u),
+                      std::clamp(3.6 + user_bias[u], 1.0, 5.0), reviews,
+                      std::floor(reviews * rng.Uniform(0, 0.2))});
+  }
+
+  // --- Reviews(user, business, stars, useful, funny) ---
+  Schema review_schema({{"user", AttrType::kCategorical},
+                        {"business", AttrType::kCategorical},
+                        {"stars", AttrType::kDouble},
+                        {"useful", AttrType::kDouble},
+                        {"funny", AttrType::kDouble}});
+  Relation* reviews = ds.catalog->AddRelation("Reviews", review_schema);
+  reviews->Reserve(kReviews);
+  for (size_t i = 0; i < kReviews; ++i) {
+    int u = rng.SkewedCategory(kUsers, 0.9);
+    int b = rng.SkewedCategory(kBusinesses, 0.9);
+    double raw = 3.5 + biz_quality[b] + user_bias[u] + rng.Gaussian(0, 0.9);
+    double stars = std::clamp(std::round(raw), 1.0, 5.0);
+    double useful = std::floor(std::max(0.0, rng.Gaussian(1.0, 2.0)));
+    reviews->AppendRow({static_cast<double>(u), static_cast<double>(b), stars,
+                        useful,
+                        std::floor(std::max(0.0, rng.Gaussian(0.3, 1.0)))});
+  }
+
+  ds.query.AddRelation(reviews);
+  ds.query.AddRelation(businesses);
+  ds.query.AddRelation(users);
+  ds.query.AddJoin("Reviews", "Businesses", {"business"});
+  ds.query.AddJoin("Reviews", "Users", {"user"});
+
+  ds.fact = "Reviews";
+  ds.features = {{"Reviews", "useful"},      {"Reviews", "funny"},
+                 {"Businesses", "bstars"},   {"Businesses", "breviewcount"},
+                 {"Users", "ustars"},        {"Users", "ureviewcount"},
+                 {"Users", "fans"},          {"Reviews", "stars"}};
+  ds.response = {"Reviews", "stars"};
+  ds.categoricals = {{"Businesses", "city"}, {"Businesses", "state"}};
+  return ds;
+}
+
+}  // namespace relborg

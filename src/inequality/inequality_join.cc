@@ -1,0 +1,201 @@
+#include "inequality/inequality_join.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/flat_hash_map.h"
+#include "util/packed_key.h"
+
+namespace relborg {
+
+InequalityAggregateResult InequalityAggregateNaive(
+    const Relation& r, const Relation& s,
+    const InequalityAggregateSpec& spec) {
+  InequalityAggregateResult result;
+  // Hash S rows by key.
+  FlatHashMap<std::vector<uint32_t>> index;
+  for (size_t row = 0; row < s.num_rows(); ++row) {
+    index[PackKey1(s.Cat(row, spec.s_key_attr))].push_back(
+        static_cast<uint32_t>(row));
+  }
+  for (size_t rrow = 0; rrow < r.num_rows(); ++rrow) {
+    const std::vector<uint32_t>* matches =
+        index.Find(PackKey1(r.Cat(rrow, spec.r_key_attr)));
+    if (matches == nullptr) continue;
+    double x = r.Double(rrow, spec.r_x_attr);
+    double m = spec.r_measure_attr < 0
+                   ? 1.0
+                   : r.Double(rrow, spec.r_measure_attr);
+    for (uint32_t srow : *matches) {
+      ++result.tuples_inspected;  // one join tuple materialized & tested
+      double y = s.Double(srow, spec.s_y_attr);
+      if (spec.wx * x + spec.wy * y > spec.threshold) {
+        result.value += m;
+      }
+    }
+  }
+  return result;
+}
+
+InequalityAggregateResult InequalityAggregateSorted(
+    const Relation& r, const Relation& s,
+    const InequalityAggregateSpec& spec) {
+  InequalityAggregateResult result;
+  // Per key: S scores wy * y, sorted ascending, with suffix counts.
+  struct KeyGroup {
+    std::vector<double> scores;  // sorted wy * y
+  };
+  FlatHashMap<KeyGroup> groups;
+  for (size_t row = 0; row < s.num_rows(); ++row) {
+    groups[PackKey1(s.Cat(row, spec.s_key_attr))].scores.push_back(
+        spec.wy * s.Double(row, spec.s_y_attr));
+  }
+  groups.ForEachMutable([&](uint64_t, KeyGroup& g) {
+    std::sort(g.scores.begin(), g.scores.end());
+    result.tuples_inspected += g.scores.size();  // sorting pass over S
+  });
+  for (size_t rrow = 0; rrow < r.num_rows(); ++rrow) {
+    const KeyGroup* g = groups.Find(PackKey1(r.Cat(rrow, spec.r_key_attr)));
+    ++result.tuples_inspected;  // one probe per R tuple
+    if (g == nullptr) continue;
+    double lhs = spec.wx * r.Double(rrow, spec.r_x_attr);
+    double m = spec.r_measure_attr < 0
+                   ? 1.0
+                   : r.Double(rrow, spec.r_measure_attr);
+    // Count S partners with wy*y > threshold - wx*x.
+    double bound = spec.threshold - lhs;
+    auto it = std::upper_bound(g->scores.begin(), g->scores.end(), bound);
+    size_t qualifying = static_cast<size_t>(g->scores.end() - it);
+    result.value += m * static_cast<double>(qualifying);
+  }
+  return result;
+}
+
+namespace {
+
+double RowScore(const Relation& rel, size_t row,
+                const std::vector<int>& attrs,
+                const std::vector<double>& weights) {
+  double s = 0;
+  for (size_t d = 0; d < attrs.size(); ++d) {
+    s += weights[d] * rel.Double(row, attrs[d]);
+  }
+  return s;
+}
+
+}  // namespace
+
+InequalityBatchResult InequalityAggregateBatchSorted(
+    const Relation& r, const Relation& s, const InequalityBatchSpec& spec) {
+  RELBORG_CHECK(spec.r_score_attrs.size() == spec.r_score_weights.size());
+  RELBORG_CHECK(spec.s_score_attrs.size() == spec.s_score_weights.size());
+  InequalityBatchResult result;
+  result.r_sums.assign(spec.r_measure_attrs.size(), 0.0);
+  result.s_sums.assign(spec.s_measure_attrs.size(), 0.0);
+  const size_t num_s_measures = spec.s_measure_attrs.size();
+
+  // Per key: S rows sorted by score, with suffix sums of count and of
+  // every S-side measure.
+  struct KeyGroup {
+    // Sorted (score, row) pairs, later replaced by suffix sums.
+    std::vector<std::pair<double, uint32_t>> rows;
+    // suffix[m][i] = sum over rows[i..] of measure m (m == 0 is COUNT).
+    std::vector<std::vector<double>> suffix;
+  };
+  FlatHashMap<KeyGroup> groups;
+  for (size_t row = 0; row < s.num_rows(); ++row) {
+    groups[PackKey1(s.Cat(row, spec.s_key_attr))].rows.push_back(
+        {RowScore(s, row, spec.s_score_attrs, spec.s_score_weights),
+         static_cast<uint32_t>(row)});
+  }
+  groups.ForEachMutable([&](uint64_t, KeyGroup& g) {
+    std::sort(g.rows.begin(), g.rows.end());
+    const size_t n = g.rows.size();
+    g.suffix.assign(1 + num_s_measures, std::vector<double>(n + 1, 0.0));
+    for (size_t i = n; i > 0; --i) {
+      g.suffix[0][i - 1] = g.suffix[0][i] + 1.0;
+      for (size_t m = 0; m < num_s_measures; ++m) {
+        g.suffix[1 + m][i - 1] =
+            g.suffix[1 + m][i] +
+            s.Double(g.rows[i - 1].second, spec.s_measure_attrs[m]);
+      }
+    }
+  });
+
+  for (size_t rrow = 0; rrow < r.num_rows(); ++rrow) {
+    const KeyGroup* g = groups.Find(PackKey1(r.Cat(rrow, spec.r_key_attr)));
+    if (g == nullptr) continue;
+    double bound = spec.threshold -
+                   RowScore(r, rrow, spec.r_score_attrs, spec.r_score_weights);
+    // First S row with score strictly greater than `bound`.
+    auto it = std::upper_bound(
+        g->rows.begin(), g->rows.end(), bound,
+        [](double b, const std::pair<double, uint32_t>& e) {
+          return b < e.first;
+        });
+    size_t idx = static_cast<size_t>(it - g->rows.begin());
+    double qualifying = g->suffix[0][idx];
+    if (qualifying == 0) continue;
+    result.count += qualifying;
+    for (size_t m = 0; m < spec.r_measure_attrs.size(); ++m) {
+      result.r_sums[m] +=
+          qualifying * r.Double(rrow, spec.r_measure_attrs[m]);
+    }
+    for (size_t m = 0; m < num_s_measures; ++m) {
+      result.s_sums[m] += g->suffix[1 + m][idx];
+    }
+  }
+  return result;
+}
+
+InequalityBatchResult InequalityAggregateBatchNaive(
+    const Relation& r, const Relation& s, const InequalityBatchSpec& spec) {
+  InequalityBatchResult result;
+  result.r_sums.assign(spec.r_measure_attrs.size(), 0.0);
+  result.s_sums.assign(spec.s_measure_attrs.size(), 0.0);
+  FlatHashMap<std::vector<uint32_t>> index;
+  for (size_t row = 0; row < s.num_rows(); ++row) {
+    index[PackKey1(s.Cat(row, spec.s_key_attr))].push_back(
+        static_cast<uint32_t>(row));
+  }
+  for (size_t rrow = 0; rrow < r.num_rows(); ++rrow) {
+    const std::vector<uint32_t>* matches =
+        index.Find(PackKey1(r.Cat(rrow, spec.r_key_attr)));
+    if (matches == nullptr) continue;
+    double r_score =
+        RowScore(r, rrow, spec.r_score_attrs, spec.r_score_weights);
+    for (uint32_t srow : *matches) {
+      double score = r_score +
+                     RowScore(s, srow, spec.s_score_attrs,
+                              spec.s_score_weights);
+      if (score <= spec.threshold) continue;
+      result.count += 1;
+      for (size_t m = 0; m < spec.r_measure_attrs.size(); ++m) {
+        result.r_sums[m] += r.Double(rrow, spec.r_measure_attrs[m]);
+      }
+      for (size_t m = 0; m < spec.s_measure_attrs.size(); ++m) {
+        result.s_sums[m] += s.Double(srow, spec.s_measure_attrs[m]);
+      }
+    }
+  }
+  return result;
+}
+
+InequalityAggregateResult HingeViolationMass(const Relation& r,
+                                             const Relation& s, int r_key,
+                                             int r_x, int r_measure, int s_key,
+                                             int s_y, double wx, double wy) {
+  // wx*x + wy*y < 1  <=>  (-wx)*x + (-wy)*y > -1.
+  InequalityAggregateSpec spec;
+  spec.r_key_attr = r_key;
+  spec.r_x_attr = r_x;
+  spec.r_measure_attr = r_measure;
+  spec.s_key_attr = s_key;
+  spec.s_y_attr = s_y;
+  spec.wx = -wx;
+  spec.wy = -wy;
+  spec.threshold = -1.0;
+  return InequalityAggregateSorted(r, s, spec);
+}
+
+}  // namespace relborg

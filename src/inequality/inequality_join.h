@@ -1,0 +1,102 @@
+// Aggregates over joins with ADDITIVE INEQUALITY conditions (Sec. 2.3):
+//
+//   SUM(f) WHERE w1 * X1 + w2 * X2 > c [GROUP BY Z]
+//
+// where X1 and X2 live in different relations of a join. These arise in the
+// subgradients of non-polynomial loss functions (SVM hinge loss, robust
+// regression) and in k-means assignment counts.
+//
+// A classical engine evaluates the theta-join by enumerating the join and
+// testing the inequality per tuple: O(|join|). The factorized algorithm
+// (after Abo Khamis et al., PODS 2019) instead sorts, per join key, the
+// right-hand tuples by their linear score and keeps prefix sums of the
+// measure; each left tuple then answers with one binary search:
+// O(N log N) regardless of the join's output size.
+#ifndef RELBORG_INEQUALITY_INEQUALITY_JOIN_H_
+#define RELBORG_INEQUALITY_INEQUALITY_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace relborg {
+
+// The query shape: R(k, x, [m]) |X|_k S(k, y) with condition
+// wx * x + wy * y > c. The measure is SUM(m) where m is a continuous
+// attribute of R (or COUNT(*) when measure_attr < 0).
+struct InequalityAggregateSpec {
+  int r_key_attr = 0;
+  int r_x_attr = 1;
+  int r_measure_attr = -1;  // -1 = COUNT(*)
+  int s_key_attr = 0;
+  int s_y_attr = 1;
+  double wx = 1.0;
+  double wy = 1.0;
+  double threshold = 0.0;
+};
+
+struct InequalityAggregateResult {
+  double value = 0;
+  size_t tuples_inspected = 0;  // work measure: join tuples / probes touched
+};
+
+// Baseline: enumerate the join (hash join on the key) and test the
+// inequality per output tuple.
+InequalityAggregateResult InequalityAggregateNaive(
+    const Relation& r, const Relation& s, const InequalityAggregateSpec& spec);
+
+// Factorized: per key, sort S by wy * y with suffix counts; each R tuple
+// binary-searches for the qualifying suffix. Never enumerates the join.
+InequalityAggregateResult InequalityAggregateSorted(
+    const Relation& r, const Relation& s, const InequalityAggregateSpec& spec);
+
+// SVM-style application: the hinge-loss subgradient component
+//   SUM(m) WHERE wx * x + wy * y < 1  (margin violations)
+// is the same machinery with flipped inequality; exposed as a convenience
+// by negating weights and threshold.
+InequalityAggregateResult HingeViolationMass(
+    const Relation& r, const Relation& s, int r_key, int r_x, int r_measure,
+    int s_key, int s_y, double wx, double wy);
+
+// --- Batched inequality aggregates -------------------------------------
+//
+// A (sub)gradient needs MANY aggregates under the SAME inequality
+// condition: the violator count plus SUM(x_d) for every feature dimension
+// d on either side of the join. One sort of S (by its linear score, per
+// key, with suffix sums of every S-side measure) serves the whole batch —
+// the cross-aggregate sharing theme of the paper applied to theta-joins.
+
+struct InequalityBatchSpec {
+  int r_key_attr = 0;
+  int s_key_attr = 0;
+  // The inequality: sum_d rw[d]*R.x[d] + sum_d sw[d]*S.y[d] > threshold,
+  // where r_score_attrs / s_score_attrs list the attributes entering the
+  // linear scores with weights r_score_weights / s_score_weights.
+  std::vector<int> r_score_attrs;
+  std::vector<double> r_score_weights;
+  std::vector<int> s_score_attrs;
+  std::vector<double> s_score_weights;
+  double threshold = 0.0;
+  // Measures to aggregate over qualifying join tuples.
+  std::vector<int> r_measure_attrs;
+  std::vector<int> s_measure_attrs;
+};
+
+struct InequalityBatchResult {
+  double count = 0;                 // qualifying join tuples
+  std::vector<double> r_sums;       // per r_measure_attrs entry
+  std::vector<double> s_sums;       // per s_measure_attrs entry
+};
+
+// Factorized evaluation: O((|R| + |S|) log |S|) for the whole batch.
+InequalityBatchResult InequalityAggregateBatchSorted(
+    const Relation& r, const Relation& s, const InequalityBatchSpec& spec);
+
+// Reference evaluation by join enumeration (for tests and the benches).
+InequalityBatchResult InequalityAggregateBatchNaive(
+    const Relation& r, const Relation& s, const InequalityBatchSpec& spec);
+
+}  // namespace relborg
+
+#endif  // RELBORG_INEQUALITY_INEQUALITY_JOIN_H_

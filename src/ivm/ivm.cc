@@ -1,0 +1,155 @@
+#include "ivm/ivm.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace relborg {
+namespace {
+
+// Multiplier attribute lists for the scalar aggregate SUM(x_i * x_j);
+// index n (== fm.num_features()) denotes the constant feature 1.
+std::vector<std::vector<int>> MultipliersFor(const FeatureMap& fm,
+                                             int num_nodes, int i, int j) {
+  const int n = fm.num_features();
+  std::vector<std::vector<int>> mults(num_nodes);
+  if (i < n) mults[fm.NodeOf(i)].push_back(fm.AttrOf(i));
+  if (j < n) mults[fm.NodeOf(j)].push_back(fm.AttrOf(j));
+  return mults;
+}
+
+}  // namespace
+
+HigherOrderIvm::HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm)
+    : fm_(fm) {
+  const int n = fm->num_features();
+  const int num_nodes = db->tree().num_nodes();
+  for (int i = 0; i <= n; ++i) {
+    for (int j = i; j <= n; ++j) {
+      pairs_.push_back({i, j});
+      maintainers_.emplace_back(
+          db, ScalarIvmOps(MultipliersFor(*fm, num_nodes, i, j)));
+    }
+  }
+}
+
+void HigherOrderIvm::ApplyBatch(int v, size_t first, size_t count) {
+  for (auto& m : maintainers_) m.ApplyBatch(v, first, count);
+}
+
+CovarMatrix HigherOrderIvm::Current() const {
+  const int n = fm_->num_features();
+  CovarPayload payload = CovarPayload::Zero(n);
+  for (size_t k = 0; k < pairs_.size(); ++k) {
+    const double* value = maintainers_[k].Root();
+    double v = value == nullptr ? 0.0 : *value;
+    auto [i, j] = pairs_[k];
+    if (i == n && j == n) {
+      payload.count = v;
+    } else if (j == n) {
+      payload.sum[i] = v;
+    } else {
+      payload.quad[UpperTriIndex(n, i, j)] = v;
+    }
+  }
+  return CovarMatrix(n, std::move(payload));
+}
+
+FirstOrderIvm::FirstOrderIvm(const ShadowDb* db, const FeatureMap* fm)
+    : db_(db),
+      fm_(fm),
+      parent_index_(db->tree().num_nodes()),
+      indexed_rows_(db->tree().num_nodes(), 0) {
+  const int n = fm->num_features();
+  const int num_nodes = db->tree().num_nodes();
+  for (int i = 0; i <= n; ++i) {
+    for (int j = i; j <= n; ++j) {
+      pairs_.push_back({i, j});
+      mults_.push_back(MultipliersFor(*fm, num_nodes, i, j));
+    }
+  }
+  values_.assign(pairs_.size(), 0.0);
+}
+
+CovarMatrix FirstOrderIvm::Current() const {
+  const int n = fm_->num_features();
+  CovarPayload payload = CovarPayload::Zero(n);
+  for (size_t k = 0; k < pairs_.size(); ++k) {
+    auto [i, j] = pairs_[k];
+    if (i == n && j == n) {
+      payload.count = values_[k];
+    } else if (j == n) {
+      payload.sum[i] = values_[k];
+    } else {
+      payload.quad[UpperTriIndex(n, i, j)] = values_[k];
+    }
+  }
+  return CovarMatrix(n, std::move(payload));
+}
+
+void FirstOrderIvm::ApplyBatch(int v, size_t first, size_t count) {
+  const RootedTree& tree = db_->tree();
+  // Bring the (base-relation) indexes up to date — a DBMS maintains these
+  // incrementally; what first-order IVM lacks is intermediate VIEWS.
+  for (int u = 0; u < tree.num_nodes(); ++u) {
+    if (u == tree.root()) continue;
+    const Relation& rel = db_->relation(u);
+    for (size_t row = indexed_rows_[u]; row < rel.num_rows(); ++row) {
+      parent_index_[u][tree.RowKeyToParent(u, row)].push_back(
+          static_cast<uint32_t>(row));
+    }
+    indexed_rows_[u] = rel.num_rows();
+  }
+  // One delta query per aggregate: each re-enumerates the delta join. No
+  // sharing across the batch — the defining cost of this strategy.
+  for (size_t k = 0; k < pairs_.size(); ++k) {
+    double acc = 0;
+    for (size_t row = first; row < first + count; ++row) {
+      Expand(v, row, /*from=*/-1, db_->sign(v, row), mults_[k], &acc);
+    }
+    values_[k] += acc;
+  }
+}
+
+void FirstOrderIvm::Expand(int v, size_t row, int from, double mult,
+                           const std::vector<std::vector<int>>& mults,
+                           double* acc) {
+  const RootedTree& tree = db_->tree();
+  const Relation& rel = db_->relation(v);
+  for (int attr : mults[v]) mult *= rel.Double(row, attr);
+
+  // Neighbors to expand (children and parent, minus where we came from).
+  std::vector<int> neighbors;
+  for (int c : tree.node(v).children) {
+    if (c != from) neighbors.push_back(c);
+  }
+  int parent = tree.node(v).parent;
+  if (parent >= 0 && parent != from) neighbors.push_back(parent);
+
+  std::function<void(size_t, double)> helper = [&](size_t ni, double m) {
+    if (ni == neighbors.size()) {
+      *acc += m;
+      return;
+    }
+    int u = neighbors[ni];
+    const std::vector<uint32_t>* rows;
+    if (u == parent) {
+      rows = db_->RowsByChildKey(parent, v, tree.RowKeyToParent(v, row));
+    } else {
+      rows = parent_index_[u].Find(tree.RowKeyToChild(v, u, row));
+    }
+    if (rows == nullptr) return;
+    for (uint32_t urow : *rows) {
+      // Expand returns the sum over u's side of per-assignment products;
+      // distributivity lets the remaining neighbors multiply against that
+      // sum (delta-query plans push aggregates too — the cost this
+      // baseline cannot avoid is re-running the plan once per aggregate).
+      double sub = 0;
+      Expand(u, urow, v, db_->sign(u, urow), mults, &sub);
+      if (sub != 0) helper(ni + 1, m * sub);
+    }
+  };
+  helper(0, mult);
+}
+
+}  // namespace relborg

@@ -1,0 +1,62 @@
+#include "ivm/shadow_db.h"
+
+#include "util/check.h"
+
+namespace relborg {
+
+ShadowDb::ShadowDb(const JoinQuery& source, int root) {
+  const int n = source.num_relations();
+  relations_.resize(n);
+  for (int v = 0; v < n; ++v) {
+    const Relation* src = source.relation(v);
+    relations_[v] = catalog_.AddRelation(src->name(), src->schema());
+  }
+  for (int v = 0; v < n; ++v) query_.AddRelation(relations_[v]);
+  for (const JoinEdge& e : source.edges()) {
+    // Reconstruct the join by attribute names (schemas are identical).
+    std::vector<std::string> names;
+    for (int attr : e.attrs_a) {
+      names.push_back(source.relation(e.a)->schema().attr(attr).name);
+    }
+    query_.AddJoin(source.relation(e.a)->name(), source.relation(e.b)->name(),
+                   names);
+  }
+  tree_ = std::make_unique<RootedTree>(query_.Root(root));
+  signs_.resize(n);
+  child_index_.resize(n);
+  for (int v = 0; v < n; ++v) {
+    child_index_[v].resize(tree_->node(v).children.size());
+  }
+}
+
+size_t ShadowDb::AppendRows(int v,
+                            const std::vector<std::vector<double>>& rows,
+                            double sign) {
+  Relation* rel = relations_[v];
+  const size_t first = rel->num_rows();
+  const RootedNode& node = tree_->node(v);
+  for (const auto& values : rows) {
+    rel->AppendRow(values);
+    signs_[v].push_back(sign);
+    size_t row = rel->num_rows() - 1;
+    for (size_t ci = 0; ci < node.children.size(); ++ci) {
+      uint64_t key = tree_->RowKeyToChild(v, node.children[ci], row);
+      child_index_[v][ci][key].push_back(static_cast<uint32_t>(row));
+    }
+  }
+  return first;
+}
+
+const std::vector<uint32_t>* ShadowDb::RowsByChildKey(int v, int c,
+                                                      uint64_t key) const {
+  const RootedNode& node = tree_->node(v);
+  for (size_t ci = 0; ci < node.children.size(); ++ci) {
+    if (node.children[ci] == c) {
+      return child_index_[v][ci].Find(key);
+    }
+  }
+  RELBORG_CHECK_MSG(false, "c is not a child of v");
+  return nullptr;
+}
+
+}  // namespace relborg

@@ -1,0 +1,59 @@
+// Shared infrastructure for the incremental view maintenance (IVM) layer.
+//
+// IVM experiments start from an *empty* database and stream inserts into
+// it (Fig. 4 right: "maintenance of the covariance matrix under tuple
+// insertions into an initially empty retailer database"). A ShadowDb clones
+// the schemas and join topology of a source dataset with empty relations,
+// accepts per-relation insert batches (with +1/-1 multiplicities — the
+// ring's additive inverse models deletions), and maintains the row indexes
+// (parent rows by child key) that delta propagation needs. The three IVM
+// variants share one ShadowDb per experiment; each keeps its own views.
+#ifndef RELBORG_IVM_SHADOW_DB_H_
+#define RELBORG_IVM_SHADOW_DB_H_
+
+#include <memory>
+#include <vector>
+
+#include "query/join_tree.h"
+#include "relational/catalog.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+
+class ShadowDb {
+ public:
+  // Clones schemas and join topology from `source`, rooting the tree at
+  // the same node index as `root`.
+  ShadowDb(const JoinQuery& source, int root);
+
+  const RootedTree& tree() const { return *tree_; }
+  const JoinQuery& query() const { return query_; }
+  const Relation& relation(int v) const { return *relations_[v]; }
+  double sign(int v, size_t row) const { return signs_[v][row]; }
+
+  // Appends rows (values per attribute, as doubles) to node v's relation
+  // with the given multiplicity sign (+1 insert, -1 delete) and updates the
+  // indexes. Returns the first new row id; new rows are
+  // [first, first + rows.size()).
+  size_t AppendRows(int v, const std::vector<std::vector<double>>& rows,
+                    double sign = 1.0);
+
+  // Rows of node v whose key on the edge to child c equals `key`
+  // (nullptr if none). Used by upward delta propagation.
+  const std::vector<uint32_t>* RowsByChildKey(int v, int c,
+                                              uint64_t key) const;
+
+ private:
+  Catalog catalog_;
+  std::vector<Relation*> relations_;  // by node index
+  JoinQuery query_;
+  std::unique_ptr<RootedTree> tree_;
+  std::vector<std::vector<double>> signs_;  // per node, per row
+  // child_index_[v][i] indexes node v's rows by the key of the edge to
+  // children()[i].
+  std::vector<std::vector<FlatHashMap<std::vector<uint32_t>>>> child_index_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_IVM_SHADOW_DB_H_

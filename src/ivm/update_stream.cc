@@ -1,0 +1,80 @@
+#include "ivm/update_stream.h"
+
+#include <algorithm>
+
+namespace relborg {
+
+std::vector<UpdateBatch> BuildInsertStream(
+    const JoinQuery& query, const UpdateStreamOptions& options) {
+  Rng rng(options.seed);
+  const int n = query.num_relations();
+  // Row order per relation.
+  std::vector<std::vector<size_t>> order(n);
+  for (int v = 0; v < n; ++v) {
+    order[v].resize(query.relation(v)->num_rows());
+    for (size_t i = 0; i < order[v].size(); ++i) order[v][i] = i;
+    if (options.shuffle_rows) rng.Shuffle(&order[v]);
+  }
+  std::vector<size_t> next(n, 0);
+  std::vector<UpdateBatch> stream;
+  auto emit_batch = [&](int pick) {
+    const Relation& rel = *query.relation(pick);
+    UpdateBatch batch;
+    batch.node = pick;
+    size_t take =
+        std::min(options.batch_size, order[pick].size() - next[pick]);
+    batch.rows.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      size_t row = order[pick][next[pick]++];
+      std::vector<double> values(rel.num_attrs());
+      for (int a = 0; a < rel.num_attrs(); ++a) {
+        values[a] = rel.AsDouble(row, a);
+      }
+      batch.rows.push_back(std::move(values));
+    }
+    stream.push_back(std::move(batch));
+  };
+
+  if (options.order == StreamOrder::kRoundRobin) {
+    bool any = true;
+    while (any) {
+      any = false;
+      for (int v = 0; v < n; ++v) {
+        if (next[v] < order[v].size()) {
+          emit_batch(v);
+          any = true;
+        }
+      }
+    }
+    return stream;
+  }
+
+  // Proportional: draw relations weighted by remaining rows.
+  for (;;) {
+    size_t total_remaining = 0;
+    for (int v = 0; v < n; ++v) {
+      total_remaining += order[v].size() - next[v];
+    }
+    if (total_remaining == 0) break;
+    uint64_t t = rng.Below(total_remaining);
+    int pick = 0;
+    for (int v = 0; v < n; ++v) {
+      size_t rem = order[v].size() - next[v];
+      if (t < rem) {
+        pick = v;
+        break;
+      }
+      t -= rem;
+    }
+    emit_batch(pick);
+  }
+  return stream;
+}
+
+size_t StreamRowCount(const std::vector<UpdateBatch>& stream) {
+  size_t n = 0;
+  for (const UpdateBatch& b : stream) n += b.rows.size();
+  return n;
+}
+
+}  // namespace relborg

@@ -1,0 +1,46 @@
+// Builds insert streams for the IVM experiments: the rows of a source
+// dataset are dealt out in per-relation batches, interleaved proportionally
+// to relation sizes (so the database grows uniformly from empty, as in the
+// Fig. 4 right experiment).
+#ifndef RELBORG_IVM_UPDATE_STREAM_H_
+#define RELBORG_IVM_UPDATE_STREAM_H_
+
+#include <vector>
+
+#include "query/join_tree.h"
+#include "util/rng.h"
+
+namespace relborg {
+
+struct UpdateBatch {
+  int node = -1;  // join-tree node receiving the inserts
+  std::vector<std::vector<double>> rows;
+};
+
+enum class StreamOrder {
+  // One batch from every non-exhausted relation per round: small dimension
+  // tables finish within a few rounds and the fact table dominates the rest
+  // of the stream — the F-IVM paper's retailer loading pattern.
+  kRoundRobin,
+  // Relations drawn with probability proportional to their remaining rows;
+  // all relations finish near the end (stresses late high-fan-out inserts).
+  kProportional,
+};
+
+struct UpdateStreamOptions {
+  size_t batch_size = 1000;
+  uint64_t seed = 5;
+  bool shuffle_rows = true;  // randomize insertion order within relations
+  StreamOrder order = StreamOrder::kRoundRobin;
+};
+
+// Deals every row of every relation of `query` into batches.
+std::vector<UpdateBatch> BuildInsertStream(
+    const JoinQuery& query, const UpdateStreamOptions& options = {});
+
+// Total rows across a stream.
+size_t StreamRowCount(const std::vector<UpdateBatch>& stream);
+
+}  // namespace relborg
+
+#endif  // RELBORG_IVM_UPDATE_STREAM_H_

@@ -1,0 +1,145 @@
+// Factorized view-tree maintenance (the F-IVM algorithm, Sec. 3.1 and
+// Fig. 4 right of the paper).
+//
+// A ViewTreeMaintainer keeps, for every join-tree node, a materialized view
+// mapping the node's parent-edge key to a ring payload aggregated over its
+// subtree. An insert batch at node v:
+//
+//   1. computes the per-key payload delta at v from the new rows (their
+//      lifts multiplied with the children's current views),
+//   2. propagates the delta up the path to the root: at each ancestor p,
+//      only the rows matching the delta's keys (found via ShadowDb's
+//      indexes) contribute, each multiplied with the *sibling* views,
+//   3. applies the deltas to the views along the path.
+//
+// Work is proportional to the affected keys, not to the database size, and
+// one compound-ring payload maintains the whole aggregate batch at once.
+// The higher-order IVM baseline instantiates this same template with a
+// scalar ring — one maintainer per aggregate, no sharing — which is
+// exactly the distinction Fig. 4 (right) measures.
+//
+// The Ops parameter supplies the ring:
+//   struct Ops {
+//     using Payload = ...;
+//     void Lift(int node, const Relation&, size_t row, double sign,
+//               Payload* out) const;
+//     void Mul(const Payload& a, const Payload& b, Payload* dst) const;
+//     void Add(Payload* dst, const Payload& src) const;
+//     bool IsZero(const Payload&) const;
+//   };
+#ifndef RELBORG_IVM_VIEW_TREE_H_
+#define RELBORG_IVM_VIEW_TREE_H_
+
+#include <vector>
+
+#include "ivm/shadow_db.h"
+#include "util/check.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+
+template <typename Ops>
+class ViewTreeMaintainer {
+ public:
+  using Payload = typename Ops::Payload;
+
+  ViewTreeMaintainer(const ShadowDb* db, Ops ops)
+      : db_(db), ops_(std::move(ops)), views_(db->tree().num_nodes()) {}
+
+  // Processes rows [first, first + count) previously appended to node v's
+  // shadow relation (all with the same multiplicity sign, already recorded
+  // in the ShadowDb).
+  void ApplyBatch(int v, size_t first, size_t count) {
+    const RootedTree& tree = db_->tree();
+    const Relation& rel = db_->relation(v);
+    // Delta at v.
+    FlatHashMap<Payload> delta;
+    Payload lift;
+    Payload buf_a;
+    Payload buf_b;
+    for (size_t row = first; row < first + count; ++row) {
+      ops_.Lift(v, rel, row, db_->sign(v, row), &lift);
+      Payload* cur = &lift;
+      Payload* nxt = &buf_a;
+      bool dangling = false;
+      for (int c : tree.node(v).children) {
+        const Payload* cp = views_[c].Find(tree.RowKeyToChild(v, c, row));
+        if (cp == nullptr) {
+          dangling = true;
+          break;
+        }
+        ops_.Mul(*cur, *cp, nxt);
+        cur = nxt;
+        nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
+      }
+      if (dangling) continue;
+      ops_.Add(&delta[tree.RowKeyToParent(v, row)], *cur);
+    }
+    Propagate(v, std::move(delta));
+  }
+
+  // The root payload (the maintained aggregate batch); nullptr while the
+  // join is still empty.
+  const Payload* Root() const { return views_[db_->tree().root()].Find(kUnitKey); }
+
+  // Read access for tests.
+  const FlatHashMap<Payload>& view(int v) const { return views_[v]; }
+
+ private:
+  void Propagate(int v, FlatHashMap<Payload> delta) {
+    const RootedTree& tree = db_->tree();
+    while (true) {
+      if (delta.empty()) return;
+      // Fold the delta into v's own view.
+      delta.ForEach([&](uint64_t key, const Payload& p) {
+        ops_.Add(&views_[v][key], p);
+      });
+      int parent = tree.node(v).parent;
+      if (parent < 0) return;
+      // Delta at the parent: only its rows matching the delta keys.
+      const Relation& prel = db_->relation(parent);
+      FlatHashMap<Payload> parent_delta;
+      Payload lift;
+      Payload buf_a;
+      Payload buf_b;
+      delta.ForEach([&](uint64_t key, const Payload& dp) {
+        const std::vector<uint32_t>* rows =
+            db_->RowsByChildKey(parent, v, key);
+        if (rows == nullptr) return;
+        for (uint32_t row : *rows) {
+          ops_.Lift(parent, prel, row, db_->sign(parent, row), &lift);
+          Payload* cur = &lift;
+          Payload* nxt = &buf_a;
+          bool dangling = false;
+          for (int c : tree.node(parent).children) {
+            const Payload* cp;
+            if (c == v) {
+              cp = &dp;  // the delta, not the (already updated) view
+            } else {
+              cp = views_[c].Find(tree.RowKeyToChild(parent, c, row));
+            }
+            if (cp == nullptr) {
+              dangling = true;
+              break;
+            }
+            ops_.Mul(*cur, *cp, nxt);
+            cur = nxt;
+            nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
+          }
+          if (dangling) continue;
+          ops_.Add(&parent_delta[tree.RowKeyToParent(parent, row)], *cur);
+        }
+      });
+      delta = std::move(parent_delta);
+      v = parent;
+    }
+  }
+
+  const ShadowDb* db_;
+  Ops ops_;
+  std::vector<FlatHashMap<Payload>> views_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_IVM_VIEW_TREE_H_

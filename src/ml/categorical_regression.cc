@@ -1,0 +1,200 @@
+#include "ml/categorical_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ml/linalg.h"
+#include "util/check.h"
+#include "util/packed_key.h"
+
+namespace relborg {
+namespace {
+
+// Per categorical attribute: its category codes in a stable order, so
+// coordinate descent can sweep deterministically.
+std::vector<int32_t> CategoryCodes(const FlatHashMap<double>& counts) {
+  std::vector<int32_t> codes;
+  counts.ForEach([&](uint64_t key, double) {
+    codes.push_back(UnpackLow(key));
+  });
+  std::sort(codes.begin(), codes.end());
+  return codes;
+}
+
+// Adjacency of the sparse pair-count tensors: for ordered attrs (a, b),
+// neighbors[v] lists (w, count) with COUNT(a=v, b=w) > 0.
+struct PairAdjacency {
+  FlatHashMap<std::vector<std::pair<int32_t, double>>> by_first;
+};
+
+}  // namespace
+
+double CategoricalModel::Predict(const double* cont_row,
+                                 const int32_t* cat_codes) const {
+  double y = bias;
+  for (size_t i = 0; i < cont_features.size(); ++i) {
+    y += cont_weights[i] * cont_row[cont_features[i]];
+  }
+  for (size_t a = 0; a < cat_weights.size(); ++a) {
+    const double* w = cat_weights[a].Find(PackKey1(cat_codes[a]));
+    if (w != nullptr) y += *w;
+  }
+  return y;
+}
+
+CategoricalModel TrainRidgeCategorical(const SparseCovar& covar, int response,
+                                       const CategoricalRidgeOptions& options,
+                                       CategoricalTrainInfo* info) {
+  const CovarMatrix& cont = covar.continuous();
+  const int n = cont.num_features();
+  const int m = covar.num_categorical();
+  const double count = cont.count();
+  RELBORG_CHECK_MSG(count > 0, "cannot train on an empty join");
+  const double penalty = options.lambda * count;
+
+  CategoricalModel model;
+  for (int f = 0; f < n; ++f) {
+    if (f != response) model.cont_features.push_back(f);
+  }
+  const int p = static_cast<int>(model.cont_features.size());
+  model.cont_weights.assign(p, 0.0);
+  model.cat_weights.resize(m);
+
+  // Category code lists and pair adjacency (both directions).
+  std::vector<std::vector<int32_t>> codes(m);
+  size_t num_params = 1 + p;
+  for (int a = 0; a < m; ++a) {
+    codes[a] = CategoryCodes(covar.cat_count(a));
+    num_params += codes[a].size();
+    for (int32_t v : codes[a]) model.cat_weights[a][PackKey1(v)] = 0.0;
+  }
+  // adj[a][b] maps v -> [(w, COUNT(a=v, b=w))].
+  std::vector<std::vector<PairAdjacency>> adj(m);
+  for (int a = 0; a < m; ++a) {
+    adj[a].resize(m);
+    for (int b = 0; b < m; ++b) {
+      if (a == b) continue;
+      const FlatHashMap<double>& pairs =
+          a < b ? covar.pair_count(a, b) : covar.pair_count(b, a);
+      pairs.ForEach([&](uint64_t key, double c) {
+        int32_t va = a < b ? UnpackHigh(key) : UnpackLow(key);
+        int32_t vb = a < b ? UnpackLow(key) : UnpackHigh(key);
+        adj[a][b].by_first[PackKey1(va)].push_back({vb, c});
+      });
+    }
+  }
+
+  auto cat_sum_at = [&](int a, int i, int32_t v) {
+    const double* s = covar.cat_sum(a, i).Find(PackKey1(v));
+    return s == nullptr ? 0.0 : *s;
+  };
+  auto cat_count_at = [&](int a, int32_t v) {
+    const double* c = covar.cat_count(a).Find(PackKey1(v));
+    return c == nullptr ? 0.0 : *c;
+  };
+
+  // Block-coordinate descent: per sweep, the dense (bias, continuous)
+  // block is solved EXACTLY by Cholesky given the categorical parameters
+  // (removes the slow coupling between correlated continuous columns and
+  // one-hot blocks), then every categorical coordinate gets its exact
+  // update theta_k = (b_k - sum_{j != k} A_kj theta_j) / (A_kk + penalty).
+  const int pd = 1 + p;  // bias + continuous
+  std::vector<double> block_a(static_cast<size_t>(pd) * pd, 0.0);
+  block_a[0] = count + 1e-12;
+  for (int i = 0; i < p; ++i) {
+    block_a[0 * pd + (1 + i)] = cont.Sum(model.cont_features[i]);
+    block_a[(1 + i) * pd + 0] = cont.Sum(model.cont_features[i]);
+    for (int j = 0; j < p; ++j) {
+      block_a[(1 + i) * pd + (1 + j)] =
+          cont.Moment(model.cont_features[i], model.cont_features[j]);
+    }
+    block_a[(1 + i) * pd + (1 + i)] += penalty;
+  }
+
+  int sweep = 0;
+  double delta = 0;
+  std::vector<double> block_b(pd);
+  std::vector<double> block_theta;
+  for (; sweep < options.max_sweeps; ++sweep) {
+    delta = 0;
+
+    // Dense block: solve for (bias, continuous) with categoricals fixed.
+    block_b[0] = cont.Sum(response);
+    for (int i = 0; i < p; ++i) {
+      block_b[1 + i] = cont.Moment(model.cont_features[i], response);
+    }
+    for (int a = 0; a < m; ++a) {
+      model.cat_weights[a].ForEach([&](uint64_t key, double w) {
+        if (w == 0.0) return;
+        int32_t v = UnpackLow(key);
+        block_b[0] -= cat_count_at(a, v) * w;
+        for (int i = 0; i < p; ++i) {
+          block_b[1 + i] -= cat_sum_at(a, model.cont_features[i], v) * w;
+        }
+      });
+    }
+    RELBORG_CHECK(CholeskySolve(block_a, block_b, pd, &block_theta));
+    delta = std::max(delta, std::abs(block_theta[0] - model.bias));
+    model.bias = block_theta[0];
+    for (int i = 0; i < p; ++i) {
+      delta = std::max(delta,
+                       std::abs(block_theta[1 + i] - model.cont_weights[i]));
+      model.cont_weights[i] = block_theta[1 + i];
+    }
+
+    // Categorical weights.
+    for (int a = 0; a < m; ++a) {
+      for (int32_t v : codes[a]) {
+        double c_v = cat_count_at(a, v);
+        if (c_v <= 0) continue;
+        double dot = c_v * model.bias;
+        for (int i = 0; i < p; ++i) {
+          dot += cat_sum_at(a, model.cont_features[i], v) *
+                 model.cont_weights[i];
+        }
+        for (int b = 0; b < m; ++b) {
+          if (b == a) continue;
+          const auto* neighbors = adj[a][b].by_first.Find(PackKey1(v));
+          if (neighbors == nullptr) continue;
+          for (const auto& [w_code, c] : *neighbors) {
+            const double* w = model.cat_weights[b].Find(PackKey1(w_code));
+            if (w != nullptr) dot += c * *w;
+          }
+        }
+        double b_k = cat_sum_at(a, response, v);
+        double next = (b_k - dot) / (c_v + penalty);
+        double* slot = model.cat_weights[a].Find(PackKey1(v));
+        delta = std::max(delta, std::abs(next - *slot));
+        *slot = next;
+      }
+    }
+
+    // Re-gauge: every tuple has exactly one category per attribute, so
+    // shifting a block by a constant and adding it to the (unpenalized)
+    // bias preserves all predictions. The unweighted block mean is the
+    // penalty-minimizing shift; jumping there removes the near-null
+    // one-hot/bias direction that otherwise makes coordinate descent
+    // crawl.
+    for (int a = 0; a < m; ++a) {
+      if (codes[a].empty()) continue;
+      double mean = 0;
+      model.cat_weights[a].ForEach([&](uint64_t, double w) { mean += w; });
+      mean /= static_cast<double>(codes[a].size());
+      if (mean == 0) continue;
+      model.cat_weights[a].ForEachMutable(
+          [&](uint64_t, double& w) { w -= mean; });
+      model.bias += mean;
+    }
+
+    if (delta < options.tolerance) break;
+  }
+
+  if (info != nullptr) {
+    info->sweeps = sweep;
+    info->final_delta = delta;
+    info->num_parameters = num_params;
+  }
+  return model;
+}
+
+}  // namespace relborg

@@ -1,0 +1,54 @@
+// Ridge linear regression with CATEGORICAL features (AC/DC-style,
+// Sec. 2.1 of the paper): each categorical attribute contributes one-hot
+// parameters theta_a(v), but neither the data nor the model is ever
+// one-hot *materialized* — training runs on the sparse generalized
+// covariance (core/sparse_covar.h) by coordinate descent, touching only
+// the (pairs of) categories that occur in the join.
+#ifndef RELBORG_ML_CATEGORICAL_REGRESSION_H_
+#define RELBORG_ML_CATEGORICAL_REGRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/sparse_covar.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+
+struct CategoricalModel {
+  // Continuous regressors: feature indices (covariance numbering,
+  // excluding the response) and their weights.
+  std::vector<int> cont_features;
+  std::vector<double> cont_weights;
+  double bias = 0;
+  // One sparse weight map per categorical attribute, keyed by category.
+  std::vector<FlatHashMap<double>> cat_weights;
+
+  // Prediction for a tuple: `cont_row` indexed by covariance feature
+  // numbering, `cat_codes` by categorical attribute order. Categories not
+  // seen during training contribute 0.
+  double Predict(const double* cont_row, const int32_t* cat_codes) const;
+};
+
+struct CategoricalRidgeOptions {
+  double lambda = 1e-3;   // penalty per tuple (scaled by the join size)
+  int max_sweeps = 300;
+  double tolerance = 1e-9;  // max parameter change per sweep
+};
+
+struct CategoricalTrainInfo {
+  int sweeps = 0;
+  double final_delta = 0;
+  size_t num_parameters = 0;
+};
+
+// Trains by cyclic coordinate descent on the generalized covariance.
+// `response` is the continuous feature index of the label.
+CategoricalModel TrainRidgeCategorical(
+    const SparseCovar& covar, int response,
+    const CategoricalRidgeOptions& options = {},
+    CategoricalTrainInfo* info = nullptr);
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_CATEGORICAL_REGRESSION_H_

@@ -1,0 +1,37 @@
+#include "ml/fd_reparam.h"
+
+#include "util/check.h"
+
+namespace relborg {
+
+FdReparamResult SplitMergedParameters(const std::vector<double>& merged,
+                                      const std::vector<int32_t>& country_of,
+                                      int32_t num_countries) {
+  RELBORG_CHECK(merged.size() == country_of.size());
+  FdReparamResult result;
+  result.theta_city.assign(merged.size(), 0.0);
+  result.theta_country.assign(num_countries, 0.0);
+  std::vector<double> count(num_countries, 0.0);
+  for (size_t c = 0; c < merged.size(); ++c) {
+    RELBORG_CHECK(country_of[c] >= 0 && country_of[c] < num_countries);
+    result.theta_country[country_of[c]] += merged[c];
+    count[country_of[c]] += 1;
+  }
+  for (int32_t k = 0; k < num_countries; ++k) {
+    result.theta_country[k] =
+        count[k] > 0 ? result.theta_country[k] / (count[k] + 1) : 0.0;
+  }
+  for (size_t c = 0; c < merged.size(); ++c) {
+    result.theta_city[c] = merged[c] - result.theta_country[country_of[c]];
+  }
+  return result;
+}
+
+double SplitPenalty(const FdReparamResult& split) {
+  double p = 0;
+  for (double v : split.theta_city) p += v * v;
+  for (double v : split.theta_country) p += v * v;
+  return p;
+}
+
+}  // namespace relborg

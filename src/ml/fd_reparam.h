@@ -1,0 +1,41 @@
+// Functional-dependency reparameterization (Sec. 3.2 of the paper).
+//
+// Given the FD city -> country, a ridge model with one-hot parameters
+// theta_city and theta_country can be trained with merged parameters
+// theta'_(city) = theta_city + theta_country(country(city)) — fewer
+// parameters, same predictions — and the original parameters recovered in
+// closed form afterwards. Under the L2 penalty the recovery is the
+// minimum-norm split: for country K with cities C(K),
+//
+//   theta_country(K) = sum_{c in C(K)} theta'_c / (|C(K)| + 1)
+//   theta_city(c)    = theta'_c - theta_country(country(c))
+//
+// which minimizes sum theta_city^2 + sum theta_country^2 subject to the
+// merged sums being fixed.
+#ifndef RELBORG_ML_FD_REPARAM_H_
+#define RELBORG_ML_FD_REPARAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace relborg {
+
+struct FdReparamResult {
+  std::vector<double> theta_city;     // indexed by city code
+  std::vector<double> theta_country;  // indexed by country code
+};
+
+// Recovers (theta_city, theta_country) from merged per-city parameters.
+// `country_of[c]` is the FD image of city c. The returned split satisfies
+// theta_city[c] + theta_country[country_of[c]] == merged[c] exactly and has
+// minimum L2 norm among all such splits.
+FdReparamResult SplitMergedParameters(const std::vector<double>& merged,
+                                      const std::vector<int32_t>& country_of,
+                                      int32_t num_countries);
+
+// L2 norm^2 of a split (the ridge penalty it incurs).
+double SplitPenalty(const FdReparamResult& split);
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_FD_REPARAM_H_

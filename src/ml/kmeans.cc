@@ -1,0 +1,307 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/multiplicity.h"
+#include "util/check.h"
+#include "util/flat_hash_map.h"
+#include "util/rng.h"
+
+namespace relborg {
+namespace {
+
+double Sq(double x) { return x * x; }
+
+double Dist2(const double* a, const double* b, int dims) {
+  double d = 0;
+  for (int i = 0; i < dims; ++i) d += Sq(a[i] - b[i]);
+  return d;
+}
+
+int Nearest(const double* p, const std::vector<std::vector<double>>& centroids,
+            int dims, double* dist2_out) {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    double d = Dist2(p, centroids[c].data(), dims);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  if (dist2_out != nullptr) *dist2_out = best_d;
+  return best;
+}
+
+// Weighted k-means++ seeding.
+std::vector<std::vector<double>> Seed(const WeightedPoints& pts, int k,
+                                      Rng* rng) {
+  const size_t n = pts.num_points();
+  const int dims = pts.dims;
+  std::vector<std::vector<double>> centroids;
+  auto weight = [&](size_t i) {
+    return pts.weights.empty() ? 1.0 : pts.weights[i];
+  };
+  // First centroid: weight-proportional.
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) total += weight(i);
+  double target = rng->Uniform() * total;
+  size_t first = 0;
+  for (size_t i = 0; i < n; ++i) {
+    target -= weight(i);
+    if (target <= 0) {
+      first = i;
+      break;
+    }
+  }
+  centroids.emplace_back(pts.Point(first), pts.Point(first) + dims);
+  std::vector<double> d2(n);
+  while (static_cast<int>(centroids.size()) < k) {
+    double sum = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double d;
+      Nearest(pts.Point(i), centroids, dims, &d);
+      d2[i] = d * weight(i);
+      sum += d2[i];
+    }
+    if (sum <= 0) {
+      // All mass on the centroids already; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double t = rng->Uniform() * sum;
+    size_t pick = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      t -= d2[i];
+      if (t <= 0) {
+        pick = i;
+        break;
+      }
+    }
+    centroids.emplace_back(pts.Point(pick), pts.Point(pick) + dims);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+double KMeansObjective(const WeightedPoints& points,
+                       const std::vector<std::vector<double>>& centroids) {
+  double obj = 0;
+  for (size_t i = 0; i < points.num_points(); ++i) {
+    double d;
+    Nearest(points.Point(i), centroids, points.dims, &d);
+    obj += d * (points.weights.empty() ? 1.0 : points.weights[i]);
+  }
+  return obj;
+}
+
+KMeansResult LloydKMeans(const WeightedPoints& pts,
+                         const KMeansOptions& options) {
+  KMeansResult result;
+  const size_t n = pts.num_points();
+  const int dims = pts.dims;
+  if (n == 0) return result;
+  const int k = std::min<int>(options.k, static_cast<int>(n));
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> centroids = Seed(pts, k, &rng);
+  auto weight = [&](size_t i) {
+    return pts.weights.empty() ? 1.0 : pts.weights[i];
+  };
+
+  std::vector<int> assign(n, -1);
+  int it = 0;
+  for (; it < options.max_iters; ++it) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      int c = Nearest(pts.Point(i), centroids, dims, nullptr);
+      if (c != assign[i]) {
+        assign[i] = c;
+        changed = true;
+      }
+    }
+    if (!changed && it > 0) break;
+    // Recompute weighted means.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dims, 0.0));
+    std::vector<double> mass(k, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      double w = weight(i);
+      mass[assign[i]] += w;
+      for (int d = 0; d < dims; ++d) {
+        sums[assign[i]][d] += w * pts.Point(i)[d];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (mass[c] <= 0) {
+        // Empty cluster: reseed at the point farthest from its centroid.
+        size_t far = rng.Below(n);
+        centroids[c].assign(pts.Point(far), pts.Point(far) + dims);
+        continue;
+      }
+      for (int d = 0; d < dims; ++d) centroids[c][d] = sums[c][d] / mass[c];
+    }
+  }
+  result.centroids = std::move(centroids);
+  result.iterations = it;
+  result.objective = KMeansObjective(pts, result.centroids);
+  return result;
+}
+
+KMeansResult LloydKMeans(const DataMatrix& data, const KMeansOptions& options) {
+  WeightedPoints pts;
+  pts.dims = data.num_cols();
+  if (data.num_rows() > 0) {
+    pts.coords.assign(data.Row(0), data.Row(0) + data.num_rows() * pts.dims);
+  }
+  return LloydKMeans(pts, options);
+}
+
+namespace {
+
+// Sparse payload mapping packed coreset keys (one byte per feature-bearing
+// relation, centroid id + 1) to counts; ring product ORs the disjoint
+// bytes. This is the counting pass that makes the coreset weights exact.
+// Backed by a hash map so that the per-tuple accumulation at the root
+// (whose distribution grows to the coreset size) stays O(1) per add.
+// Packed keys can never equal the map's ~0 sentinel: that would need eight
+// feature relations all assigned centroid id 254, which the per_relation_k
+// cap in RelationalKMeans rules out.
+struct AssignPayload {
+  FlatHashMap<double> entries;
+
+  bool empty() const { return entries.empty(); }
+
+  void AddInPlace(const AssignPayload& other) {
+    other.entries.ForEach([&](uint64_t key, double v) { entries[key] += v; });
+  }
+
+  void AddEntry(uint64_t key, double v) { entries[key] += v; }
+
+  template <typename Fn>
+  void ForEachKey(Fn&& fn) const {
+    entries.ForEach([&](uint64_t key, double v) { fn(key, v); });
+  }
+};
+
+void AssignMulInto(const AssignPayload& a, const AssignPayload& b,
+                   AssignPayload* dst) {
+  dst->entries.clear();
+  a.ForEachKey([&](uint64_t ka, double va) {
+    b.ForEachKey([&](uint64_t kb, double vb) {
+      dst->AddEntry(ka | kb, va * vb);  // disjoint byte slots
+    });
+  });
+}
+
+}  // namespace
+
+KMeansResult RelationalKMeans(const RootedTree& tree, const FeatureMap& fm,
+                              const KMeansOptions& options) {
+  const int num_nodes = tree.num_nodes();
+  const int dims = fm.num_features();
+  // Feature-bearing nodes get byte slots in the coreset key.
+  std::vector<int> slot_of_node(num_nodes, -1);
+  std::vector<int> nodes_with_features;
+  for (int v = 0; v < num_nodes; ++v) {
+    if (!fm.NodeFeatures(v).empty()) {
+      slot_of_node[v] = static_cast<int>(nodes_with_features.size());
+      nodes_with_features.push_back(v);
+    }
+  }
+  RELBORG_CHECK_MSG(nodes_with_features.size() <= 8,
+                    "coreset keys support at most 8 feature relations");
+  RELBORG_CHECK(options.per_relation_k >= 1 && options.per_relation_k <= 200);
+
+  // Join multiplicities weight the per-relation clustering problems.
+  std::vector<std::vector<double>> mult = ComputeRowMultiplicities(tree);
+
+  // Per-relation weighted k-means; record each row's centroid id.
+  std::vector<std::vector<std::vector<double>>> local_centroids(num_nodes);
+  std::vector<std::vector<int>> local_assign(num_nodes);
+  for (int v : nodes_with_features) {
+    const Relation& rel = tree.relation(v);
+    const auto& feats = fm.NodeFeatures(v);
+    WeightedPoints pts;
+    pts.dims = static_cast<int>(feats.size());
+    pts.coords.reserve(rel.num_rows() * feats.size());
+    pts.weights.reserve(rel.num_rows());
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      for (const auto& [attr, f] : feats) {
+        pts.coords.push_back(rel.Double(row, attr));
+      }
+      pts.weights.push_back(mult[v][row]);
+    }
+    KMeansOptions local = options;
+    local.k = options.per_relation_k;
+    KMeansResult r = LloydKMeans(pts, local);
+    local_centroids[v] = std::move(r.centroids);
+    local_assign[v].resize(rel.num_rows());
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      local_assign[v][row] =
+          Nearest(pts.Point(row), local_centroids[v], pts.dims, nullptr);
+    }
+  }
+
+  // Exact coreset weights: one factorized counting pass whose lift encodes
+  // each row's local centroid id in its relation's byte slot.
+  std::vector<FlatHashMap<AssignPayload>> views(num_nodes);
+  AssignPayload p, buf_a, buf_b;
+  for (int v : tree.postorder()) {
+    const Relation& rel = tree.relation(v);
+    const RootedNode& node = tree.node(v);
+    FlatHashMap<AssignPayload>& out = views[v];
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      p.entries.clear();
+      uint64_t key = 0;
+      if (slot_of_node[v] >= 0) {
+        key = static_cast<uint64_t>(local_assign[v][row] + 1)
+              << (8 * slot_of_node[v]);
+      }
+      p.AddEntry(key, 1.0);
+      AssignPayload* cur = &p;
+      AssignPayload* nxt = &buf_a;
+      bool dangling = false;
+      for (int c : node.children) {
+        const AssignPayload* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
+        if (cp == nullptr || cp->empty()) {
+          dangling = true;
+          break;
+        }
+        AssignMulInto(*cur, *cp, nxt);
+        cur = nxt;
+        nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
+      }
+      if (dangling) continue;
+      out[tree.RowKeyToParent(v, row)].AddInPlace(*cur);
+    }
+  }
+
+  // Decode the coreset: one weighted point per packed assignment key.
+  WeightedPoints coreset;
+  coreset.dims = dims;
+  const AssignPayload* root = views[tree.root()].Find(kUnitKey);
+  if (root != nullptr) {
+    root->ForEachKey([&](uint64_t key, double weight) {
+      std::vector<double> point(dims, 0.0);
+      for (int v : nodes_with_features) {
+        int byte = static_cast<int>((key >> (8 * slot_of_node[v])) & 0xFF);
+        RELBORG_CHECK(byte > 0);  // every tuple passes every relation
+        const std::vector<double>& c = local_centroids[v][byte - 1];
+        const auto& feats = fm.NodeFeatures(v);
+        for (size_t d = 0; d < feats.size(); ++d) {
+          point[feats[d].second] = c[d];
+        }
+      }
+      coreset.coords.insert(coreset.coords.end(), point.begin(), point.end());
+      coreset.weights.push_back(weight);
+    });
+  }
+
+  KMeansResult result = LloydKMeans(coreset, options);
+  result.coreset_size = coreset.num_points();
+  return result;
+}
+
+}  // namespace relborg

@@ -1,0 +1,90 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace relborg {
+
+bool CholeskySolve(const std::vector<double>& a, const std::vector<double>& b,
+                   int n, std::vector<double>* x) {
+  RELBORG_CHECK(static_cast<int>(a.size()) == n * n);
+  RELBORG_CHECK(static_cast<int>(b.size()) == n);
+  // Lower-triangular factor L with A = L L^T.
+  std::vector<double> l(n * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (int k = 0; k < j; ++k) sum -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (sum <= 0) return false;
+        l[i * n + i] = std::sqrt(sum);
+      } else {
+        l[i * n + j] = sum / l[j * n + j];
+      }
+    }
+  }
+  // Forward substitution: L y = b.
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (int k = 0; k < i; ++k) sum -= l[i * n + k] * y[k];
+    y[i] = sum / l[i * n + i];
+  }
+  // Back substitution: L^T x = y.
+  x->assign(n, 0.0);
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = y[i];
+    for (int k = i + 1; k < n; ++k) sum -= l[k * n + i] * (*x)[k];
+    (*x)[i] = sum / l[i * n + i];
+  }
+  return true;
+}
+
+void MatVec(const std::vector<double>& a, const std::vector<double>& v, int n,
+            std::vector<double>* out) {
+  out->assign(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0;
+    for (int j = 0; j < n; ++j) sum += a[i * n + j] * v[j];
+    (*out)[i] = sum;
+  }
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double PowerIteration(const std::vector<double>& a, int n,
+                      std::vector<double>* v, int iters, uint64_t seed) {
+  Rng rng(seed);
+  v->resize(n);
+  for (double& x : *v) x = rng.Gaussian();
+  std::vector<double> next;
+  double lambda = 0;
+  for (int it = 0; it < iters; ++it) {
+    MatVec(a, *v, n, &next);
+    double norm = std::sqrt(Dot(next, next));
+    if (norm < 1e-300) return 0.0;
+    for (double& x : next) x /= norm;
+    lambda = norm;
+    *v = next;
+  }
+  // Rayleigh quotient for a signed eigenvalue.
+  MatVec(a, *v, n, &next);
+  return Dot(*v, next);
+}
+
+void Deflate(std::vector<double>* a, int n, double lambda,
+             const std::vector<double>& v) {
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      (*a)[i * n + j] -= lambda * v[i] * v[j];
+    }
+  }
+}
+
+}  // namespace relborg

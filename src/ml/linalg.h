@@ -1,0 +1,36 @@
+// Small dense linear algebra used by the ML layer: symmetric solves
+// (Cholesky) for closed-form ridge regression and power iteration for PCA.
+// Matrices are row-major std::vector<double>.
+#ifndef RELBORG_ML_LINALG_H_
+#define RELBORG_ML_LINALG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace relborg {
+
+// Solves A x = b for symmetric positive-definite A (n x n, row-major) via
+// Cholesky decomposition. Returns false if A is not positive definite.
+// A and b are left unmodified; the solution is written to *x.
+bool CholeskySolve(const std::vector<double>& a, const std::vector<double>& b,
+                   int n, std::vector<double>* x);
+
+// Largest eigenvalue/eigenvector of symmetric A by power iteration.
+// Returns the eigenvalue; the (unit) eigenvector is written to *v.
+double PowerIteration(const std::vector<double>& a, int n,
+                      std::vector<double>* v, int iters = 300,
+                      uint64_t seed = 7);
+
+// b = A v (symmetric full storage).
+void MatVec(const std::vector<double>& a, const std::vector<double>& v, int n,
+            std::vector<double>* out);
+
+// Frobenius deflation: A -= lambda * v v^T.
+void Deflate(std::vector<double>* a, int n, double lambda,
+             const std::vector<double>& v);
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_LINALG_H_

@@ -1,0 +1,78 @@
+// Ridge linear regression over the covariance matrix (Sec. 2.1 / Fig. 3).
+//
+// Once the covariance batch is computed over the join, training never
+// touches the data again: the least-squares gradient is
+//
+//   grad_j = (1/c) * (SUM_i theta_i * M[i][j] - M[y][j]) + lambda * theta_j
+//
+// built from the matrix entries and the current parameters, so gradient
+// descent runs in O(p^2) per step (the paper's "50 milliseconds"). A
+// Cholesky closed form is provided for cross-checking, and models over any
+// feature *subset* can be trained from the same matrix (Sec. 1.5 — model
+// selection at no extra data cost).
+#ifndef RELBORG_ML_LINEAR_REGRESSION_H_
+#define RELBORG_ML_LINEAR_REGRESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/data_matrix.h"
+#include "ring/covariance.h"
+
+namespace relborg {
+
+struct LinearModel {
+  // weights[i] multiplies feature `feature_indices[i]`; bias is the
+  // intercept. Feature indices refer to the covariance matrix's feature
+  // numbering.
+  std::vector<int> feature_indices;
+  std::vector<double> weights;
+  double bias = 0;
+
+  // Prediction for a row whose columns follow the covariance matrix's
+  // feature numbering (as produced by MaterializeJoin over the same
+  // FeatureMap).
+  double Predict(const double* row) const;
+};
+
+struct RidgeOptions {
+  double lambda = 1e-3;      // L2 penalty (not applied to the bias)
+  int max_iters = 5000;
+  double tolerance = 1e-10;  // on the gradient norm
+  // Optional warm start: if non-empty, must match the feature count + 1
+  // (bias last). Used by the IVM layer to resume convergence after updates
+  // (Sec. 1.5, third scenario).
+  std::vector<double> warm_start;
+};
+
+struct TrainInfo {
+  int iterations = 0;
+  double final_gradient_norm = 0;
+};
+
+// Trains by gradient descent on the covariance matrix. `response` is the
+// feature index of the label; `feature_subset` lists the regressor feature
+// indices (empty = all features except the response).
+LinearModel TrainRidgeGd(const CovarMatrix& m, int response,
+                         const RidgeOptions& options = {},
+                         const std::vector<int>& feature_subset = {},
+                         TrainInfo* info = nullptr);
+
+// Closed-form ridge solution (A + lambda*c*I) theta = b via Cholesky.
+LinearModel SolveRidgeClosedForm(const CovarMatrix& m, int response,
+                                 double lambda = 1e-3,
+                                 const std::vector<int>& feature_subset = {});
+
+// Training mean-squared error straight from the covariance matrix (no data
+// pass): MSE = (theta^T A theta - 2 theta^T b + M[y][y]) / count.
+double MseFromCovar(const CovarMatrix& m, int response,
+                    const LinearModel& model);
+
+// Root-mean-squared error over an explicit data matrix whose columns follow
+// the covariance feature numbering; `response_col` is the label column.
+double Rmse(const LinearModel& model, const DataMatrix& data,
+            int response_col);
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_LINEAR_REGRESSION_H_

@@ -1,0 +1,52 @@
+#include "ml/model_selection.h"
+
+#include <algorithm>
+
+namespace relborg {
+
+ModelSelectionResult ForwardSelect(const CovarMatrix& m, int response,
+                                   const ModelSelectionOptions& options) {
+  ModelSelectionResult result;
+  const int n = m.num_features();
+  std::vector<int> selected;
+  std::vector<bool> used(n, false);
+  used[response] = true;
+
+  // Baseline MSE: predict the mean.
+  double c = m.count();
+  double prev_mse =
+      c > 0 ? m.Moment(response, response) / c -
+                  (m.Sum(response) / c) * (m.Sum(response) / c)
+            : 0.0;
+
+  const int limit = std::min(options.max_features, n - 1);
+  for (int step = 0; step < limit; ++step) {
+    int best_f = -1;
+    double best_mse = prev_mse;
+    LinearModel best_model;
+    for (int f = 0; f < n; ++f) {
+      if (used[f]) continue;
+      std::vector<int> candidate = selected;
+      candidate.push_back(f);
+      LinearModel model =
+          SolveRidgeClosedForm(m, response, options.lambda, candidate);
+      ++result.models_evaluated;
+      double mse = MseFromCovar(m, response, model);
+      if (mse < best_mse) {
+        best_mse = mse;
+        best_f = f;
+        best_model = std::move(model);
+      }
+    }
+    if (best_f < 0) break;
+    double gain = prev_mse > 0 ? (prev_mse - best_mse) / prev_mse : 0;
+    if (gain < options.min_mse_gain && step > 0) break;
+    used[best_f] = true;
+    selected.push_back(best_f);
+    prev_mse = best_mse;
+    result.steps.push_back({best_f, best_mse, std::move(best_model)});
+  }
+  return result;
+}
+
+}  // namespace relborg

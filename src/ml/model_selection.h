@@ -1,0 +1,43 @@
+// Model selection over feature subsets (Sec. 1.5 of the paper).
+//
+// Once the covariance matrix is computed over the join, a ridge model over
+// ANY subset of the features trains in O(p^3) — microseconds to
+// milliseconds — so exploring the model space (forward selection here)
+// costs no further data passes. The structure-agnostic alternative rescans
+// the data matrix per candidate model; the Sec. 1.5 benchmark measures that
+// gap.
+#ifndef RELBORG_ML_MODEL_SELECTION_H_
+#define RELBORG_ML_MODEL_SELECTION_H_
+
+#include <vector>
+
+#include "ml/linear_regression.h"
+#include "ring/covariance.h"
+
+namespace relborg {
+
+struct ModelSelectionOptions {
+  double lambda = 1e-3;
+  int max_features = 8;      // stop after this many selected features
+  double min_mse_gain = 1e-6;  // relative improvement to keep going
+};
+
+struct SelectionStep {
+  int added_feature = -1;
+  double mse = 0;            // training MSE from the covariance matrix
+  LinearModel model;
+};
+
+struct ModelSelectionResult {
+  std::vector<SelectionStep> steps;  // one per accepted feature
+  size_t models_evaluated = 0;       // candidate models scored
+};
+
+// Greedy forward selection of regressors for `response` using only the
+// covariance matrix.
+ModelSelectionResult ForwardSelect(const CovarMatrix& m, int response,
+                                   const ModelSelectionOptions& options = {});
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_MODEL_SELECTION_H_

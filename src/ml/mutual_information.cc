@@ -1,0 +1,109 @@
+#include "ml/mutual_information.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "core/groupby_engine.h"
+#include "util/check.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+namespace {
+
+double Entropy(const FlatHashMap<double>& counts, double total) {
+  double h = 0;
+  counts.ForEach([&](uint64_t, double c) {
+    if (c > 0) {
+      double p = c / total;
+      h -= p * std::log(p);
+    }
+  });
+  return h;
+}
+
+}  // namespace
+
+MutualInformationResult ComputeMutualInformation(
+    const RootedTree& tree, const std::vector<FeatureRef>& attrs) {
+  MutualInformationResult result;
+  result.attrs = attrs;
+  const int m = static_cast<int>(attrs.size());
+  result.mi.assign(m * m, 0.0);
+  const JoinQuery& query = tree.query();
+
+  // The whole workload — m marginal counts and m(m-1)/2 pair counts — is
+  // one aggregate batch, evaluated in a single shared factorized pass.
+  std::vector<GroupByAggregate> batch;
+  for (int i = 0; i < m; ++i) {
+    batch.push_back(CountGroupedBy(query, attrs[i].relation, attrs[i].attr));
+  }
+  std::vector<std::pair<int, int>> pair_of;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      batch.push_back(CountGroupedByPair(query, attrs[i].relation,
+                                         attrs[i].attr, attrs[j].relation,
+                                         attrs[j].attr));
+      pair_of.push_back({i, j});
+    }
+  }
+  std::vector<GroupByResult> evaluated = ComputeGroupByBatch(tree, batch);
+  result.aggregates = batch.size();
+
+  // Marginal entropies.
+  double total = 0;
+  for (int i = 0; i < m; ++i) {
+    double t = 0;
+    evaluated[i].ForEach([&](uint64_t, double c) { t += c; });
+    total = t;  // identical for every attribute (same join)
+    result.mi[i * m + i] = t > 0 ? Entropy(evaluated[i], t) : 0.0;
+  }
+  if (total <= 0) return result;
+
+  // Pairwise joint counts -> MI(i,j) = H(i) + H(j) - H(i,j).
+  for (size_t p = 0; p < pair_of.size(); ++p) {
+    auto [i, j] = pair_of[p];
+    double h_joint = Entropy(evaluated[m + p], total);
+    double mi = result.mi[i * m + i] + result.mi[j * m + j] - h_joint;
+    if (mi < 0) mi = 0;  // clamp FP noise
+    result.mi[i * m + j] = mi;
+    result.mi[j * m + i] = mi;
+  }
+  return result;
+}
+
+std::vector<ChowLiuEdge> BuildChowLiuTree(const MutualInformationResult& mi) {
+  const int m = static_cast<int>(mi.attrs.size());
+  std::vector<ChowLiuEdge> edges;
+  for (int i = 0; i < m; ++i) {
+    for (int j = i + 1; j < m; ++j) {
+      edges.push_back({i, j, mi.At(i, j)});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const ChowLiuEdge& a, const ChowLiuEdge& b) {
+              return a.mi > b.mi;
+            });
+  // Kruskal with union-find.
+  std::vector<int> parent(m);
+  for (int i = 0; i < m; ++i) parent[i] = i;
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  std::vector<ChowLiuEdge> tree;
+  for (const ChowLiuEdge& e : edges) {
+    int ra = find(e.a);
+    int rb = find(e.b);
+    if (ra == rb) continue;
+    parent[ra] = rb;
+    tree.push_back(e);
+    if (static_cast<int>(tree.size()) == m - 1) break;
+  }
+  return tree;
+}
+
+}  // namespace relborg

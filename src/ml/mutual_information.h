@@ -1,0 +1,47 @@
+// Mutual information between categorical attributes over the join, and
+// Chow-Liu trees built from it (Fig. 5's "Mutual inf." workload: model
+// selection and tree-structured graphical models).
+//
+// All pairwise distributions are group-by count aggregates (the sparse-
+// tensor encoding), evaluated factorized — the join is never materialized.
+#ifndef RELBORG_ML_MUTUAL_INFORMATION_H_
+#define RELBORG_ML_MUTUAL_INFORMATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/feature_map.h"
+#include "query/join_tree.h"
+
+namespace relborg {
+
+struct MutualInformationResult {
+  std::vector<FeatureRef> attrs;
+  // Row-major symmetric matrix of pairwise mutual information (nats);
+  // diagonal holds each attribute's entropy.
+  std::vector<double> mi;
+  // Number of group-by aggregates evaluated (for the Fig. 5 table).
+  size_t aggregates = 0;
+
+  double At(int i, int j) const {
+    return mi[i * static_cast<int>(attrs.size()) + j];
+  }
+};
+
+// Computes all pairwise MI between the given categorical attributes.
+MutualInformationResult ComputeMutualInformation(
+    const RootedTree& tree, const std::vector<FeatureRef>& attrs);
+
+// An edge of the Chow-Liu tree: indices into the MI result's attr list.
+struct ChowLiuEdge {
+  int a = -1;
+  int b = -1;
+  double mi = 0;
+};
+
+// Maximum-spanning-tree (Kruskal) over MI weights: the Chow-Liu structure.
+std::vector<ChowLiuEdge> BuildChowLiuTree(const MutualInformationResult& mi);
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_MUTUAL_INFORMATION_H_

@@ -1,0 +1,105 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/groupby_engine.h"
+#include "util/check.h"
+
+namespace relborg {
+
+NaiveBayesModel NaiveBayesModel::Train(const RootedTree& tree,
+                                       const FeatureRef& response,
+                                       const std::vector<FeatureRef>& attrs,
+                                       const NaiveBayesOptions& options) {
+  NaiveBayesModel model;
+  model.smoothing_ = options.smoothing;
+  const JoinQuery& query = tree.query();
+
+  // Class counts: SUM(1) GROUP BY class.
+  GroupByResult class_counts = ComputeGroupBy(
+      tree, CountGroupedBy(query, response.relation, response.attr));
+  ++model.aggregates_;
+  double total = 0;
+  class_counts.ForEach([&](uint64_t key, double c) {
+    model.classes_.push_back(UnpackHigh(key));
+    total += c;
+  });
+  std::sort(model.classes_.begin(), model.classes_.end());
+  std::vector<double> class_count(model.classes_.size(), 0.0);
+  class_counts.ForEach([&](uint64_t key, double c) {
+    class_count[model.ClassIndex(UnpackHigh(key))] = c;
+  });
+  model.log_prior_.resize(model.classes_.size());
+  for (size_t k = 0; k < model.classes_.size(); ++k) {
+    model.log_prior_[k] = std::log(
+        (class_count[k] + options.smoothing) /
+        (total + options.smoothing * model.classes_.size()));
+  }
+
+  // Per predictor: SUM(1) GROUP BY class, attr — one factorized pass each.
+  model.log_cond_.resize(attrs.size());
+  model.log_default_.resize(attrs.size());
+  for (size_t a = 0; a < attrs.size(); ++a) {
+    GroupByResult joint = ComputeGroupBy(
+        tree, CountGroupedByPair(query, response.relation, response.attr,
+                                 attrs[a].relation, attrs[a].attr));
+    ++model.aggregates_;
+    // Active-domain size of the attribute (for smoothing).
+    const Relation* rel = query.relation(query.IndexOf(attrs[a].relation));
+    int attr = rel->schema().MustIndexOf(attrs[a].attr);
+    double domain = std::max<int32_t>(1, rel->DomainSize(attr));
+    model.log_default_[a].resize(model.classes_.size());
+    for (size_t k = 0; k < model.classes_.size(); ++k) {
+      model.log_default_[a][k] = std::log(
+          options.smoothing /
+          (class_count[k] + options.smoothing * domain));
+    }
+    joint.ForEach([&](uint64_t key, double c) {
+      int32_t cls = UnpackHigh(key);
+      int32_t value = UnpackLow(key);
+      int k = model.ClassIndex(cls);
+      model.log_cond_[a][PackKey2(static_cast<int32_t>(k), value)] = std::log(
+          (c + options.smoothing) /
+          (class_count[k] + options.smoothing * domain));
+    });
+  }
+  return model;
+}
+
+int NaiveBayesModel::ClassIndex(int32_t cls) const {
+  for (size_t k = 0; k < classes_.size(); ++k) {
+    if (classes_[k] == cls) return static_cast<int>(k);
+  }
+  RELBORG_CHECK_MSG(false, "unknown class");
+  return -1;
+}
+
+double NaiveBayesModel::LogScore(int32_t cls,
+                                 const std::vector<int32_t>& codes) const {
+  int k = ClassIndex(cls);
+  double score = log_prior_[k];
+  for (size_t a = 0; a < codes.size(); ++a) {
+    const double* p =
+        log_cond_[a].Find(PackKey2(static_cast<int32_t>(k), codes[a]));
+    score += p != nullptr ? *p : log_default_[a][k];
+  }
+  return score;
+}
+
+int32_t NaiveBayesModel::Predict(const std::vector<int32_t>& codes) const {
+  RELBORG_CHECK(!classes_.empty());
+  RELBORG_CHECK(codes.size() == log_cond_.size());
+  int32_t best = classes_[0];
+  double best_score = -1e300;
+  for (int32_t cls : classes_) {
+    double score = LogScore(cls, codes);
+    if (score > best_score) {
+      best_score = score;
+      best = cls;
+    }
+  }
+  return best;
+}
+
+}  // namespace relborg

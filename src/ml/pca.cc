@@ -1,0 +1,44 @@
+#include "ml/pca.h"
+
+#include <cmath>
+
+#include "ml/linalg.h"
+#include "util/check.h"
+
+namespace relborg {
+
+PcaResult ComputePca(const CovarMatrix& m, int k,
+                     const std::vector<int>& feature_subset) {
+  std::vector<int> subset = feature_subset;
+  if (subset.empty()) {
+    for (int f = 0; f < m.num_features(); ++f) subset.push_back(f);
+  }
+  const int p = static_cast<int>(subset.size());
+  RELBORG_CHECK(k >= 1);
+  k = std::min(k, p);
+
+  std::vector<double> cov(p * p);
+  PcaResult result;
+  for (int a = 0; a < p; ++a) {
+    for (int b = 0; b < p; ++b) {
+      cov[a * p + b] = m.Covariance(subset[a], subset[b]);
+    }
+    result.total_variance += cov[a * p + a];
+  }
+
+  double cumulative = 0;
+  for (int c = 0; c < k; ++c) {
+    std::vector<double> v;
+    double lambda = PowerIteration(cov, p, &v, 500, /*seed=*/17 + c);
+    if (lambda <= 1e-12) break;
+    result.components.push_back(v);
+    result.eigenvalues.push_back(lambda);
+    cumulative += lambda;
+    result.explained_ratio.push_back(
+        result.total_variance > 0 ? cumulative / result.total_variance : 1.0);
+    Deflate(&cov, p, lambda, v);
+  }
+  return result;
+}
+
+}  // namespace relborg

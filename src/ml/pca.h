@@ -1,0 +1,30 @@
+// Principal component analysis over the covariance matrix (Sec. 1 lists PCA
+// among the models trainable from the same sufficient statistics). Top-k
+// components by power iteration with deflation — the data is never
+// revisited after the one factorized covariance pass.
+#ifndef RELBORG_ML_PCA_H_
+#define RELBORG_ML_PCA_H_
+
+#include <vector>
+
+#include "ring/covariance.h"
+
+namespace relborg {
+
+struct PcaResult {
+  // components[c] is a unit vector over the selected features.
+  std::vector<std::vector<double>> components;
+  std::vector<double> eigenvalues;       // descending
+  double total_variance = 0;             // trace of the covariance
+  // Fraction of variance explained by the first i+1 components.
+  std::vector<double> explained_ratio;
+};
+
+// Computes the top `k` principal components of the centered covariance of
+// `feature_subset` (empty = all features of the matrix).
+PcaResult ComputePca(const CovarMatrix& m, int k,
+                     const std::vector<int>& feature_subset = {});
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_PCA_H_

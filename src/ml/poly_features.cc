@@ -1,0 +1,73 @@
+#include "ml/poly_features.h"
+
+#include "util/check.h"
+
+namespace relborg {
+
+int AddProductColumn(Relation* rel, const std::string& a,
+                     const std::string& b) {
+  const Schema& schema = rel->schema();
+  int ia = schema.MustIndexOf(a);
+  int ib = schema.MustIndexOf(b);
+  RELBORG_CHECK(schema.attr(ia).type == AttrType::kDouble &&
+                schema.attr(ib).type == AttrType::kDouble);
+  std::string name = a + "*" + b;
+  RELBORG_CHECK_MSG(!schema.HasAttribute(name), "product column exists");
+  // Relation columns are fixed at construction; rebuild in place with the
+  // extra column. Relations are columnar, so this copies column headers
+  // and appends one computed column.
+  Schema extended = schema;
+  extended.AddAttribute(name, AttrType::kDouble);
+  Relation rebuilt(rel->name(), extended);
+  rebuilt.Reserve(rel->num_rows());
+  std::vector<double> row(extended.num_attrs());
+  for (size_t r = 0; r < rel->num_rows(); ++r) {
+    for (int attr = 0; attr < schema.num_attrs(); ++attr) {
+      row[attr] = rel->AsDouble(r, attr);
+    }
+    row[schema.num_attrs()] = rel->Double(r, ia) * rel->Double(r, ib);
+    rebuilt.AppendRow(row);
+  }
+  *rel = std::move(rebuilt);
+  return extended.num_attrs() - 1;
+}
+
+std::vector<FeatureRef> ExpandPolynomialFeatures(
+    Catalog* catalog, const std::vector<FeatureRef>& features,
+    const PolyExpansionOptions& options) {
+  RELBORG_CHECK(!features.empty());
+  const FeatureRef response = features.back();
+  std::vector<FeatureRef> expanded(features.begin(), features.end() - 1);
+
+  // Group regressors by relation.
+  std::vector<std::pair<std::string, std::vector<std::string>>> by_relation;
+  for (size_t f = 0; f + 1 < features.size(); ++f) {
+    bool found = false;
+    for (auto& [rel, attrs] : by_relation) {
+      if (rel == features[f].relation) {
+        attrs.push_back(features[f].attr);
+        found = true;
+      }
+    }
+    if (!found) by_relation.push_back({features[f].relation,
+                                       {features[f].attr}});
+  }
+
+  for (const auto& [rel_name, attrs] : by_relation) {
+    Relation* rel = catalog->Get(rel_name);
+    for (size_t a = 0; a < attrs.size(); ++a) {
+      size_t b_start = options.squares ? a : a + 1;
+      size_t b_end = options.within_relation_pairs ? attrs.size() : a + 1;
+      for (size_t b = b_start; b < b_end; ++b) {
+        if (a == b && !options.squares) continue;
+        if (a != b && !options.within_relation_pairs) continue;
+        AddProductColumn(rel, attrs[a], attrs[b]);
+        expanded.push_back({rel_name, attrs[a] + "*" + attrs[b]});
+      }
+    }
+  }
+  expanded.push_back(response);
+  return expanded;
+}
+
+}  // namespace relborg

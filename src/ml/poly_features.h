@@ -1,0 +1,44 @@
+// Polynomial feature expansion for degree-2 models (Sec. 2.1 mentions
+// polynomial regression and factorisation machines among the models whose
+// aggregates derive like the covariance batch).
+//
+// Within-relation product columns x_i * x_j are appended to the owning
+// relation; a model that is LINEAR in the expanded features is then exactly
+// trainable from the (expanded) covariance matrix — same engine, no new
+// aggregates. Cross-relation interaction *parameters* would need the
+// higher-order sparse tensors of Abo Khamis et al. (PODS'18) and are out of
+// scope; the expansion covers within-relation quadratic structure, which is
+// where the join's redundancy lives anyway (a dimension row's x_i * x_j is
+// repeated once per joining fact).
+#ifndef RELBORG_ML_POLY_FEATURES_H_
+#define RELBORG_ML_POLY_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/feature_map.h"
+#include "relational/catalog.h"
+
+namespace relborg {
+
+// Appends the column a*b (named "a*b") to `rel`; returns its attribute
+// index. a == b gives the square column.
+int AddProductColumn(Relation* rel, const std::string& a,
+                     const std::string& b);
+
+struct PolyExpansionOptions {
+  bool squares = true;                   // add x_i^2 per feature
+  bool within_relation_pairs = true;     // add x_i * x_j, same relation
+};
+
+// Expands the given (continuous) features with derived product columns in
+// their owning relations and returns the full expanded feature list
+// (originals first, derived after, response untouched and NOT expanded).
+// The response must be the last entry of `features`.
+std::vector<FeatureRef> ExpandPolynomialFeatures(
+    Catalog* catalog, const std::vector<FeatureRef>& features,
+    const PolyExpansionOptions& options = {});
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_POLY_FEATURES_H_

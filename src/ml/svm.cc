@@ -1,0 +1,172 @@
+#include "ml/svm.h"
+
+#include <cmath>
+
+#include "inequality/inequality_join.h"
+#include "util/check.h"
+#include "util/flat_hash_map.h"
+#include "util/packed_key.h"
+
+namespace relborg {
+namespace {
+
+// R rows of one class, projected to (key, features...), with the original
+// feature columns reused as both score and measure attributes.
+Relation ProjectClass(const SvmProblem& p, int32_t label_code) {
+  Schema schema({{"key", AttrType::kCategorical}});
+  for (size_t d = 0; d < p.r_feature_attrs.size(); ++d) {
+    schema.AddAttribute("f" + std::to_string(d), AttrType::kDouble);
+  }
+  Relation out("class", schema);
+  std::vector<double> row(1 + p.r_feature_attrs.size());
+  for (size_t r = 0; r < p.r->num_rows(); ++r) {
+    if (p.r->Cat(r, p.label_attr) != label_code) continue;
+    row[0] = static_cast<double>(p.r->Cat(r, p.r_key_attr));
+    for (size_t d = 0; d < p.r_feature_attrs.size(); ++d) {
+      row[1 + d] = p.r->Double(r, p.r_feature_attrs[d]);
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+double SvmModel::Score(const std::vector<double>& r_feats,
+                       const std::vector<double>& s_feats) const {
+  double score = bias;
+  for (size_t d = 0; d < r_weights.size(); ++d) {
+    score += r_weights[d] * r_feats[d];
+  }
+  for (size_t d = 0; d < s_weights.size(); ++d) {
+    score += s_weights[d] * s_feats[d];
+  }
+  return score;
+}
+
+SvmModel TrainSvmOverJoin(const SvmProblem& problem, const SvmOptions& options,
+                          SvmTrainStats* stats) {
+  RELBORG_CHECK(problem.r != nullptr && problem.s != nullptr);
+  const size_t dr = problem.r_feature_attrs.size();
+  const size_t ds = problem.s_feature_attrs.size();
+
+  // Per-class projections of R; S is shared.
+  Relation pos = ProjectClass(problem, 1);
+  Relation neg = ProjectClass(problem, 0);
+
+  // Join size N (normalization of the loss): per-key S counts.
+  FlatHashMap<double> s_count;
+  for (size_t row = 0; row < problem.s->num_rows(); ++row) {
+    s_count[PackKey1(problem.s->Cat(row, problem.s_key_attr))] += 1;
+  }
+  double join_size = 0;
+  for (const Relation* cls : {&pos, &neg}) {
+    for (size_t row = 0; row < cls->num_rows(); ++row) {
+      const double* c = s_count.Find(PackKey1(cls->Cat(row, 0)));
+      if (c != nullptr) join_size += *c;
+    }
+  }
+  if (stats != nullptr) stats->join_size = join_size;
+
+  SvmModel model;
+  model.r_weights.assign(dr, 0.0);
+  model.s_weights.assign(ds, 0.0);
+  if (join_size == 0) return model;
+
+  std::vector<int> class_feature_attrs(dr);
+  for (size_t d = 0; d < dr; ++d) class_feature_attrs[d] = 1 + static_cast<int>(d);
+
+  size_t batches = 0;
+  InequalityBatchResult last_pos, last_neg;
+  for (int t = 0; t < options.iterations; ++t) {
+    // Violators of class y: y*(w.x + b) < 1.
+    //   +1:  -w.x > b - 1      -1:  w.x > -1 - b
+    auto batch_for = [&](const Relation& cls, double sign) {
+      InequalityBatchSpec spec;
+      spec.r_key_attr = 0;
+      spec.s_key_attr = problem.s_key_attr;
+      spec.r_score_attrs = class_feature_attrs;
+      spec.s_score_attrs = problem.s_feature_attrs;
+      spec.r_score_weights.resize(dr);
+      spec.s_score_weights.resize(ds);
+      for (size_t d = 0; d < dr; ++d) {
+        spec.r_score_weights[d] = -sign * model.r_weights[d];
+      }
+      for (size_t d = 0; d < ds; ++d) {
+        spec.s_score_weights[d] = -sign * model.s_weights[d];
+      }
+      spec.threshold = sign * model.bias - 1.0;
+      spec.r_measure_attrs = class_feature_attrs;
+      spec.s_measure_attrs = problem.s_feature_attrs;
+      ++batches;
+      return InequalityAggregateBatchSorted(cls, *problem.s, spec);
+    };
+    InequalityBatchResult vp = batch_for(pos, +1.0);
+    InequalityBatchResult vn = batch_for(neg, -1.0);
+    last_pos = vp;
+    last_neg = vn;
+
+    // Subgradient: lambda*w - (1/N) * sum_{violators} y * x.
+    double lr = options.learning_rate / (1.0 + options.lambda * t);
+    for (size_t d = 0; d < dr; ++d) {
+      double g = options.lambda * model.r_weights[d] -
+                 (vp.r_sums[d] - vn.r_sums[d]) / join_size;
+      model.r_weights[d] -= lr * g;
+    }
+    for (size_t d = 0; d < ds; ++d) {
+      double g = options.lambda * model.s_weights[d] -
+                 (vp.s_sums[d] - vn.s_sums[d]) / join_size;
+      model.s_weights[d] -= lr * g;
+    }
+    model.bias += lr * (vp.count - vn.count) / join_size;
+  }
+
+  if (stats != nullptr) {
+    stats->aggregate_batches = batches;
+    // Average hinge loss from the final violator aggregates:
+    // sum over +1 violators of (1 - w.x - b) and over -1 of (1 + w.x + b).
+    double loss = last_pos.count * (1.0 - model.bias) +
+                  last_neg.count * (1.0 + model.bias);
+    for (size_t d = 0; d < dr; ++d) {
+      loss -= model.r_weights[d] * last_pos.r_sums[d];
+      loss += model.r_weights[d] * last_neg.r_sums[d];
+    }
+    for (size_t d = 0; d < ds; ++d) {
+      loss -= model.s_weights[d] * last_pos.s_sums[d];
+      loss += model.s_weights[d] * last_neg.s_sums[d];
+    }
+    stats->final_hinge_loss = loss / join_size;
+  }
+  return model;
+}
+
+double SvmJoinAccuracy(const SvmProblem& problem, const SvmModel& model) {
+  FlatHashMap<std::vector<uint32_t>> index;
+  for (size_t row = 0; row < problem.s->num_rows(); ++row) {
+    index[PackKey1(problem.s->Cat(row, problem.s_key_attr))].push_back(
+        static_cast<uint32_t>(row));
+  }
+  double correct = 0;
+  double total = 0;
+  std::vector<double> rf(problem.r_feature_attrs.size());
+  std::vector<double> sf(problem.s_feature_attrs.size());
+  for (size_t rrow = 0; rrow < problem.r->num_rows(); ++rrow) {
+    const std::vector<uint32_t>* matches =
+        index.Find(PackKey1(problem.r->Cat(rrow, problem.r_key_attr)));
+    if (matches == nullptr) continue;
+    double y = problem.r->Cat(rrow, problem.label_attr) == 1 ? 1.0 : -1.0;
+    for (size_t d = 0; d < rf.size(); ++d) {
+      rf[d] = problem.r->Double(rrow, problem.r_feature_attrs[d]);
+    }
+    for (uint32_t srow : *matches) {
+      for (size_t d = 0; d < sf.size(); ++d) {
+        sf[d] = problem.s->Double(srow, problem.s_feature_attrs[d]);
+      }
+      total += 1;
+      if (model.Score(rf, sf) * y > 0) correct += 1;
+    }
+  }
+  return total == 0 ? 0 : correct / total;
+}
+
+}  // namespace relborg

@@ -1,0 +1,64 @@
+// Linear support vector machines over a two-relation join, trained with
+// additive-inequality aggregates (Sec. 2.3 of the paper).
+//
+// The hinge-loss subgradient needs, per step, the count of margin
+// violators and SUM(x_d) over violators for every feature dimension d —
+// all under the condition  y * (w . x + b) < 1, an additive inequality
+// whose two sides live in different relations. relborg evaluates the whole
+// per-class batch with ONE sorted pass (InequalityAggregateBatchSorted),
+// never enumerating the join; a Pegasos-style subgradient descent runs on
+// top.
+#ifndef RELBORG_ML_SVM_H_
+#define RELBORG_ML_SVM_H_
+
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace relborg {
+
+struct SvmOptions {
+  double lambda = 1e-3;   // L2 regularization
+  int iterations = 200;
+  double learning_rate = 0.5;  // base step; decays as lr / (1 + lambda*t)
+};
+
+// The join: R(key, r_features..., label) |X|_key S(key, s_features...).
+// The label attribute is categorical with codes {0, 1} (mapped to -1/+1).
+struct SvmProblem {
+  const Relation* r = nullptr;
+  const Relation* s = nullptr;
+  int r_key_attr = 0;
+  int s_key_attr = 0;
+  std::vector<int> r_feature_attrs;
+  std::vector<int> s_feature_attrs;
+  int label_attr = 0;  // in R
+};
+
+struct SvmModel {
+  std::vector<double> r_weights;  // aligned with r_feature_attrs
+  std::vector<double> s_weights;  // aligned with s_feature_attrs
+  double bias = 0;
+
+  double Score(const std::vector<double>& r_feats,
+               const std::vector<double>& s_feats) const;
+};
+
+struct SvmTrainStats {
+  size_t aggregate_batches = 0;   // sorted passes performed
+  double final_hinge_loss = 0;    // average hinge loss over the join
+  double join_size = 0;
+};
+
+// Trains the SVM with subgradient descent over inequality aggregates.
+SvmModel TrainSvmOverJoin(const SvmProblem& problem,
+                          const SvmOptions& options = {},
+                          SvmTrainStats* stats = nullptr);
+
+// Fraction of correctly classified join tuples (enumerates the join; for
+// evaluation/tests only).
+double SvmJoinAccuracy(const SvmProblem& problem, const SvmModel& model);
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_SVM_H_

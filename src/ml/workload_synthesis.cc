@@ -1,0 +1,76 @@
+#include "ml/workload_synthesis.h"
+
+namespace relborg {
+namespace {
+
+std::string Xi(int i) { return "x" + std::to_string(i); }
+std::string Ci(int i) { return "c" + std::to_string(i); }
+
+}  // namespace
+
+std::vector<AggregateDescriptor> SynthesizeCovarBatch(int num_continuous,
+                                                      int num_categorical) {
+  std::vector<AggregateDescriptor> batch;
+  batch.push_back("SUM(1)");
+  for (int i = 0; i < num_continuous; ++i) {
+    batch.push_back("SUM(" + Xi(i) + ")");
+    for (int j = i; j < num_continuous; ++j) {
+      batch.push_back("SUM(" + Xi(i) + "*" + Xi(j) + ")");
+    }
+  }
+  // Sparse-tensor encodings of categorical interactions (Sec. 2.1).
+  for (int a = 0; a < num_categorical; ++a) {
+    batch.push_back("SUM(1) GROUP BY " + Ci(a));
+    for (int i = 0; i < num_continuous; ++i) {
+      batch.push_back("SUM(" + Xi(i) + ") GROUP BY " + Ci(a));
+    }
+    for (int b = a + 1; b < num_categorical; ++b) {
+      batch.push_back("SUM(1) GROUP BY " + Ci(a) + "," + Ci(b));
+    }
+  }
+  return batch;
+}
+
+std::vector<AggregateDescriptor> SynthesizeDecisionNodeBatch(
+    const JoinQuery& query, const std::vector<TreeFeature>& features,
+    const DecisionTreeOptions& options) {
+  std::vector<SplitCandidate> candidates =
+      BuildSplitCandidates(query, features, options, nullptr);
+  std::vector<AggregateDescriptor> batch;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    std::string cond = " WHERE cand" + std::to_string(i);
+    batch.push_back("COUNT(*)" + cond);
+    batch.push_back("SUM(y)" + cond);
+    batch.push_back("SUM(y*y)" + cond);
+  }
+  return batch;
+}
+
+std::vector<AggregateDescriptor> SynthesizeMutualInfoBatch(
+    int num_categorical) {
+  std::vector<AggregateDescriptor> batch;
+  for (int a = 0; a < num_categorical; ++a) {
+    batch.push_back("SUM(1) GROUP BY " + Ci(a));
+    for (int b = a + 1; b < num_categorical; ++b) {
+      batch.push_back("SUM(1) GROUP BY " + Ci(a) + "," + Ci(b));
+    }
+  }
+  return batch;
+}
+
+std::vector<AggregateDescriptor> SynthesizeKMeansBatch(
+    int num_dimensions, int num_feature_relations) {
+  std::vector<AggregateDescriptor> batch;
+  batch.push_back("SUM(1)");  // total mass
+  for (int d = 0; d < num_dimensions; ++d) {
+    batch.push_back("SUM(" + Xi(d) + ")");
+    batch.push_back("SUM(" + Xi(d) + "*" + Xi(d) + ")");
+  }
+  for (int r = 0; r < num_feature_relations; ++r) {
+    batch.push_back("SUM(1) GROUP BY assign_r" + std::to_string(r));
+  }
+  batch.push_back("SUM(1) GROUP BY coreset_cell");
+  return batch;
+}
+
+}  // namespace relborg

@@ -1,0 +1,49 @@
+// Synthesis of the aggregate batches behind each workload of Fig. 5.
+//
+// Fig. 5 of the paper reports the NUMBER of aggregates each workload
+// expands to (covariance matrix, one decision-tree node, mutual
+// information, k-means). These functions synthesize the concrete aggregate
+// descriptors for a dataset's feature configuration — the counts are the
+// sizes of real batch specs, not closed formulas. Absolute numbers depend
+// on each dataset's feature mix (the paper's datasets have many more
+// categorical attributes than our scaled generators), but the ordering
+// decision-node > covariance >> {MI, k-means} is preserved.
+#ifndef RELBORG_ML_WORKLOAD_SYNTHESIS_H_
+#define RELBORG_ML_WORKLOAD_SYNTHESIS_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "query/join_tree.h"
+
+namespace relborg {
+
+// One synthesized aggregate, as a human-readable SQL-ish descriptor (used
+// by tests and by the Fig. 5 harness to show what is being counted).
+using AggregateDescriptor = std::string;
+
+// Covariance batch: SUM(1), SUM(xi), SUM(xi*xj) over continuous features
+// plus the sparse-tensor group-by aggregates for categorical features
+// (counts per category, per category pair, and SUM(xi) GROUP BY cat).
+std::vector<AggregateDescriptor> SynthesizeCovarBatch(
+    int num_continuous, int num_categorical);
+
+// Decision-tree node batch: (COUNT, SUM(y), SUM(y^2)) per candidate split.
+std::vector<AggregateDescriptor> SynthesizeDecisionNodeBatch(
+    const JoinQuery& query, const std::vector<TreeFeature>& features,
+    const DecisionTreeOptions& options);
+
+// Mutual-information batch: one marginal count per attribute plus one pair
+// count per attribute pair.
+std::vector<AggregateDescriptor> SynthesizeMutualInfoBatch(
+    int num_categorical);
+
+// k-means (Rk-means) batch: per-dimension SUM and SUM^2 (grid statistics),
+// the per-relation assignment counts, and the coreset weight aggregate.
+std::vector<AggregateDescriptor> SynthesizeKMeansBatch(
+    int num_dimensions, int num_feature_relations);
+
+}  // namespace relborg
+
+#endif  // RELBORG_ML_WORKLOAD_SYNTHESIS_H_

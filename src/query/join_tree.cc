@@ -1,0 +1,119 @@
+#include "query/join_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace relborg {
+
+int JoinQuery::AddRelation(const Relation* rel) {
+  RELBORG_CHECK(rel != nullptr);
+  relations_.push_back(rel);
+  return num_relations() - 1;
+}
+
+int JoinQuery::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_relations(); ++i) {
+    if (relations_[i]->name() == name) return i;
+  }
+  RELBORG_CHECK_MSG(false, name.c_str());
+  return -1;
+}
+
+void JoinQuery::AddJoin(const std::string& rel_a, const std::string& rel_b,
+                        const std::vector<std::string>& key_attrs) {
+  RELBORG_CHECK_MSG(key_attrs.size() >= 1 && key_attrs.size() <= 2,
+                    "join keys must have 1 or 2 attributes");
+  JoinEdge e;
+  e.a = IndexOf(rel_a);
+  e.b = IndexOf(rel_b);
+  for (const std::string& k : key_attrs) {
+    int ia = relations_[e.a]->schema().MustIndexOf(k);
+    int ib = relations_[e.b]->schema().MustIndexOf(k);
+    RELBORG_CHECK_MSG(
+        relations_[e.a]->schema().attr(ia).type == AttrType::kCategorical &&
+            relations_[e.b]->schema().attr(ib).type == AttrType::kCategorical,
+        "join keys must be categorical");
+    e.attrs_a.push_back(ia);
+    e.attrs_b.push_back(ib);
+  }
+  edges_.push_back(std::move(e));
+}
+
+RootedTree JoinQuery::Root(int root) const {
+  int n = num_relations();
+  RELBORG_CHECK(root >= 0 && root < n);
+  RELBORG_CHECK_MSG(static_cast<int>(edges_.size()) == n - 1,
+                    "join graph is not a tree");
+  std::vector<RootedNode> nodes(n);
+  // Adjacency: (neighbor, edge index).
+  std::vector<std::vector<std::pair<int, int>>> adj(n);
+  for (int ei = 0; ei < static_cast<int>(edges_.size()); ++ei) {
+    adj[edges_[ei].a].push_back({edges_[ei].b, ei});
+    adj[edges_[ei].b].push_back({edges_[ei].a, ei});
+  }
+  // BFS orientation from the root.
+  std::vector<int> order{root};
+  std::vector<bool> seen(n, false);
+  seen[root] = true;
+  for (size_t qi = 0; qi < order.size(); ++qi) {
+    int v = order[qi];
+    for (auto [u, ei] : adj[v]) {
+      if (seen[u]) continue;
+      seen[u] = true;
+      nodes[u].parent = v;
+      nodes[v].children.push_back(u);
+      const JoinEdge& e = edges_[ei];
+      if (e.a == u) {
+        nodes[u].key_attrs = e.attrs_a;
+        nodes[u].parent_key_attrs = e.attrs_b;
+      } else {
+        nodes[u].key_attrs = e.attrs_b;
+        nodes[u].parent_key_attrs = e.attrs_a;
+      }
+      order.push_back(u);
+    }
+  }
+  RELBORG_CHECK_MSG(static_cast<int>(order.size()) == n,
+                    "join graph is disconnected");
+  return RootedTree(this, root, std::move(nodes));
+}
+
+RootedTree JoinQuery::Root(const std::string& root_name) const {
+  return Root(IndexOf(root_name));
+}
+
+RootedTree::RootedTree(const JoinQuery* query, int root,
+                       std::vector<RootedNode> nodes)
+    : query_(query), root_(root), nodes_(std::move(nodes)) {
+  // Postorder: reverse BFS order works for trees (children always appear
+  // after their parents in BFS), but recompute explicitly for clarity.
+  postorder_.reserve(nodes_.size());
+  std::vector<int> stack{root_};
+  std::vector<int> preorder;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    preorder.push_back(v);
+    for (int c : nodes_[v].children) stack.push_back(c);
+  }
+  postorder_.assign(preorder.rbegin(), preorder.rend());
+}
+
+uint64_t RootedTree::RowKeyToParent(int v, size_t row) const {
+  return PackRowKey(relation(v), row, nodes_[v].key_attrs);
+}
+
+uint64_t RootedTree::RowKeyToChild(int v, int c, size_t row) const {
+  return PackRowKey(relation(v), row, nodes_[c].parent_key_attrs);
+}
+
+uint64_t PackRowKey(const Relation& rel, size_t row,
+                    const std::vector<int>& attrs) {
+  if (attrs.empty()) return kUnitKey;
+  if (attrs.size() == 1) return PackKey1(rel.Cat(row, attrs[0]));
+  RELBORG_DCHECK(attrs.size() == 2);
+  return PackKey2(rel.Cat(row, attrs[0]), rel.Cat(row, attrs[1]));
+}
+
+}  // namespace relborg

@@ -1,0 +1,111 @@
+// Feature-extraction queries as natural joins with a tree-shaped join graph.
+//
+// A JoinQuery holds the participating relations and the join edges (pairs of
+// relations with aligned key attributes). Rooting the tree at any relation
+// yields a RootedTree: the execution skeleton of every engine in this
+// library. The factorized engines evaluate one view per node bottom-up;
+// LMFAO-style multi-output plans re-root the same query at different
+// relations (JoinQuery::Root is cheap).
+//
+// Join keys are 1 or 2 categorical attributes, packed into a uint64
+// (util/packed_key.h). All datasets in the paper join on 1- or 2-attribute
+// keys (e.g. Weather joins Inventory on (location, date)).
+#ifndef RELBORG_QUERY_JOIN_TREE_H_
+#define RELBORG_QUERY_JOIN_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/catalog.h"
+#include "relational/relation.h"
+#include "util/packed_key.h"
+
+namespace relborg {
+
+// One join edge: relation `a` and relation `b` joined on
+// a.attr_a[i] == b.attr_b[i] for every i.
+struct JoinEdge {
+  int a = -1;
+  int b = -1;
+  std::vector<int> attrs_a;  // attribute indices in relation a
+  std::vector<int> attrs_b;  // attribute indices in relation b
+};
+
+class RootedTree;
+
+class JoinQuery {
+ public:
+  JoinQuery() = default;
+
+  // Registers a relation; returns its node index.
+  int AddRelation(const Relation* rel);
+
+  // Adds a natural-join edge between the named relations on the named key
+  // attributes (which must exist, with categorical type, in both). At most
+  // two key attributes per edge.
+  void AddJoin(const std::string& rel_a, const std::string& rel_b,
+               const std::vector<std::string>& key_attrs);
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const Relation* relation(int i) const { return relations_[i]; }
+  const std::vector<JoinEdge>& edges() const { return edges_; }
+
+  // Node index of the named relation; aborts if absent.
+  int IndexOf(const std::string& name) const;
+
+  // Orients the join tree with `root` as the root. Aborts if the join graph
+  // is not a tree (use width.h to check acyclicity of general queries).
+  RootedTree Root(int root) const;
+  RootedTree Root(const std::string& root_name) const;
+
+ private:
+  std::vector<const Relation*> relations_;
+  std::vector<JoinEdge> edges_;
+};
+
+// One node of a rooted join tree. Node indices equal JoinQuery relation
+// indices.
+struct RootedNode {
+  int parent = -1;                 // -1 for the root
+  std::vector<int> children;
+  // Key attributes (in this node's relation) joining to the parent, and the
+  // aligned attributes in the parent's relation. Empty for the root.
+  std::vector<int> key_attrs;
+  std::vector<int> parent_key_attrs;
+};
+
+class RootedTree {
+ public:
+  RootedTree(const JoinQuery* query, int root, std::vector<RootedNode> nodes);
+
+  const JoinQuery& query() const { return *query_; }
+  int root() const { return root_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const RootedNode& node(int i) const { return nodes_[i]; }
+  const Relation& relation(int i) const { return *query_->relation(i); }
+
+  // Nodes in bottom-up (children before parents) order.
+  const std::vector<int>& postorder() const { return postorder_; }
+
+  // Packed key of row `row` of node `v` w.r.t. its parent edge.
+  uint64_t RowKeyToParent(int v, size_t row) const;
+
+  // Packed key of row `row` of node `v` w.r.t. the edge to child `c`
+  // (the key used to probe child c's view).
+  uint64_t RowKeyToChild(int v, int c, size_t row) const;
+
+ private:
+  const JoinQuery* query_;
+  int root_;
+  std::vector<RootedNode> nodes_;
+  std::vector<int> postorder_;
+};
+
+// Packs the values of `attrs` (size 1 or 2) of row `row` in `rel`.
+uint64_t PackRowKey(const Relation& rel, size_t row,
+                    const std::vector<int>& attrs);
+
+}  // namespace relborg
+
+#endif  // RELBORG_QUERY_JOIN_TREE_H_

@@ -1,0 +1,133 @@
+#include "query/width.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace relborg {
+
+int Hypergraph::AddVertex(const std::string& name) {
+  for (int i = 0; i < static_cast<int>(vertex_names.size()); ++i) {
+    if (vertex_names[i] == name) return i;
+  }
+  vertex_names.push_back(name);
+  return static_cast<int>(vertex_names.size()) - 1;
+}
+
+void Hypergraph::AddEdge(const std::vector<std::string>& names) {
+  std::vector<int> e;
+  e.reserve(names.size());
+  for (const std::string& n : names) e.push_back(AddVertex(n));
+  std::sort(e.begin(), e.end());
+  e.erase(std::unique(e.begin(), e.end()), e.end());
+  edges.push_back(std::move(e));
+}
+
+namespace {
+
+// Removes vertex v from every edge in-place.
+void RemoveVertex(std::vector<std::vector<int>>* edges, int v) {
+  for (auto& e : *edges) {
+    auto it = std::find(e.begin(), e.end(), v);
+    if (it != e.end()) e.erase(it);
+  }
+}
+
+}  // namespace
+
+bool IsAlphaAcyclic(const Hypergraph& hg) {
+  std::vector<std::vector<int>> edges = hg.edges;
+  int n = static_cast<int>(hg.vertex_names.size());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Rule 1: remove ear vertices (vertices occurring in exactly one edge).
+    std::vector<int> occurrence(n, 0);
+    for (const auto& e : edges) {
+      for (int v : e) ++occurrence[v];
+    }
+    for (int v = 0; v < n; ++v) {
+      if (occurrence[v] == 1) {
+        RemoveVertex(&edges, v);
+        changed = true;
+      }
+    }
+    // Rule 2: remove edges contained in another edge (and empty edges).
+    for (size_t i = 0; i < edges.size(); ++i) {
+      bool remove = edges[i].empty();
+      for (size_t j = 0; !remove && j < edges.size(); ++j) {
+        if (i == j) continue;
+        if (std::includes(edges[j].begin(), edges[j].end(), edges[i].begin(),
+                          edges[i].end())) {
+          // Tie-break so two identical edges are not both removed w.r.t.
+          // each other in the same pass.
+          if (edges[i] != edges[j] || i > j) remove = true;
+        }
+      }
+      if (remove) {
+        edges.erase(edges.begin() + i);
+        changed = true;
+        --i;
+      }
+    }
+  }
+  return edges.empty() || (edges.size() == 1);
+}
+
+int IntegralEdgeCoverNumber(const Hypergraph& hg) {
+  int m = static_cast<int>(hg.edges.size());
+  RELBORG_CHECK_MSG(m <= 20, "too many edges for exact cover search");
+  int n = static_cast<int>(hg.vertex_names.size());
+  uint64_t all = n == 64 ? ~0ull : ((1ull << n) - 1);
+  std::vector<uint64_t> masks(m, 0);
+  for (int i = 0; i < m; ++i) {
+    for (int v : hg.edges[i]) masks[i] |= 1ull << v;
+  }
+  int best = -1;
+  for (uint64_t subset = 0; subset < (1ull << m); ++subset) {
+    uint64_t covered = 0;
+    int count = 0;
+    for (int i = 0; i < m; ++i) {
+      if (subset & (1ull << i)) {
+        covered |= masks[i];
+        ++count;
+      }
+    }
+    if (covered == all && (best < 0 || count < best)) best = count;
+  }
+  return best;
+}
+
+double FractionalEdgeCoverUpperBound(const Hypergraph& hg) {
+  // Greedy: repeatedly take the edge covering the most uncovered vertices.
+  // An integral cover is an upper bound on the fractional optimum.
+  int n = static_cast<int>(hg.vertex_names.size());
+  std::vector<bool> covered(n, false);
+  int remaining = n;
+  double weight = 0;
+  while (remaining > 0) {
+    int best_edge = -1;
+    int best_gain = 0;
+    for (int i = 0; i < static_cast<int>(hg.edges.size()); ++i) {
+      int gain = 0;
+      for (int v : hg.edges[i]) {
+        if (!covered[v]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_edge = i;
+      }
+    }
+    if (best_edge < 0) return -1;  // uncoverable
+    for (int v : hg.edges[best_edge]) {
+      if (!covered[v]) {
+        covered[v] = true;
+        --remaining;
+      }
+    }
+    weight += 1.0;
+  }
+  return weight;
+}
+
+}  // namespace relborg

@@ -1,0 +1,42 @@
+// Combinatorial structure of queries (Sec. 3.2 of the paper): hypergraph
+// acyclicity (GYO reduction) and edge-cover-based width bounds.
+//
+// The engines in this library require tree-shaped (alpha-acyclic) joins, for
+// which the fractional hypertree width and the factorization width are 1 for
+// Boolean/count aggregates; these helpers let callers verify that and reason
+// about the size bounds the paper quotes (O(N^w)).
+#ifndef RELBORG_QUERY_WIDTH_H_
+#define RELBORG_QUERY_WIDTH_H_
+
+#include <string>
+#include <vector>
+
+namespace relborg {
+
+// A query hypergraph: vertex = attribute name, hyperedge = relation schema.
+struct Hypergraph {
+  // edges[i] = sorted list of vertex ids; vertex names for reporting.
+  std::vector<std::vector<int>> edges;
+  std::vector<std::string> vertex_names;
+
+  int AddVertex(const std::string& name);
+  void AddEdge(const std::vector<std::string>& vertex_names_in_edge);
+};
+
+// True iff the hypergraph is alpha-acyclic (GYO reduction succeeds).
+bool IsAlphaAcyclic(const Hypergraph& hg);
+
+// Minimum integral edge cover number (rho): the smallest number of
+// hyperedges covering all vertices. Exponential in the number of edges;
+// intended for the small (<= ~12 relations) queries of this library.
+// Returns -1 if no cover exists (isolated vertices).
+int IntegralEdgeCoverNumber(const Hypergraph& hg);
+
+// Upper bound on the fractional edge cover number rho* computed by the
+// greedy set-cover heuristic (ln(n)-approximate); cheap and good enough for
+// the sanity checks in tests. Exact LP solving is out of scope.
+double FractionalEdgeCoverUpperBound(const Hypergraph& hg);
+
+}  // namespace relborg
+
+#endif  // RELBORG_QUERY_WIDTH_H_

@@ -1,0 +1,45 @@
+#include "relational/catalog.h"
+
+#include "util/check.h"
+
+namespace relborg {
+
+Relation* Catalog::AddRelation(std::string name, Schema schema) {
+  RELBORG_CHECK_MSG(!Has(name), "duplicate relation name");
+  relations_.push_back(
+      std::make_unique<Relation>(std::move(name), std::move(schema)));
+  return relations_.back().get();
+}
+
+Relation* Catalog::Get(const std::string& name) {
+  for (auto& r : relations_) {
+    if (r->name() == name) return r.get();
+  }
+  RELBORG_CHECK_MSG(false, name.c_str());
+  return nullptr;
+}
+
+const Relation* Catalog::Get(const std::string& name) const {
+  return const_cast<Catalog*>(this)->Get(name);
+}
+
+bool Catalog::Has(const std::string& name) const {
+  for (const auto& r : relations_) {
+    if (r->name() == name) return true;
+  }
+  return false;
+}
+
+size_t Catalog::TotalRows() const {
+  size_t n = 0;
+  for (const auto& r : relations_) n += r->num_rows();
+  return n;
+}
+
+size_t Catalog::TotalBytes() const {
+  size_t n = 0;
+  for (const auto& r : relations_) n += r->ByteSize();
+  return n;
+}
+
+}  // namespace relborg

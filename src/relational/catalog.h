@@ -1,0 +1,47 @@
+// A named collection of relations: the "database" a feature-extraction
+// query runs over.
+#ifndef RELBORG_RELATIONAL_CATALOG_H_
+#define RELBORG_RELATIONAL_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace relborg {
+
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Move-only: relations are large.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  // Adds a relation and returns a stable pointer to it.
+  Relation* AddRelation(std::string name, Schema schema);
+
+  // Lookup by name; aborts if absent.
+  Relation* Get(const std::string& name);
+  const Relation* Get(const std::string& name) const;
+
+  bool Has(const std::string& name) const;
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  Relation* relation(int i) { return relations_[i].get(); }
+  const Relation* relation(int i) const { return relations_[i].get(); }
+
+  // Total rows and bytes across all relations (Fig. 3 "Database" row).
+  size_t TotalRows() const;
+  size_t TotalBytes() const;
+
+ private:
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_RELATIONAL_CATALOG_H_

@@ -1,0 +1,74 @@
+#include "relational/csv_io.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace relborg {
+
+bool WriteCsv(const Relation& rel, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const Schema& schema = rel.schema();
+  for (int a = 0; a < schema.num_attrs(); ++a) {
+    std::fprintf(f, "%s%s", a == 0 ? "" : ",", schema.attr(a).name.c_str());
+  }
+  std::fputc('\n', f);
+  for (size_t row = 0; row < rel.num_rows(); ++row) {
+    for (int a = 0; a < schema.num_attrs(); ++a) {
+      if (a > 0) std::fputc(',', f);
+      if (schema.attr(a).type == AttrType::kCategorical) {
+        std::fprintf(f, "%d", rel.Cat(row, a));
+      } else {
+        std::fprintf(f, "%.10g", rel.Double(row, a));
+      }
+    }
+    std::fputc('\n', f);
+  }
+  bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+bool ReadCsv(const std::string& path, const std::string& name,
+             const Schema& schema, Relation* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  *out = Relation(name, schema);
+  std::string line;
+  std::vector<char> buf(1 << 16);
+  bool first = true;
+  std::vector<double> values(schema.num_attrs());
+  while (std::fgets(buf.data(), static_cast<int>(buf.size()), f) != nullptr) {
+    if (first) {  // skip header
+      first = false;
+      continue;
+    }
+    const char* p = buf.data();
+    int a = 0;
+    while (*p != '\0' && *p != '\n' && a < schema.num_attrs()) {
+      char* end = nullptr;
+      values[a++] = std::strtod(p, &end);
+      p = (end != nullptr && *end == ',') ? end + 1 : end;
+      if (p == nullptr) break;
+    }
+    if (a != schema.num_attrs()) {
+      std::fclose(f);
+      return false;
+    }
+    out->AppendRow(values);
+  }
+  std::fclose(f);
+  return true;
+}
+
+size_t FileBytes(const std::string& path) {
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<size_t>(st.st_size);
+}
+
+}  // namespace relborg

@@ -1,0 +1,29 @@
+// CSV import/export for relations.
+//
+// Used both as a general-purpose loader and — importantly for the Fig. 3
+// reproduction — as the "data move" step of the structure-agnostic pipeline:
+// the materialized data matrix is serialized to CSV by the "query engine"
+// and parsed back by the "learning library".
+#ifndef RELBORG_RELATIONAL_CSV_IO_H_
+#define RELBORG_RELATIONAL_CSV_IO_H_
+
+#include <string>
+
+#include "relational/relation.h"
+
+namespace relborg {
+
+// Writes `rel` (with a header line) to `path`. Returns false on I/O error.
+bool WriteCsv(const Relation& rel, const std::string& path);
+
+// Reads a CSV with header into a new relation using `schema` (header names
+// must match the schema in order). Returns false on I/O or parse error.
+bool ReadCsv(const std::string& path, const std::string& name,
+             const Schema& schema, Relation* out);
+
+// Byte size of the file at `path`, or 0 if it does not exist.
+size_t FileBytes(const std::string& path);
+
+}  // namespace relborg
+
+#endif  // RELBORG_RELATIONAL_CSV_IO_H_

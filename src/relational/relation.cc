@@ -1,0 +1,44 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+namespace relborg {
+
+Relation::Relation(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_attrs());
+  for (int i = 0; i < schema_.num_attrs(); ++i) {
+    columns_.emplace_back(schema_.attr(i).type);
+  }
+}
+
+void Relation::AppendRow(const std::vector<double>& values) {
+  RELBORG_CHECK(static_cast<int>(values.size()) == schema_.num_attrs());
+  for (int i = 0; i < schema_.num_attrs(); ++i) {
+    columns_[i].AppendAsDouble(values[i]);
+  }
+  ++num_rows_;
+}
+
+void Relation::Reserve(size_t n) {
+  for (Column& c : columns_) c.Reserve(n);
+}
+
+size_t Relation::ByteSize() const {
+  size_t bytes = 0;
+  for (const Column& c : columns_) {
+    bytes += c.type() == AttrType::kDouble ? c.size() * sizeof(double)
+                                           : c.size() * sizeof(int32_t);
+  }
+  return bytes;
+}
+
+int32_t Relation::DomainSize(int attr) const {
+  const Column& c = columns_[attr];
+  RELBORG_CHECK(c.type() == AttrType::kCategorical);
+  int32_t max_code = -1;
+  for (int32_t v : c.cats()) max_code = std::max(max_code, v);
+  return max_code + 1;
+}
+
+}  // namespace relborg

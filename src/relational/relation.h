@@ -1,0 +1,124 @@
+// Columnar in-memory relations.
+//
+// A Relation stores one typed column per schema attribute. Continuous
+// columns are std::vector<double>; categorical columns are
+// std::vector<int32_t> of non-negative codes. Append-only: the engines in
+// this library never update rows in place (deletions are modeled by the IVM
+// layer as multiplicity -1 payloads, not by mutating base relations).
+#ifndef RELBORG_RELATIONAL_RELATION_H_
+#define RELBORG_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "util/check.h"
+
+namespace relborg {
+
+// One typed column. Exactly one of the two vectors is used, per `type`.
+class Column {
+ public:
+  explicit Column(AttrType type) : type_(type) {}
+
+  AttrType type() const { return type_; }
+  size_t size() const {
+    return type_ == AttrType::kDouble ? doubles_.size() : cats_.size();
+  }
+
+  double Double(size_t row) const {
+    RELBORG_DCHECK(type_ == AttrType::kDouble);
+    return doubles_[row];
+  }
+  int32_t Cat(size_t row) const {
+    RELBORG_DCHECK(type_ == AttrType::kCategorical);
+    return cats_[row];
+  }
+
+  // Value as a double regardless of type (categorical codes are exact in
+  // double up to 2^53). Used by the structure-agnostic baseline's data
+  // matrix and by CSV export.
+  double AsDouble(size_t row) const {
+    return type_ == AttrType::kDouble ? doubles_[row]
+                                      : static_cast<double>(cats_[row]);
+  }
+
+  void AppendDouble(double v) {
+    RELBORG_DCHECK(type_ == AttrType::kDouble);
+    doubles_.push_back(v);
+  }
+  void AppendCat(int32_t v) {
+    RELBORG_DCHECK(type_ == AttrType::kCategorical);
+    RELBORG_DCHECK(v >= 0);
+    cats_.push_back(v);
+  }
+  void AppendAsDouble(double v) {
+    if (type_ == AttrType::kDouble) {
+      doubles_.push_back(v);
+    } else {
+      AppendCat(static_cast<int32_t>(v));
+    }
+  }
+
+  void Reserve(size_t n) {
+    if (type_ == AttrType::kDouble) {
+      doubles_.reserve(n);
+    } else {
+      cats_.reserve(n);
+    }
+  }
+
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<int32_t>& cats() const { return cats_; }
+
+ private:
+  AttrType type_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> cats_;
+};
+
+class Relation {
+ public:
+  Relation(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  int num_attrs() const { return schema_.num_attrs(); }
+
+  const Column& column(int attr) const { return columns_[attr]; }
+  Column& mutable_column(int attr) { return columns_[attr]; }
+
+  double Double(size_t row, int attr) const {
+    return columns_[attr].Double(row);
+  }
+  int32_t Cat(size_t row, int attr) const { return columns_[attr].Cat(row); }
+  double AsDouble(size_t row, int attr) const {
+    return columns_[attr].AsDouble(row);
+  }
+
+  // Appends one row given per-attribute values as doubles (categorical
+  // attributes are cast). Aborts if the arity does not match.
+  void AppendRow(const std::vector<double>& values);
+
+  void Reserve(size_t n);
+
+  // Rough in-memory footprint in bytes (for the Fig. 3 size columns).
+  size_t ByteSize() const;
+
+  // The largest categorical code in `attr` plus one (0 for empty columns);
+  // the "active domain" size used to size one-hot encodings and category
+  // grids.
+  int32_t DomainSize(int attr) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_RELATIONAL_RELATION_H_

@@ -1,0 +1,20 @@
+#include "relational/schema.h"
+
+#include "util/check.h"
+
+namespace relborg {
+
+int Schema::IndexOf(const std::string& name) const {
+  for (int i = 0; i < num_attrs(); ++i) {
+    if (attrs_[i].name == name) return i;
+  }
+  return -1;
+}
+
+int Schema::MustIndexOf(const std::string& name) const {
+  int i = IndexOf(name);
+  RELBORG_CHECK_MSG(i >= 0, name.c_str());
+  return i;
+}
+
+}  // namespace relborg

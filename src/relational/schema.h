@@ -1,0 +1,56 @@
+// Attribute types and relation schemas.
+//
+// relborg distinguishes two storage types, matching what the learning layer
+// needs: continuous attributes (doubles, usable directly as features) and
+// categorical attributes (non-negative int32 codes: join keys, group-by
+// attributes, one-hot/sparse-tensor features).
+#ifndef RELBORG_RELATIONAL_SCHEMA_H_
+#define RELBORG_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relborg {
+
+enum class AttrType : uint8_t {
+  kDouble,       // continuous feature / measure
+  kCategorical,  // int32 code: key, group-by attribute, categorical feature
+};
+
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kDouble;
+};
+
+// Ordered list of attributes with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  int num_attrs() const { return static_cast<int>(attrs_.size()); }
+  const Attribute& attr(int i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  void AddAttribute(const std::string& name, AttrType type) {
+    attrs_.push_back(Attribute{name, type});
+  }
+
+  // Index of the attribute with the given name, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  // Index of the attribute with the given name; aborts if absent.
+  int MustIndexOf(const std::string& name) const;
+
+  bool HasAttribute(const std::string& name) const {
+    return IndexOf(name) >= 0;
+  }
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_RELATIONAL_SCHEMA_H_

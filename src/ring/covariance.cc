@@ -1,0 +1,60 @@
+#include "ring/covariance.h"
+
+#include <utility>
+
+namespace relborg {
+
+void CovarAddInPlace(CovarPayload* dst, const CovarPayload& src) {
+  if (src.IsUnset()) return;
+  if (dst->IsUnset()) {
+    *dst = src;
+    return;
+  }
+  RELBORG_DCHECK(dst->sum.size() == src.sum.size());
+  dst->count += src.count;
+  for (size_t i = 0; i < src.sum.size(); ++i) dst->sum[i] += src.sum[i];
+  for (size_t i = 0; i < src.quad.size(); ++i) dst->quad[i] += src.quad[i];
+}
+
+void CovarMulInto(int n, const CovarPayload& a, const CovarPayload& b,
+                  CovarPayload* dst) {
+  const size_t tri = UpperTriSize(n);
+  dst->sum.resize(n);
+  dst->quad.resize(tri);
+  dst->count = a.count * b.count;
+  const double ca = a.count;
+  const double cb = b.count;
+  for (int i = 0; i < n; ++i) {
+    dst->sum[i] = cb * a.sum[i] + ca * b.sum[i];
+  }
+  size_t idx = 0;
+  for (int i = 0; i < n; ++i) {
+    const double asi = a.sum[i];
+    const double bsi = b.sum[i];
+    for (int j = i; j < n; ++j, ++idx) {
+      dst->quad[idx] = cb * a.quad[idx] + ca * b.quad[idx] + asi * b.sum[j] +
+                       bsi * a.sum[j];
+    }
+  }
+}
+
+void CovarLiftInto(int n, const std::vector<std::pair<int, double>>& features,
+                   CovarPayload* dst) {
+  dst->count = 1;
+  dst->sum.assign(n, 0.0);
+  dst->quad.assign(UpperTriSize(n), 0.0);
+  for (const auto& [f, v] : features) {
+    dst->sum[f] = v;
+  }
+  for (size_t a = 0; a < features.size(); ++a) {
+    for (size_t b = a; b < features.size(); ++b) {
+      int i = features[a].first;
+      int j = features[b].first;
+      if (i > j) std::swap(i, j);
+      dst->quad[UpperTriIndex(n, i, j)] =
+          features[a].second * features[b].second;
+    }
+  }
+}
+
+}  // namespace relborg

@@ -1,0 +1,115 @@
+// The covariance ring (Sec. 5.2 of the paper).
+//
+// A payload is a triple (c, s, Q): a scalar count SUM(1), a vector of sums
+// SUM(x_i), and an upper-triangular matrix of second moments SUM(x_i * x_j)
+// over a set of n continuous features. The ring operations are
+//
+//   (c1,s1,Q1) + (c2,s2,Q2) = (c1+c2, s1+s2, Q1+Q2)
+//   (c1,s1,Q1) * (c2,s2,Q2) = (c1*c2,
+//                              c2*s1 + c1*s2,
+//                              c2*Q1 + c1*Q2 + s1*s2^T + s2*s1^T)
+//
+// with 0 = (0, 0, 0) and 1 = (1, 0, 0). Product combines payloads of
+// *conditionally independent* branches of a factorized join: the cross
+// moments between features of different branches are exactly s1*s2^T + its
+// transpose. One bottom-up pass with this ring computes every aggregate of
+// the covariance batch at once — the computation sharing that Figures 4 and
+// 6 of the paper attribute LMFAO's and F-IVM's performance to.
+#ifndef RELBORG_RING_COVARIANCE_H_
+#define RELBORG_RING_COVARIANCE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace relborg {
+
+// Index of (i, j), i <= j, in a packed upper-triangular n x n matrix.
+inline size_t UpperTriIndex(int n, int i, int j) {
+  RELBORG_DCHECK(0 <= i && i <= j && j < n);
+  return static_cast<size_t>(i) * n - static_cast<size_t>(i) * (i - 1) / 2 +
+         (j - i);
+}
+
+inline size_t UpperTriSize(int n) {
+  return static_cast<size_t>(n) * (n + 1) / 2;
+}
+
+// One covariance-ring element over n features. Default-constructed payloads
+// are "unset" (empty vectors) and behave as ring zero for AddInPlace targets.
+struct CovarPayload {
+  double count = 0;
+  std::vector<double> sum;   // size n
+  std::vector<double> quad;  // size UpperTriSize(n)
+
+  bool IsUnset() const { return sum.empty() && count == 0; }
+
+  static CovarPayload Zero(int n) {
+    CovarPayload p;
+    p.count = 0;
+    p.sum.assign(n, 0.0);
+    p.quad.assign(UpperTriSize(n), 0.0);
+    return p;
+  }
+
+  static CovarPayload One(int n) {
+    CovarPayload p = Zero(n);
+    p.count = 1;
+    return p;
+  }
+};
+
+// dst += src. An unset dst is first initialized to zero of src's width.
+void CovarAddInPlace(CovarPayload* dst, const CovarPayload& src);
+
+// dst = a * b (ring product). dst must be distinct from a and b; it is
+// resized as needed. n is the feature count of all three payloads.
+void CovarMulInto(int n, const CovarPayload& a, const CovarPayload& b,
+                  CovarPayload* dst);
+
+// Writes the lift of one tuple into dst: count 1, sum[f] = v and
+// quad(f,g) = v_f * v_g for the given (feature index, value) pairs, zero
+// elsewhere. Feature indices must be distinct but may be in any order.
+void CovarLiftInto(int n, const std::vector<std::pair<int, double>>& features,
+                   CovarPayload* dst);
+
+// The final result of a covariance batch: a symmetric (n+1) x (n+1) view
+// where index n plays the role of the constant feature 1 (so Moment(n, i) is
+// SUM(x_i) and Moment(n, n) is the count).
+class CovarMatrix {
+ public:
+  CovarMatrix(int n, CovarPayload payload)
+      : n_(n), payload_(std::move(payload)) {
+    RELBORG_CHECK(static_cast<int>(payload_.sum.size()) == n);
+  }
+
+  int num_features() const { return n_; }
+  double count() const { return payload_.count; }
+  double Sum(int i) const { return payload_.sum[i]; }
+
+  // SUM(x_i * x_j) with the convention above for i == n or j == n.
+  double Moment(int i, int j) const {
+    if (i > j) std::swap(i, j);
+    if (j == n_) return i == n_ ? payload_.count : payload_.sum[i];
+    return payload_.quad[UpperTriIndex(n_, i, j)];
+  }
+
+  // Covariance (centered) between features i and j, i, j < n.
+  double Covariance(int i, int j) const {
+    double c = payload_.count;
+    if (c <= 0) return 0;
+    return Moment(i, j) / c - (Sum(i) / c) * (Sum(j) / c);
+  }
+
+  const CovarPayload& payload() const { return payload_; }
+
+ private:
+  int n_;
+  CovarPayload payload_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_RING_COVARIANCE_H_

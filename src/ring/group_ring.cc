@@ -1,0 +1,78 @@
+#include "ring/group_ring.h"
+
+#include <algorithm>
+
+namespace relborg {
+
+void GroupPayload::AddInPlace(const GroupPayload& other) {
+  if (other.entries_.empty()) return;
+  if (entries_.empty()) {
+    entries_ = other.entries_;
+    return;
+  }
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].key < other.entries_[j].key) {
+      merged.push_back(entries_[i++]);
+    } else if (entries_[i].key > other.entries_[j].key) {
+      merged.push_back(other.entries_[j++]);
+    } else {
+      merged.push_back(
+          Entry{entries_[i].key, entries_[i].value + other.entries_[j].value});
+      ++i;
+      ++j;
+    }
+  }
+  while (i < entries_.size()) merged.push_back(entries_[i++]);
+  while (j < other.entries_.size()) merged.push_back(other.entries_[j++]);
+  entries_ = std::move(merged);
+}
+
+void GroupPayload::AddEntry(uint64_t key, double value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, uint64_t k) { return e.key < k; });
+  if (it != entries_.end() && it->key == key) {
+    it->value += value;
+  } else {
+    entries_.insert(it, Entry{key, value});
+  }
+}
+
+void GroupPayload::ScaleInPlace(double scalar) {
+  for (Entry& e : entries_) e.value *= scalar;
+}
+
+double GroupPayload::ScalarValue() const {
+  for (const Entry& e : entries_) {
+    if (e.key == kScalarGroupKey) return e.value;
+  }
+  return 0;
+}
+
+void GroupMulInto(const GroupPayload& a, const GroupPayload& b,
+                  GroupPayload* dst) {
+  *dst = GroupPayload();
+  if (a.empty() || b.empty()) return;
+  // Fast path: one side is a pure scalar.
+  if (a.size() == 1 && a.entries()[0].key == kScalarGroupKey) {
+    *dst = b;
+    dst->ScaleInPlace(a.entries()[0].value);
+    return;
+  }
+  if (b.size() == 1 && b.entries()[0].key == kScalarGroupKey) {
+    *dst = a;
+    dst->ScaleInPlace(b.entries()[0].value);
+    return;
+  }
+  for (const auto& ea : a.entries()) {
+    for (const auto& eb : b.entries()) {
+      dst->AddEntry(MergeGroupKeys(ea.key, eb.key), ea.value * eb.value);
+    }
+  }
+}
+
+}  // namespace relborg

@@ -1,0 +1,110 @@
+// The group-by ring: relborg's sparse-tensor representation (Sec. 2.1).
+//
+// A payload is a sparse map from a *group key* to a double measure. A group
+// key packs the values of up to two categorical group-by attributes into two
+// 32-bit slots of a uint64; a slot whose attribute is not (yet) present in
+// the payload holds the sentinel kUnsetSlot. The ring product is an outer
+// product: measures multiply and keys merge slot-wise (each group-by
+// attribute is owned by exactly one branch of the join tree, so slots never
+// collide).
+//
+// With zero group-by attributes the payload degenerates to a scalar (the
+// counting / summing ring); with one or two it implements
+// SUM(expr) GROUP BY X[, Y] without one-hot encoding — only the (pairs of)
+// categories that actually occur in the data are represented, which is
+// precisely the paper's sparse-tensor encoding of categorical interactions.
+#ifndef RELBORG_RING_GROUP_RING_H_
+#define RELBORG_RING_GROUP_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/packed_key.h"
+
+namespace relborg {
+
+inline constexpr uint32_t kUnsetSlot = 0xFFFFFFFFu;
+// Key with both slots unset: the key of purely scalar measures.
+inline constexpr uint64_t kScalarGroupKey = ~0ull;
+
+// Builds a group key with only the high / low slot set.
+inline uint64_t GroupKeyHigh(int32_t v) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(v)) << 32) | kUnsetSlot;
+}
+inline uint64_t GroupKeyLow(int32_t v) {
+  return (static_cast<uint64_t>(kUnsetSlot) << 32) |
+         static_cast<uint32_t>(v);
+}
+inline uint64_t GroupKeyBoth(int32_t hi, int32_t lo) {
+  return PackKey2(hi, lo);
+}
+
+// Merges two keys with disjoint set slots. Aborts (debug) on collision.
+inline uint64_t MergeGroupKeys(uint64_t a, uint64_t b) {
+  uint32_t ahi = static_cast<uint32_t>(a >> 32);
+  uint32_t alo = static_cast<uint32_t>(a);
+  uint32_t bhi = static_cast<uint32_t>(b >> 32);
+  uint32_t blo = static_cast<uint32_t>(b);
+  RELBORG_DCHECK(ahi == kUnsetSlot || bhi == kUnsetSlot);
+  RELBORG_DCHECK(alo == kUnsetSlot || blo == kUnsetSlot);
+  uint32_t hi = ahi == kUnsetSlot ? bhi : ahi;
+  uint32_t lo = alo == kUnsetSlot ? blo : alo;
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+// Canonical key for result maps: the all-unset (scalar) key is remapped to
+// kUnitKey so that it can live in a FlatHashMap (whose empty sentinel is
+// ~0ull). Unambiguous because a query has a fixed set of group-by slots.
+inline uint64_t CanonicalGroupKey(uint64_t key) {
+  return key == kScalarGroupKey ? kUnitKey : key;
+}
+
+// Sparse map payload, kept sorted by key. Sizes are typically tiny (most
+// view entries carry a handful of groups), so sorted vectors beat hash maps.
+class GroupPayload {
+ public:
+  struct Entry {
+    uint64_t key;
+    double value;
+  };
+
+  GroupPayload() = default;
+
+  // Payload of a single (key, value) pair.
+  static GroupPayload Single(uint64_t key, double value) {
+    GroupPayload p;
+    p.entries_.push_back(Entry{key, value});
+    return p;
+  }
+
+  // Multiplicative identity: scalar 1.
+  static GroupPayload One() { return Single(kScalarGroupKey, 1.0); }
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // this += other (merge by key).
+  void AddInPlace(const GroupPayload& other);
+
+  // Adds a single entry.
+  void AddEntry(uint64_t key, double value);
+
+  // this *= scalar.
+  void ScaleInPlace(double scalar);
+
+  double ScalarValue() const;  // value at kScalarGroupKey (0 if absent)
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+// dst = a * b (outer product with slot-wise key merge). dst must be distinct
+// from a and b.
+void GroupMulInto(const GroupPayload& a, const GroupPayload& b,
+                  GroupPayload* dst);
+
+}  // namespace relborg
+
+#endif  // RELBORG_RING_GROUP_RING_H_

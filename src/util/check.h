@@ -1,0 +1,36 @@
+// Lightweight CHECK macros. relborg does not use exceptions; invariant
+// violations abort with a message, matching the style of other database
+// engines (assertion failures are programming errors, not runtime errors).
+#ifndef RELBORG_UTIL_CHECK_H_
+#define RELBORG_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define RELBORG_CHECK(cond)                                                 \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define RELBORG_CHECK_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,    \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Checks that are cheap enough to keep in release builds guard public API
+// misuse; use RELBORG_DCHECK for hot-loop invariants.
+#ifdef NDEBUG
+#define RELBORG_DCHECK(cond) ((void)0)
+#else
+#define RELBORG_DCHECK(cond) RELBORG_CHECK(cond)
+#endif
+
+#endif  // RELBORG_UTIL_CHECK_H_

@@ -1,0 +1,131 @@
+// Open-addressing hash map from packed uint64 keys to arbitrary payloads.
+//
+// This is the workhorse container of the view-tree engines: every factorized
+// view is a FlatHashMap from a packed join key to a ring payload. It is
+// deliberately minimal: linear probing, power-of-two capacity, no erase
+// (views only ever accumulate keys; payloads may go to ring-zero but keys
+// stay), which keeps probes branch-light and iteration trivial.
+#ifndef RELBORG_UTIL_FLAT_HASH_MAP_H_
+#define RELBORG_UTIL_FLAT_HASH_MAP_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/packed_key.h"
+
+namespace relborg {
+
+template <typename V>
+class FlatHashMap {
+ public:
+  struct Slot {
+    uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  FlatHashMap() { Rehash(16); }
+  explicit FlatHashMap(size_t expected_size) {
+    size_t cap = 16;
+    while (cap * 7 < expected_size * 10) cap <<= 1;
+    Rehash(cap);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    for (Slot& s : slots_) {
+      s.key = kEmptyKey;
+      s.value = V{};
+    }
+    size_ = 0;
+  }
+
+  // Returns the payload for key, default-constructing it on first access.
+  V& operator[](uint64_t key) {
+    RELBORG_DCHECK(key != kEmptyKey);
+    if ((size_ + 1) * 10 > slots_.size() * 7) Rehash(slots_.size() * 2);
+    size_t i = Probe(key);
+    if (slots_[i].key == kEmptyKey) {
+      slots_[i].key = key;
+      ++size_;
+    }
+    return slots_[i].value;
+  }
+
+  // Returns nullptr if key is absent.
+  const V* Find(uint64_t key) const {
+    size_t i = Probe(key);
+    return slots_[i].key == kEmptyKey ? nullptr : &slots_[i].value;
+  }
+
+  V* Find(uint64_t key) {
+    size_t i = Probe(key);
+    return slots_[i].key == kEmptyKey ? nullptr : &slots_[i].value;
+  }
+
+  bool Contains(uint64_t key) const { return Find(key) != nullptr; }
+
+  // Iteration over occupied slots (key order is unspecified).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+    }
+  }
+
+  template <typename Fn>
+  void ForEachMutable(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.key != kEmptyKey) fn(s.key, s.value);
+    }
+  }
+
+  void Reserve(size_t expected_size) {
+    size_t cap = slots_.size();
+    while (cap * 7 < expected_size * 10) cap <<= 1;
+    if (cap != slots_.size()) Rehash(cap);
+  }
+
+ private:
+  // Fibonacci (multiply-shift) hashing: a single multiply whose high bits
+  // index the power-of-two table. Views are probed in the innermost loop of
+  // every engine, so the hash must be as cheap as possible while still
+  // scattering the sequential integer keys join attributes produce.
+  size_t Bucket(uint64_t key) const {
+    return static_cast<size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  size_t Probe(uint64_t key) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = Bucket(key);
+    while (slots_[i].key != kEmptyKey && slots_[i].key != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Rehash(size_t new_cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    shift_ = 64;
+    for (size_t c = new_cap; c > 1; c >>= 1) --shift_;
+    size_t mask = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (s.key == kEmptyKey) continue;
+      size_t i = Bucket(s.key);
+      while (slots_[i].key != kEmptyKey) i = (i + 1) & mask;
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+  int shift_ = 60;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_UTIL_FLAT_HASH_MAP_H_

@@ -1,0 +1,47 @@
+// Join keys and group-by keys are tuples of at most two categorical
+// (int32) values, packed into a single uint64. A dedicated sentinel value
+// marks "no key" / empty hash slots.
+#ifndef RELBORG_UTIL_PACKED_KEY_H_
+#define RELBORG_UTIL_PACKED_KEY_H_
+
+#include <cstdint>
+
+namespace relborg {
+
+// Sentinel that can never be produced by PackKey of non-negative int32s
+// (the high bit of each half would have to be set).
+inline constexpr uint64_t kEmptyKey = ~0ull;
+
+// The key of a view with no key attributes (e.g. the root view).
+inline constexpr uint64_t kUnitKey = 0;
+
+// Packs one categorical value. Values must be non-negative.
+inline uint64_t PackKey1(int32_t a) { return static_cast<uint32_t>(a); }
+
+// Packs two categorical values; order matters.
+inline uint64_t PackKey2(int32_t a, int32_t b) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+
+inline int32_t UnpackHigh(uint64_t key) {
+  return static_cast<int32_t>(key >> 32);
+}
+
+inline int32_t UnpackLow(uint64_t key) {
+  return static_cast<int32_t>(key & 0xFFFFFFFFull);
+}
+
+// SplitMix64 finalizer; used as the hash for packed keys.
+inline uint64_t HashKey(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace relborg
+
+#endif  // RELBORG_UTIL_PACKED_KEY_H_

@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation for data generators,
+// shuffling, and randomized (property) tests. All experiment inputs are
+// reproducible given the seed.
+#ifndef RELBORG_UTIL_RNG_H_
+#define RELBORG_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace relborg {
+
+// SplitMix64: tiny, fast, and statistically solid for data generation.
+// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+// generators", OOPSLA 2014.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  uint64_t Below(uint64_t bound) {
+    RELBORG_DCHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    RELBORG_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  // Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  // Zipf-like skewed category id in [0, n): category 0 is most frequent.
+  // Used to give generated datasets realistic value-frequency skew.
+  int32_t SkewedCategory(int32_t n, double skew = 1.0) {
+    RELBORG_DCHECK(n > 0);
+    // Inverse-CDF approximation of Zipf via u^(1/(1-s)) shape; cheap and
+    // good enough for workload generation.
+    double u = Uniform();
+    double x = std::pow(u, 1.0 + skew);
+    int32_t c = static_cast<int32_t>(x * n);
+    return c >= n ? n - 1 : c;
+  }
+
+  // In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Below(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_UTIL_RNG_H_

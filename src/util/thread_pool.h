@@ -1,0 +1,54 @@
+// Fixed-size thread pool used by the parallel execution mode of the
+// aggregate engines (task parallelism across view groups, domain parallelism
+// across partitions of a relation).
+#ifndef RELBORG_UTIL_THREAD_POOL_H_
+#define RELBORG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace relborg {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  // fn is also invoked on the calling thread.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Default pool sized to the hardware; shared by engines that do not
+  // receive an explicit pool.
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_UTIL_THREAD_POOL_H_

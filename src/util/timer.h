@@ -1,0 +1,30 @@
+// Wall-clock timing for the experiment harnesses.
+#ifndef RELBORG_UTIL_TIMER_H_
+#define RELBORG_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace relborg {
+
+// Monotonic wall-clock stopwatch. Started on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_UTIL_TIMER_H_

@@ -1,0 +1,199 @@
+// Tests for the sparse generalized covariance and ridge regression with
+// categorical (one-hot) parameters: the factorized/sparse training must
+// match a reference solver over the explicitly one-hot-encoded
+// materialized join.
+#include <cmath>
+
+#include "baseline/materializer.h"
+#include "core/sparse_covar.h"
+#include "gtest/gtest.h"
+#include "ml/categorical_regression.h"
+#include "ml/linalg.h"
+#include "tests/test_util.h"
+
+namespace relborg {
+namespace {
+
+// Two relations, continuous + categorical features with planted effects:
+//   y = 2*x - 1*z + eff1[c1] + eff2[c2] + noise.
+struct Fixture {
+  Catalog catalog;
+  JoinQuery query;
+  std::vector<double> eff1, eff2;
+  int k1 = 4, k2 = 3;
+
+  explicit Fixture(uint64_t seed, int rows = 3000) {
+    Rng rng(seed);
+    eff1.resize(k1);
+    eff2.resize(k2);
+    for (auto& e : eff1) e = rng.Uniform(-2, 2);
+    for (auto& e : eff2) e = rng.Uniform(-2, 2);
+    Relation* f = catalog.AddRelation(
+        "F", Schema({{"k", AttrType::kCategorical},
+                     {"c1", AttrType::kCategorical},
+                     {"x", AttrType::kDouble},
+                     {"y", AttrType::kDouble}}));
+    Relation* d = catalog.AddRelation(
+        "D", Schema({{"k", AttrType::kCategorical},
+                     {"c2", AttrType::kCategorical},
+                     {"z", AttrType::kDouble}}));
+    const int kDomain = 25;
+    std::vector<int> c2_of(kDomain);
+    std::vector<double> z_of(kDomain);
+    for (int k = 0; k < kDomain; ++k) {
+      c2_of[k] = static_cast<int>(rng.Below(k2));
+      z_of[k] = rng.Uniform(-1, 1);
+      d->AppendRow({static_cast<double>(k), static_cast<double>(c2_of[k]),
+                    z_of[k]});
+    }
+    for (int i = 0; i < rows; ++i) {
+      int k = static_cast<int>(rng.Below(kDomain));
+      int c1 = static_cast<int>(rng.Below(k1));
+      double x = rng.Uniform(-2, 2);
+      double y = 2 * x - z_of[k] + eff1[c1] + eff2[c2_of[k]] +
+                 rng.Gaussian(0, 0.05);
+      f->AppendRow({static_cast<double>(k), static_cast<double>(c1), x, y});
+    }
+    query.AddRelation(catalog.Get("F"));
+    query.AddRelation(catalog.Get("D"));
+    query.AddJoin("F", "D", {"k"});
+  }
+};
+
+TEST(SparseCovarTest, AggregatesMatchMaterializedOneHot) {
+  Fixture fx(5, 800);
+  FeatureMap fm(fx.query, {{"F", "x"}, {"D", "z"}, {"F", "y"}});
+  std::vector<FeatureRef> cats{{"F", "c1"}, {"D", "c2"}};
+  RootedTree tree = fx.query.Root("F");
+  SparseCovar sc = ComputeSparseCovar(tree, fm, cats);
+  EXPECT_EQ(sc.num_categorical(), 2);
+  EXPECT_GT(sc.num_aggregates(), CovarBatchSize(3));
+
+  DataMatrix m = MaterializeJoin(
+      tree, std::vector<ColumnRef>{
+                {"F", "x"}, {"D", "z"}, {"F", "y"}, {"F", "c1"}, {"D", "c2"}});
+  // Spot-check every aggregate family against manual grouping.
+  for (int v = 0; v < fx.k1; ++v) {
+    double want_count = 0, want_sum_x = 0;
+    for (size_t r = 0; r < m.num_rows(); ++r) {
+      if (static_cast<int>(m.At(r, 3)) != v) continue;
+      want_count += 1;
+      want_sum_x += m.At(r, 0);
+    }
+    const double* c = sc.cat_count(0).Find(PackKey1(v));
+    if (want_count == 0) {
+      EXPECT_TRUE(c == nullptr || *c == 0);
+      continue;
+    }
+    ASSERT_NE(c, nullptr);
+    EXPECT_NEAR(*c, want_count, 1e-9);
+    EXPECT_NEAR(*sc.cat_sum(0, 0).Find(PackKey1(v)), want_sum_x,
+                1e-8 * (1 + std::abs(want_sum_x)));
+  }
+  for (int v = 0; v < fx.k1; ++v) {
+    for (int w = 0; w < fx.k2; ++w) {
+      double want = 0;
+      for (size_t r = 0; r < m.num_rows(); ++r) {
+        if (static_cast<int>(m.At(r, 3)) == v &&
+            static_cast<int>(m.At(r, 4)) == w) {
+          want += 1;
+        }
+      }
+      const double* c = sc.pair_count(0, 1).Find(PackKey2(v, w));
+      if (want == 0) {
+        EXPECT_TRUE(c == nullptr);
+      } else {
+        ASSERT_NE(c, nullptr);
+        EXPECT_NEAR(*c, want, 1e-9);
+      }
+    }
+  }
+}
+
+class CategoricalRidgeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CategoricalRidgeProperty, MatchesExplicitOneHotSolver) {
+  Fixture fx(GetParam());
+  FeatureMap fm(fx.query, {{"F", "x"}, {"D", "z"}, {"F", "y"}});
+  std::vector<FeatureRef> cats{{"F", "c1"}, {"D", "c2"}};
+  RootedTree tree = fx.query.Root("F");
+  SparseCovar sc = ComputeSparseCovar(tree, fm, cats);
+
+  CategoricalRidgeOptions opts;
+  opts.lambda = 1e-3;
+  CategoricalTrainInfo info;
+  CategoricalModel model = TrainRidgeCategorical(sc, 2, opts, &info);
+  EXPECT_GT(info.num_parameters, 3u);
+  EXPECT_LT(info.final_delta, 1e-8);
+
+  // Reference: explicit one-hot design over the materialized join, normal
+  // equations with the same penalty (bias unpenalized).
+  DataMatrix m = MaterializeJoin(
+      tree, std::vector<ColumnRef>{
+                {"F", "x"}, {"D", "z"}, {"F", "y"}, {"F", "c1"}, {"D", "c2"}});
+  const int p = 1 + 2 + fx.k1 + fx.k2;  // bias, x, z, one-hots
+  auto design = [&](size_t r, std::vector<double>* row) {
+    row->assign(p, 0.0);
+    (*row)[0] = 1.0;
+    (*row)[1] = m.At(r, 0);
+    (*row)[2] = m.At(r, 1);
+    (*row)[3 + static_cast<int>(m.At(r, 3))] = 1.0;
+    (*row)[3 + fx.k1 + static_cast<int>(m.At(r, 4))] = 1.0;
+  };
+  std::vector<double> a(p * p, 0.0), b(p, 0.0), row;
+  for (size_t r = 0; r < m.num_rows(); ++r) {
+    design(r, &row);
+    for (int i = 0; i < p; ++i) {
+      b[i] += row[i] * m.At(r, 2);
+      for (int j = 0; j < p; ++j) a[i * p + j] += row[i] * row[j];
+    }
+  }
+  double penalty = opts.lambda * static_cast<double>(m.num_rows());
+  for (int i = 1; i < p; ++i) a[i * p + i] += penalty;
+  a[0] += 1e-9;  // keep the (unpenalized) bias row positive definite
+  std::vector<double> theta;
+  ASSERT_TRUE(CholeskySolve(a, b, p, &theta));
+
+  // Predictions must match on every join tuple (the parametrizations can
+  // differ by one-hot gauge only when unpenalized; ridge pins them).
+  double max_diff = 0;
+  std::vector<double> cont_row(3);
+  int32_t cat_codes[2];
+  for (size_t r = 0; r < m.num_rows(); ++r) {
+    design(r, &row);
+    double ref = 0;
+    for (int i = 0; i < p; ++i) ref += row[i] * theta[i];
+    cont_row[0] = m.At(r, 0);
+    cont_row[1] = m.At(r, 1);
+    cat_codes[0] = static_cast<int32_t>(m.At(r, 3));
+    cat_codes[1] = static_cast<int32_t>(m.At(r, 4));
+    max_diff = std::max(
+        max_diff, std::abs(model.Predict(cont_row.data(), cat_codes) - ref));
+  }
+  EXPECT_LT(max_diff, 1e-5);
+}
+
+TEST_P(CategoricalRidgeProperty, RecoversPlantedEffects) {
+  Fixture fx(GetParam() + 10, 6000);
+  FeatureMap fm(fx.query, {{"F", "x"}, {"D", "z"}, {"F", "y"}});
+  RootedTree tree = fx.query.Root("F");
+  SparseCovar sc =
+      ComputeSparseCovar(tree, fm, {{"F", "c1"}, {"D", "c2"}});
+  CategoricalRidgeOptions opts;
+  opts.lambda = 1e-6;
+  CategoricalModel model = TrainRidgeCategorical(sc, 2, opts);
+  EXPECT_NEAR(model.cont_weights[0], 2.0, 0.05);   // x
+  EXPECT_NEAR(model.cont_weights[1], -1.0, 0.05);  // z
+  // Category effect DIFFERENCES are identified (levels absorb the bias).
+  const double* w0 = model.cat_weights[0].Find(PackKey1(0));
+  const double* w1 = model.cat_weights[0].Find(PackKey1(1));
+  ASSERT_NE(w0, nullptr);
+  ASSERT_NE(w1, nullptr);
+  EXPECT_NEAR(*w1 - *w0, fx.eff1[1] - fx.eff1[0], 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CategoricalRidgeProperty,
+                         ::testing::Values(1, 4, 9));
+
+}  // namespace
+}  // namespace relborg

@@ -1,0 +1,98 @@
+// Tests for the synthetic dataset generators: schemas, join shapes,
+// determinism, and end-to-end usability with the engines.
+#include "core/covar_engine.h"
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "query/width.h"
+
+namespace relborg {
+namespace {
+
+GenOptions Tiny() {
+  GenOptions o;
+  o.scale = 0.001;
+  return o;
+}
+
+class DatasetTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetTest, GeneratesUsableDataset) {
+  Dataset ds = MakeDataset(GetParam(), Tiny());
+  EXPECT_EQ(ds.name, GetParam());
+  EXPECT_GE(ds.query.num_relations(), 3);
+  EXPECT_GT(ds.catalog->TotalRows(), 0u);
+  // Fact exists and is the largest relation.
+  const Relation* fact = ds.catalog->Get(ds.fact);
+  for (int v = 0; v < ds.query.num_relations(); ++v) {
+    EXPECT_LE(ds.query.relation(v)->num_rows(), fact->num_rows());
+  }
+  // All features resolve, response is among them and last.
+  FeatureMap fm(ds.query, ds.features);
+  EXPECT_GE(fm.num_features(), 5);
+  EXPECT_EQ(ds.features.back().relation, ds.response.relation);
+  EXPECT_EQ(ds.features.back().attr, ds.response.attr);
+  // Categorical attributes resolve with the right type.
+  for (const FeatureRef& c : ds.categoricals) {
+    const Relation* rel = ds.catalog->Get(c.relation);
+    int attr = rel->schema().MustIndexOf(c.attr);
+    EXPECT_EQ(rel->schema().attr(attr).type, AttrType::kCategorical);
+  }
+}
+
+TEST_P(DatasetTest, JoinIsAcyclicTreeAndNonEmpty) {
+  Dataset ds = MakeDataset(GetParam(), Tiny());
+  // The join graph is a tree by construction (Root() checks edge count);
+  // the query hypergraph is alpha-acyclic.
+  Hypergraph hg;
+  for (int v = 0; v < ds.query.num_relations(); ++v) {
+    const Relation* rel = ds.query.relation(v);
+    std::vector<std::string> attrs;
+    for (int a = 0; a < rel->schema().num_attrs(); ++a) {
+      attrs.push_back(rel->schema().attr(a).name);
+    }
+    hg.AddEdge(attrs);
+  }
+  EXPECT_TRUE(IsAlphaAcyclic(hg));
+
+  FeatureMap fm(ds.query, ds.features);
+  CovarMatrix m = ComputeCovarMatrix(ds.RootAtFact(), fm);
+  EXPECT_GT(m.count(), 0.0);
+  // Response has signal: nonzero variance.
+  int y = fm.num_features() - 1;
+  EXPECT_GT(m.Covariance(y, y), 0.0);
+}
+
+TEST_P(DatasetTest, DeterministicForFixedSeed) {
+  Dataset a = MakeDataset(GetParam(), Tiny());
+  Dataset b = MakeDataset(GetParam(), Tiny());
+  ASSERT_EQ(a.catalog->TotalRows(), b.catalog->TotalRows());
+  const Relation* fa = a.catalog->Get(a.fact);
+  const Relation* fb = b.catalog->Get(b.fact);
+  ASSERT_EQ(fa->num_rows(), fb->num_rows());
+  for (size_t r = 0; r < std::min<size_t>(fa->num_rows(), 100); ++r) {
+    for (int attr = 0; attr < fa->num_attrs(); ++attr) {
+      EXPECT_DOUBLE_EQ(fa->AsDouble(r, attr), fb->AsDouble(r, attr));
+    }
+  }
+}
+
+TEST_P(DatasetTest, ScaleGrowsRows) {
+  GenOptions small = Tiny();
+  GenOptions larger = Tiny();
+  larger.scale = 0.004;
+  Dataset a = MakeDataset(GetParam(), small);
+  Dataset b = MakeDataset(GetParam(), larger);
+  EXPECT_GT(b.catalog->Get(b.fact)->num_rows(),
+            a.catalog->Get(a.fact)->num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetTest,
+                         ::testing::ValuesIn(DatasetNames()));
+
+TEST(DatasetRegistryTest, Names) {
+  EXPECT_EQ(DatasetNames().size(), 4u);
+  EXPECT_EQ(DatasetNames()[0], "retailer");
+}
+
+}  // namespace
+}  // namespace relborg

@@ -1,0 +1,129 @@
+// Tests for the shared decision-node batch engine against per-candidate
+// computation over the materialized join.
+#include <cmath>
+
+#include "baseline/materializer.h"
+#include "core/decision_node_engine.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace relborg {
+namespace {
+
+using testing::MakeRandomDb;
+using testing::RandomDb;
+using testing::Topology;
+
+class DecisionNodeProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, Topology>> {};
+
+TEST_P(DecisionNodeProperty, StatsMatchMaterialized) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology);
+  FeatureMap fm(db.query, db.features);
+  // Response: the last feature.
+  int y = fm.num_features() - 1;
+  int response_node = fm.NodeOf(y);
+  int response_attr = fm.AttrOf(y);
+
+  // Candidates: thresholds on every feature (one per feature), plus a
+  // categorical candidate on the fact key.
+  std::vector<SplitCandidate> candidates;
+  for (int f = 0; f + 1 < fm.num_features(); ++f) {
+    candidates.push_back(
+        {fm.NodeOf(f), Predicate::Ge(fm.AttrOf(f), 0.25)});
+    candidates.push_back(
+        {fm.NodeOf(f), Predicate::Lt(fm.AttrOf(f), -0.5)});
+  }
+  candidates.push_back({0, Predicate::InSet(0, {0, 2, 4})});
+
+  // Path filter restricting the first feature's relation.
+  FilterSet path(db.query.num_relations());
+  path[fm.NodeOf(0)].push_back(Predicate::Lt(fm.AttrOf(0), 1.5));
+
+  std::vector<SplitStats> got = ComputeSplitStats(
+      db.query, response_node, response_attr, path, candidates);
+
+  // Reference: materialized join with all features plus the fact key.
+  RootedTree tree = db.query.Root(0);
+  std::vector<ColumnRef> cols;
+  for (const auto& fr : db.features) cols.push_back({fr.relation, fr.attr});
+  cols.push_back({db.query.relation(0)->name(), "k1"});
+  DataMatrix m = MaterializeJoin(tree, cols, path);
+  const int key_col = m.num_cols() - 1;
+
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    double count = 0, sum = 0, sum_sq = 0;
+    for (size_t r = 0; r < m.num_rows(); ++r) {
+      bool pass;
+      if (i + 1 == candidates.size()) {
+        int32_t k = static_cast<int32_t>(m.At(r, key_col));
+        pass = (k == 0 || k == 2 || k == 4);
+      } else {
+        int f = static_cast<int>(i / 2);
+        double v = m.At(r, f);
+        pass = (i % 2 == 0) ? v >= 0.25 : v < -0.5;
+      }
+      if (!pass) continue;
+      double yv = m.At(r, y);
+      count += 1;
+      sum += yv;
+      sum_sq += yv * yv;
+    }
+    EXPECT_NEAR(got[i].count, count, 1e-7) << i;
+    EXPECT_NEAR(got[i].sum, sum, 1e-6 * (1 + std::abs(sum))) << i;
+    EXPECT_NEAR(got[i].sum_sq, sum_sq, 1e-6 * (1 + std::abs(sum_sq))) << i;
+  }
+}
+
+TEST_P(DecisionNodeProperty, ClassCountsMatchMaterialized) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology);
+  // Response: the fact's categorical key k1 (acts as a class label).
+  int response_node = 0;
+  int response_attr = 0;
+  FeatureMap fm(db.query, db.features);
+
+  std::vector<SplitCandidate> candidates;
+  candidates.push_back({fm.NodeOf(0), Predicate::Ge(fm.AttrOf(0), 0.0)});
+  candidates.push_back({fm.NodeOf(1), Predicate::Lt(fm.AttrOf(1), 0.3)});
+
+  std::vector<FlatHashMap<double>> got = ComputeSplitClassCounts(
+      db.query, response_node, response_attr, {}, candidates);
+
+  RootedTree tree = db.query.Root(0);
+  std::vector<ColumnRef> cols{{db.query.relation(0)->name(), "k1"}};
+  for (const auto& fr : db.features) cols.push_back({fr.relation, fr.attr});
+  DataMatrix m = MaterializeJoin(tree, cols);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    std::map<int32_t, double> want;
+    for (size_t r = 0; r < m.num_rows(); ++r) {
+      double v = m.At(r, static_cast<int>(i) + 1);
+      bool pass = i == 0 ? v >= 0.0 : m.At(r, 2) < 0.3;
+      if (pass) want[static_cast<int32_t>(m.At(r, 0))] += 1;
+    }
+    double got_total = 0;
+    got[i].ForEach([&](uint64_t, double c) { got_total += c; });
+    double want_total = 0;
+    for (const auto& [cls, c] : want) {
+      const double* g = got[i].Find(PackKey1(cls));
+      ASSERT_NE(g, nullptr) << "class " << cls;
+      EXPECT_NEAR(*g, c, 1e-9);
+      want_total += c;
+    }
+    EXPECT_NEAR(got_total, want_total, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDbs, DecisionNodeProperty,
+    ::testing::Combine(::testing::Values(6, 19, 31),
+                       ::testing::Values(Topology::kStar, Topology::kChain,
+                                         Topology::kBushy)));
+
+TEST(DecisionNodeBatchSizeTest, ThreePerCandidate) {
+  EXPECT_EQ(DecisionNodeBatchSize(10), 30u);
+}
+
+}  // namespace
+}  // namespace relborg

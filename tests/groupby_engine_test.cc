@@ -1,0 +1,206 @@
+// Tests for the factorized group-by engine (sparse tensors of Sec. 2.1):
+// the dinner example with hand-computed groups, plus property tests
+// cross-checking against materialized GROUP BY on random databases.
+#include <cmath>
+#include <map>
+
+#include "baseline/materializer.h"
+#include "core/groupby_engine.h"
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace relborg {
+namespace {
+
+using testing::MakeDinnerDb;
+using testing::MakeDinnerQuery;
+using testing::MakeRandomDb;
+using testing::RandomDb;
+using testing::Topology;
+
+class GroupByDinnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MakeDinnerDb(&catalog_);
+    query_ = MakeDinnerQuery(catalog_);
+  }
+  Catalog catalog_;
+  JoinQuery query_;
+};
+
+TEST_F(GroupByDinnerTest, SumPriceGroupByDish) {
+  // Figure 9 (right): SUM(price) GROUP BY dish = {burger: 20, hotdog: 16}.
+  RootedTree tree = query_.Root("Orders");
+  GroupByAggregate agg =
+      SumGroupedBy(query_, "Items", "price", "Orders", "dish");
+  GroupByResult result = ComputeGroupBy(tree, agg);
+  EXPECT_EQ(result.size(), 2u);
+  const double* burger = result.Find(GroupKeyHigh(0));
+  const double* hotdog = result.Find(GroupKeyHigh(1));
+  ASSERT_NE(burger, nullptr);
+  ASSERT_NE(hotdog, nullptr);
+  EXPECT_DOUBLE_EQ(*burger, 20.0);
+  EXPECT_DOUBLE_EQ(*hotdog, 16.0);
+}
+
+TEST_F(GroupByDinnerTest, CountGroupByCustomer) {
+  // Elise: 2 orders x 3 items = 6; Steve: 3; Joe: 3.
+  RootedTree tree = query_.Root("Items");  // root choice must not matter
+  GroupByResult result =
+      ComputeGroupBy(tree, CountGroupedBy(query_, "Orders", "customer"));
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_DOUBLE_EQ(*result.Find(GroupKeyHigh(0)), 6.0);
+  EXPECT_DOUBLE_EQ(*result.Find(GroupKeyHigh(1)), 3.0);
+  EXPECT_DOUBLE_EQ(*result.Find(GroupKeyHigh(2)), 3.0);
+}
+
+TEST_F(GroupByDinnerTest, PairGroupAcrossBranches) {
+  // (day, item) pair counts: cross-relation sparse tensor.
+  RootedTree tree = query_.Root("Dish");
+  GroupByResult result = ComputeGroupBy(
+      tree, CountGroupedByPair(query_, "Orders", "day", "Items", "item"));
+  // Monday(0) x patty(0): 1 (Elise Monday burger).
+  EXPECT_DOUBLE_EQ(*result.Find(GroupKeyBoth(0, 0)), 1.0);
+  // Friday(1) x onion(1): Elise burger + Steve hotdog + Joe hotdog = 3.
+  EXPECT_DOUBLE_EQ(*result.Find(GroupKeyBoth(1, 1)), 3.0);
+  // Friday(1) x sausage(3): 2 hotdog orders.
+  EXPECT_DOUBLE_EQ(*result.Find(GroupKeyBoth(1, 3)), 2.0);
+  // Monday x sausage: absent.
+  EXPECT_EQ(result.Find(GroupKeyBoth(0, 3)), nullptr);
+}
+
+TEST_F(GroupByDinnerTest, ScalarAggregateUsesUnitKey) {
+  RootedTree tree = query_.Root("Orders");
+  GroupByAggregate agg;  // plain COUNT(*)
+  GroupByResult result = ComputeGroupBy(tree, agg);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_DOUBLE_EQ(*result.Find(kUnitKey), 12.0);
+}
+
+TEST_F(GroupByDinnerTest, SquaredMeasure) {
+  RootedTree tree = query_.Root("Orders");
+  GroupByAggregate agg;
+  int items = query_.IndexOf("Items");
+  int price = catalog_.Get("Items")->schema().MustIndexOf("price");
+  agg.measure = {{items, price}, {items, price}};  // SUM(price^2)
+  GroupByResult result = ComputeGroupBy(tree, agg);
+  EXPECT_DOUBLE_EQ(*result.Find(kUnitKey), 2 * 44.0 + 2 * 24.0);
+}
+
+// --- Property tests against the materialized reference ---
+
+class GroupByProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, Topology>> {};
+
+TEST_P(GroupByProperty, MatchesMaterializedGroupBy) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology);
+  // Group by the fact's first key attribute, measure = first feature.
+  const FeatureRef& mref = db.features[0];
+  GroupByAggregate agg = SumGroupedBy(db.query, mref.relation, mref.attr,
+                                      db.query.relation(0)->name(), "k1");
+  RootedTree tree = db.query.Root(0);
+  GroupByResult got = ComputeGroupBy(tree, agg);
+
+  // Reference: materialize and group manually.
+  DataMatrix m = MaterializeJoin(
+      tree, std::vector<ColumnRef>{{db.query.relation(0)->name(), "k1"},
+                                   {mref.relation, mref.attr}});
+  std::map<int32_t, double> want;
+  for (size_t r = 0; r < m.num_rows(); ++r) {
+    want[static_cast<int32_t>(m.At(r, 0))] += m.At(r, 1);
+  }
+  size_t matched = 0;
+  for (const auto& [k, v] : want) {
+    const double* g = got.Find(GroupKeyHigh(k));
+    ASSERT_NE(g, nullptr) << "missing group " << k;
+    EXPECT_NEAR(*g, v, 1e-7 * (1 + std::abs(v)));
+    ++matched;
+  }
+  EXPECT_EQ(matched, got.size());
+}
+
+TEST_P(GroupByProperty, PairGroupMatchesMaterialized) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology);
+  // Pair: fact key k1 x another relation's key (its own join attribute).
+  const Relation* d1 = db.query.relation(1);
+  std::string attr2 = d1->schema().attr(0).name;
+  GroupByAggregate agg = CountGroupedByPair(
+      db.query, db.query.relation(0)->name(), "k1", d1->name(), attr2);
+  RootedTree tree = db.query.Root(0);
+  GroupByResult got = ComputeGroupBy(tree, agg);
+
+  DataMatrix m = MaterializeJoin(
+      tree, std::vector<ColumnRef>{{db.query.relation(0)->name(), "k1"},
+                                   {d1->name(), attr2}});
+  std::map<std::pair<int32_t, int32_t>, double> want;
+  for (size_t r = 0; r < m.num_rows(); ++r) {
+    want[{static_cast<int32_t>(m.At(r, 0)),
+          static_cast<int32_t>(m.At(r, 1))}] += 1.0;
+  }
+  size_t matched = 0;
+  for (const auto& [k, v] : want) {
+    const double* g = got.Find(GroupKeyBoth(k.first, k.second));
+    ASSERT_NE(g, nullptr);
+    EXPECT_NEAR(*g, v, 1e-9);
+    ++matched;
+  }
+  EXPECT_EQ(matched, got.size());
+}
+
+TEST_P(GroupByProperty, FiltersRespected) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology);
+  FilterSet filters(db.query.num_relations());
+  filters[0].push_back(Predicate::InSet(0, {0, 1, 2}));
+  GroupByAggregate agg =
+      CountGroupedBy(db.query, db.query.relation(0)->name(), "k1");
+  RootedTree tree = db.query.Root(0);
+  GroupByResult got = ComputeGroupBy(tree, agg, filters);
+  got.ForEach([&](uint64_t key, double) {
+    int32_t k = UnpackHigh(key);
+    EXPECT_GE(k, 0);
+    EXPECT_LE(k, 2);
+  });
+  EXPECT_NEAR([&] {
+    double total = 0;
+    got.ForEach([&](uint64_t, double v) { total += v; });
+    return total;
+  }(), CountJoin(tree, filters), 1e-9);
+}
+
+TEST_P(GroupByProperty, BatchMatchesIndividualEvaluation) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology);
+  RootedTree tree = db.query.Root(0);
+  const std::string fact = db.query.relation(0)->name();
+  const Relation* d1 = db.query.relation(1);
+  std::vector<GroupByAggregate> batch{
+      GroupByAggregate{},  // COUNT(*)
+      CountGroupedBy(db.query, fact, "k1"),
+      SumGroupedBy(db.query, db.features[0].relation, db.features[0].attr,
+                   fact, "k1"),
+      CountGroupedByPair(db.query, fact, "k1", d1->name(),
+                         d1->schema().attr(0).name)};
+  std::vector<GroupByResult> got = ComputeGroupByBatch(tree, batch);
+  ASSERT_EQ(got.size(), batch.size());
+  for (size_t q = 0; q < batch.size(); ++q) {
+    GroupByResult want = ComputeGroupBy(tree, batch[q]);
+    EXPECT_EQ(got[q].size(), want.size()) << q;
+    want.ForEach([&](uint64_t key, double v) {
+      const double* g = got[q].Find(key);
+      ASSERT_NE(g, nullptr) << q;
+      EXPECT_NEAR(*g, v, 1e-8 * (1 + std::abs(v))) << q;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDbs, GroupByProperty,
+    ::testing::Combine(::testing::Values(4, 8, 15, 23),
+                       ::testing::Values(Topology::kStar, Topology::kChain,
+                                         Topology::kBushy)));
+
+}  // namespace
+}  // namespace relborg

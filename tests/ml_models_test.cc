@@ -1,0 +1,298 @@
+// Tests for decision trees, PCA, mutual information / Chow-Liu, FD
+// reparameterization, and model selection.
+#include <cmath>
+
+#include "baseline/materializer.h"
+#include "core/covar_engine.h"
+#include "gtest/gtest.h"
+#include "ml/decision_tree.h"
+#include "ml/fd_reparam.h"
+#include "ml/model_selection.h"
+#include "ml/mutual_information.h"
+#include "ml/pca.h"
+#include "tests/test_util.h"
+
+namespace relborg {
+namespace {
+
+using testing::MakeRandomDb;
+using testing::RandomDb;
+using testing::Topology;
+
+// --- Decision trees ---
+
+// A two-relation database with an obvious split structure.
+struct TreeFixture {
+  Catalog catalog;
+  JoinQuery query;
+};
+
+void BuildTreeDb(TreeFixture* fx, int rows = 2000) {
+  Schema fact({{"k", AttrType::kCategorical},
+               {"x", AttrType::kDouble},
+               {"y", AttrType::kDouble}});
+  Schema dim({{"k", AttrType::kCategorical},
+              {"g", AttrType::kCategorical},
+              {"z", AttrType::kDouble}});
+  Relation* f = fx->catalog.AddRelation("F", fact);
+  Relation* d = fx->catalog.AddRelation("D", dim);
+  Rng rng(17);
+  const int kDomain = 20;
+  std::vector<double> zs(kDomain);
+  for (int k = 0; k < kDomain; ++k) {
+    zs[k] = rng.Uniform(-1, 1);
+    d->AppendRow({static_cast<double>(k), static_cast<double>(k % 3), zs[k]});
+  }
+  for (int i = 0; i < rows; ++i) {
+    int k = static_cast<int>(rng.Below(kDomain));
+    double x = rng.Uniform(-2, 2);
+    // Piecewise response: step on x at 0.5, step on z at 0.
+    double y = (x >= 0.5 ? 5.0 : 0.0) + (zs[k] >= 0 ? 2.0 : 0.0) +
+               rng.Gaussian(0, 0.1);
+    f->AppendRow({static_cast<double>(k), x, y});
+  }
+  fx->query.AddRelation(f);
+  fx->query.AddRelation(d);
+  fx->query.AddJoin("F", "D", {"k"});
+}
+
+TEST(DecisionTreeTest, FindsPlantedSplits) {
+  TreeFixture fx;
+  BuildTreeDb(&fx);
+  std::vector<TreeFeature> features{{"F", "x", false}, {"D", "z", false}};
+  DecisionTreeOptions opts;
+  opts.max_depth = 3;
+  opts.thresholds_per_feature = 16;
+  DecisionTree tree = DecisionTree::TrainRegression(
+      fx.query, FeatureRef{"F", "y"}, features, opts);
+  EXPECT_GT(tree.num_nodes(), 3);
+  EXPECT_GT(tree.aggregates_evaluated(), 0u);
+
+  // MSE over the materialized join must be far below the response variance.
+  RootedTree rt = fx.query.Root("F");
+  DataMatrix data = MaterializeJoin(
+      rt, std::vector<ColumnRef>{{"F", "x"}, {"D", "z"}, {"F", "y"}});
+  double mse = tree.Mse(data, 2);
+  double mean = 0, var = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) mean += data.At(r, 2);
+  mean /= static_cast<double>(data.num_rows());
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    var += (data.At(r, 2) - mean) * (data.At(r, 2) - mean);
+  }
+  var /= static_cast<double>(data.num_rows());
+  EXPECT_LT(mse, 0.1 * var);
+  EXPECT_LE(tree.depth(), opts.max_depth);
+}
+
+TEST(DecisionTreeTest, CategoricalSplits) {
+  TreeFixture fx;
+  BuildTreeDb(&fx);
+  // Response depends on g only through z's sign; a categorical-only tree
+  // still must beat the mean predictor using g as proxy where informative.
+  std::vector<TreeFeature> features{{"F", "x", false}, {"D", "g", true}};
+  DecisionTree tree = DecisionTree::TrainRegression(
+      fx.query, FeatureRef{"F", "y"}, features, {});
+  EXPECT_GT(tree.num_nodes(), 1);
+  RootedTree rt = fx.query.Root("F");
+  DataMatrix data = MaterializeJoin(
+      rt, std::vector<ColumnRef>{{"F", "x"}, {"D", "g"}, {"F", "y"}});
+  double mse = tree.Mse(data, 2);
+  EXPECT_LT(mse, 4.0);  // x-splits alone capture the big step
+}
+
+TEST(DecisionTreeTest, ClassificationOnSeparableData) {
+  Catalog catalog;
+  Schema fact({{"k", AttrType::kCategorical},
+               {"x", AttrType::kDouble},
+               {"label", AttrType::kCategorical}});
+  Schema dim({{"k", AttrType::kCategorical}});
+  Relation* f = catalog.AddRelation("F", fact);
+  Relation* d = catalog.AddRelation("D", dim);
+  d->AppendRow({0});
+  Rng rng(23);
+  for (int i = 0; i < 1500; ++i) {
+    double x = rng.Uniform(-1, 1);
+    int label = x >= 0.2 ? 1 : 0;
+    // 5% label noise.
+    if (rng.Uniform() < 0.05) label = 1 - label;
+    f->AppendRow({0, x, static_cast<double>(label)});
+  }
+  JoinQuery q;
+  q.AddRelation(f);
+  q.AddRelation(d);
+  q.AddJoin("F", "D", {"k"});
+  DecisionTreeOptions opts;
+  opts.max_depth = 2;
+  opts.thresholds_per_feature = 20;
+  DecisionTree tree = DecisionTree::TrainClassification(
+      q, FeatureRef{"F", "label"}, {{"F", "x", false}}, opts);
+  // Accuracy on the training data should be ~95%.
+  int correct = 0;
+  for (size_t r = 0; r < f->num_rows(); ++r) {
+    double row[1] = {f->Double(r, 1)};
+    if (static_cast<int>(tree.Predict(row)) == f->Cat(r, 2)) ++correct;
+  }
+  EXPECT_GT(correct, 1350);
+}
+
+// --- PCA ---
+
+TEST(PcaTest, RecoversDominantDirection) {
+  // Data concentrated along (1,1)/sqrt(2) in features 0,1; feature 2 noise.
+  Catalog catalog;
+  Schema s({{"k", AttrType::kCategorical},
+            {"a", AttrType::kDouble},
+            {"b", AttrType::kDouble},
+            {"c", AttrType::kDouble}});
+  Relation* r = catalog.AddRelation("R", s);
+  Schema dim_schema({{"k", AttrType::kCategorical}});
+  Relation* dim = catalog.AddRelation("D", dim_schema);
+  dim->AppendRow({0});
+  Rng rng(4);
+  for (int i = 0; i < 4000; ++i) {
+    double t = rng.Gaussian(0, 3);
+    r->AppendRow({0, t + rng.Gaussian(0, 0.1), t + rng.Gaussian(0, 0.1),
+                  rng.Gaussian(0, 0.1)});
+  }
+  JoinQuery q;
+  q.AddRelation(r);
+  q.AddRelation(dim);
+  q.AddJoin("R", "D", {"k"});
+  FeatureMap fm(q, {{"R", "a"}, {"R", "b"}, {"R", "c"}});
+  CovarMatrix m = ComputeCovarMatrix(q.Root("R"), fm);
+  PcaResult pca = ComputePca(m, 2);
+  ASSERT_GE(pca.components.size(), 1u);
+  const auto& v = pca.components[0];
+  double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(v[0]), inv_sqrt2, 0.02);
+  EXPECT_NEAR(std::abs(v[1]), inv_sqrt2, 0.02);
+  EXPECT_NEAR(v[2], 0.0, 0.05);
+  EXPECT_GT(pca.explained_ratio[0], 0.95);
+  ASSERT_EQ(pca.eigenvalues.size(), 2u);
+  EXPECT_GE(pca.eigenvalues[0], pca.eigenvalues[1]);
+}
+
+// --- Mutual information / Chow-Liu ---
+
+TEST(MutualInformationTest, DependentPairBeatsIndependentPair) {
+  Catalog catalog;
+  Schema s({{"k", AttrType::kCategorical},
+            {"a", AttrType::kCategorical},
+            {"b", AttrType::kCategorical},
+            {"c", AttrType::kCategorical}});
+  Relation* r = catalog.AddRelation("R", s);
+  Schema dim_schema({{"k", AttrType::kCategorical}});
+  Relation* dim = catalog.AddRelation("D", dim_schema);
+  dim->AppendRow({0});
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    int a = static_cast<int>(rng.Below(4));
+    int b = rng.Uniform() < 0.9 ? a : static_cast<int>(rng.Below(4));
+    int c = static_cast<int>(rng.Below(4));  // independent
+    r->AppendRow({0, static_cast<double>(a), static_cast<double>(b),
+                  static_cast<double>(c)});
+  }
+  JoinQuery q;
+  q.AddRelation(r);
+  q.AddRelation(dim);
+  q.AddJoin("R", "D", {"k"});
+  MutualInformationResult mi = ComputeMutualInformation(
+      q.Root("R"), {{"R", "a"}, {"R", "b"}, {"R", "c"}});
+  EXPECT_GT(mi.At(0, 1), 0.5);       // strongly dependent
+  EXPECT_LT(mi.At(0, 2), 0.01);      // independent
+  EXPECT_LT(mi.At(1, 2), 0.01);
+  EXPECT_EQ(mi.aggregates, 3u + 3u);  // 3 marginals + 3 pairs
+
+  std::vector<ChowLiuEdge> tree = BuildChowLiuTree(mi);
+  ASSERT_EQ(tree.size(), 2u);
+  // The strongest edge must be (a, b).
+  EXPECT_TRUE((tree[0].a == 0 && tree[0].b == 1) ||
+              (tree[0].a == 1 && tree[0].b == 0));
+}
+
+// --- FD reparameterization ---
+
+TEST(FdReparamTest, SplitIsExactAndMinimumNorm) {
+  Rng rng(31);
+  const int kCities = 40;
+  const int kCountries = 5;
+  std::vector<int32_t> country_of(kCities);
+  std::vector<double> merged(kCities);
+  for (int c = 0; c < kCities; ++c) {
+    country_of[c] = static_cast<int32_t>(rng.Below(kCountries));
+    merged[c] = rng.Uniform(-3, 3);
+  }
+  FdReparamResult split =
+      SplitMergedParameters(merged, country_of, kCountries);
+  // Exact reconstruction: theta_city + theta_country == merged.
+  for (int c = 0; c < kCities; ++c) {
+    EXPECT_NEAR(split.theta_city[c] + split.theta_country[country_of[c]],
+                merged[c], 1e-12);
+  }
+  // Minimum norm: beats the naive split (everything on the city).
+  FdReparamResult naive;
+  naive.theta_city = merged;
+  naive.theta_country.assign(kCountries, 0.0);
+  EXPECT_LE(SplitPenalty(split), SplitPenalty(naive) + 1e-12);
+  // And beats random perturbations that preserve the sums.
+  for (int trial = 0; trial < 20; ++trial) {
+    FdReparamResult other = split;
+    int k = static_cast<int>(rng.Below(kCountries));
+    double eps = rng.Uniform(-0.5, 0.5);
+    other.theta_country[k] += eps;
+    for (int c = 0; c < kCities; ++c) {
+      if (country_of[c] == k) other.theta_city[c] -= eps;
+    }
+    EXPECT_LE(SplitPenalty(split), SplitPenalty(other) + 1e-12);
+  }
+}
+
+// --- Model selection ---
+
+TEST(ModelSelectionTest, PicksInformativeFeaturesFirst) {
+  // y depends on features 0 and 2; 1 and 3 are noise.
+  Catalog catalog;
+  Schema s({{"k", AttrType::kCategorical},
+            {"f0", AttrType::kDouble},
+            {"f1", AttrType::kDouble},
+            {"f2", AttrType::kDouble},
+            {"f3", AttrType::kDouble},
+            {"y", AttrType::kDouble}});
+  Relation* r = catalog.AddRelation("R", s);
+  Schema dim_schema({{"k", AttrType::kCategorical}});
+  Relation* dim = catalog.AddRelation("D", dim_schema);
+  dim->AppendRow({0});
+  Rng rng(12);
+  for (int i = 0; i < 3000; ++i) {
+    double f0 = rng.Gaussian();
+    double f1 = rng.Gaussian();
+    double f2 = rng.Gaussian();
+    double f3 = rng.Gaussian();
+    r->AppendRow({0, f0, f1, f2, f3,
+                  3 * f0 - 2 * f2 + rng.Gaussian(0, 0.05)});
+  }
+  JoinQuery q;
+  q.AddRelation(r);
+  q.AddRelation(dim);
+  q.AddJoin("R", "D", {"k"});
+  FeatureMap fm(q, {{"R", "f0"}, {"R", "f1"}, {"R", "f2"}, {"R", "f3"},
+                    {"R", "y"}});
+  CovarMatrix m = ComputeCovarMatrix(q.Root("R"), fm);
+  ModelSelectionOptions opts;
+  opts.min_mse_gain = 0.01;
+  ModelSelectionResult sel = ForwardSelect(m, 4, opts);
+  ASSERT_GE(sel.steps.size(), 2u);
+  // The first two selections must be the informative features {0, 2}.
+  std::vector<int> first_two{sel.steps[0].added_feature,
+                             sel.steps[1].added_feature};
+  std::sort(first_two.begin(), first_two.end());
+  EXPECT_EQ(first_two, (std::vector<int>{0, 2}));
+  // MSE decreases monotonically along the path.
+  for (size_t i = 1; i < sel.steps.size(); ++i) {
+    EXPECT_LE(sel.steps[i].mse, sel.steps[i - 1].mse + 1e-9);
+  }
+  EXPECT_GT(sel.models_evaluated, 4u);
+}
+
+}  // namespace
+}  // namespace relborg

@@ -1,0 +1,98 @@
+// Unit tests for src/relational: schema, relation, catalog, CSV I/O.
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "relational/catalog.h"
+#include "relational/csv_io.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+
+namespace relborg {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"key", AttrType::kCategorical},
+                 {"value", AttrType::kDouble},
+                 {"tag", AttrType::kCategorical}});
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_attrs(), 3);
+  EXPECT_EQ(s.IndexOf("key"), 0);
+  EXPECT_EQ(s.IndexOf("value"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_TRUE(s.HasAttribute("tag"));
+  EXPECT_FALSE(s.HasAttribute("nope"));
+}
+
+TEST(RelationTest, AppendAndRead) {
+  Relation r("R", TestSchema());
+  r.AppendRow({3, 1.5, 7});
+  r.AppendRow({4, -2.25, 9});
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.Cat(0, 0), 3);
+  EXPECT_DOUBLE_EQ(r.Double(0, 1), 1.5);
+  EXPECT_EQ(r.Cat(1, 2), 9);
+  EXPECT_DOUBLE_EQ(r.AsDouble(1, 0), 4.0);
+}
+
+TEST(RelationTest, DomainSize) {
+  Relation r("R", TestSchema());
+  EXPECT_EQ(r.DomainSize(0), 0);
+  r.AppendRow({3, 0.0, 0});
+  r.AppendRow({7, 0.0, 2});
+  EXPECT_EQ(r.DomainSize(0), 8);
+  EXPECT_EQ(r.DomainSize(2), 3);
+}
+
+TEST(RelationTest, ByteSizeGrows) {
+  Relation r("R", TestSchema());
+  size_t empty = r.ByteSize();
+  r.AppendRow({1, 2.0, 3});
+  EXPECT_GT(r.ByteSize(), empty);
+  // 1 double + 2 int32 per row.
+  EXPECT_EQ(r.ByteSize(), sizeof(double) + 2 * sizeof(int32_t));
+}
+
+TEST(CatalogTest, AddAndGet) {
+  Catalog c;
+  Relation* r = c.AddRelation("R", TestSchema());
+  r->AppendRow({1, 2.0, 3});
+  EXPECT_TRUE(c.Has("R"));
+  EXPECT_FALSE(c.Has("S"));
+  EXPECT_EQ(c.Get("R")->num_rows(), 1u);
+  EXPECT_EQ(c.num_relations(), 1);
+  EXPECT_EQ(c.TotalRows(), 1u);
+  EXPECT_GT(c.TotalBytes(), 0u);
+}
+
+TEST(CsvIoTest, RoundTrip) {
+  Relation r("R", TestSchema());
+  r.AppendRow({3, 1.5, 7});
+  r.AppendRow({4, -2.25, 9});
+  r.AppendRow({5, 1e6, 11});
+  std::string path = ::testing::TempDir() + "/relborg_csv_test.csv";
+  ASSERT_TRUE(WriteCsv(r, path));
+  EXPECT_GT(FileBytes(path), 0u);
+
+  Relation back("R2", TestSchema());
+  ASSERT_TRUE(ReadCsv(path, "R2", TestSchema(), &back));
+  ASSERT_EQ(back.num_rows(), 3u);
+  for (size_t row = 0; row < 3; ++row) {
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_DOUBLE_EQ(back.AsDouble(row, a), r.AsDouble(row, a));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, MissingFileFails) {
+  Relation out("X", TestSchema());
+  EXPECT_FALSE(ReadCsv("/nonexistent/path.csv", "X", TestSchema(), &out));
+  EXPECT_EQ(FileBytes("/nonexistent/path.csv"), 0u);
+}
+
+}  // namespace
+}  // namespace relborg

@@ -1,0 +1,252 @@
+// Property tests for the ring layer: the covariance ring and the group-by
+// (sparse tensor) ring must satisfy the (semi)ring axioms of Sec. 3.1 of the
+// paper; lifts must match brute-force moments.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "ring/covariance.h"
+#include "ring/group_ring.h"
+#include "util/rng.h"
+
+namespace relborg {
+namespace {
+
+constexpr int kN = 4;
+constexpr double kTol = 1e-9;
+
+CovarPayload RandomPayload(Rng* rng) {
+  CovarPayload p = CovarPayload::Zero(kN);
+  p.count = rng->Uniform(0.0, 3.0);
+  for (auto& s : p.sum) s = rng->Uniform(-2.0, 2.0);
+  for (auto& q : p.quad) q = rng->Uniform(-2.0, 2.0);
+  return p;
+}
+
+void ExpectNear(const CovarPayload& a, const CovarPayload& b) {
+  ASSERT_EQ(a.sum.size(), b.sum.size());
+  EXPECT_NEAR(a.count, b.count, kTol);
+  for (size_t i = 0; i < a.sum.size(); ++i) {
+    EXPECT_NEAR(a.sum[i], b.sum[i], kTol);
+  }
+  for (size_t i = 0; i < a.quad.size(); ++i) {
+    EXPECT_NEAR(a.quad[i], b.quad[i], kTol);
+  }
+}
+
+class CovarRingAxioms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CovarRingAxioms, AdditionCommutes) {
+  Rng rng(GetParam());
+  CovarPayload a = RandomPayload(&rng);
+  CovarPayload b = RandomPayload(&rng);
+  CovarPayload ab = a;
+  CovarAddInPlace(&ab, b);
+  CovarPayload ba = b;
+  CovarAddInPlace(&ba, a);
+  ExpectNear(ab, ba);
+}
+
+TEST_P(CovarRingAxioms, MultiplicationCommutes) {
+  Rng rng(GetParam());
+  CovarPayload a = RandomPayload(&rng);
+  CovarPayload b = RandomPayload(&rng);
+  CovarPayload ab;
+  CovarPayload ba;
+  CovarMulInto(kN, a, b, &ab);
+  CovarMulInto(kN, b, a, &ba);
+  ExpectNear(ab, ba);
+}
+
+TEST_P(CovarRingAxioms, MultiplicationAssociates) {
+  Rng rng(GetParam());
+  CovarPayload a = RandomPayload(&rng);
+  CovarPayload b = RandomPayload(&rng);
+  CovarPayload c = RandomPayload(&rng);
+  CovarPayload ab, ab_c, bc, a_bc;
+  CovarMulInto(kN, a, b, &ab);
+  CovarMulInto(kN, ab, c, &ab_c);
+  CovarMulInto(kN, b, c, &bc);
+  CovarMulInto(kN, a, bc, &a_bc);
+  ExpectNear(ab_c, a_bc);
+}
+
+TEST_P(CovarRingAxioms, DistributivityOverAddition) {
+  Rng rng(GetParam());
+  CovarPayload a = RandomPayload(&rng);
+  CovarPayload b = RandomPayload(&rng);
+  CovarPayload c = RandomPayload(&rng);
+  // a * (b + c)
+  CovarPayload bc = b;
+  CovarAddInPlace(&bc, c);
+  CovarPayload lhs;
+  CovarMulInto(kN, a, bc, &lhs);
+  // a * b + a * c
+  CovarPayload ab, ac;
+  CovarMulInto(kN, a, b, &ab);
+  CovarMulInto(kN, a, c, &ac);
+  CovarPayload rhs = ab;
+  CovarAddInPlace(&rhs, ac);
+  ExpectNear(lhs, rhs);
+}
+
+TEST_P(CovarRingAxioms, Identities) {
+  Rng rng(GetParam());
+  CovarPayload a = RandomPayload(&rng);
+  // a * 1 == a
+  CovarPayload one = CovarPayload::One(kN);
+  CovarPayload a1;
+  CovarMulInto(kN, a, one, &a1);
+  ExpectNear(a1, a);
+  // a + 0 == a
+  CovarPayload zero = CovarPayload::Zero(kN);
+  CovarPayload a0 = a;
+  CovarAddInPlace(&a0, zero);
+  ExpectNear(a0, a);
+  // a * 0 == 0
+  CovarPayload az;
+  CovarMulInto(kN, a, zero, &az);
+  ExpectNear(az, zero);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CovarRingAxioms,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+TEST(CovarLiftTest, SingleTupleMoments) {
+  // Lift of a tuple with features {0: 2.0, 2: -3.0}.
+  CovarPayload p;
+  CovarLiftInto(kN, {{0, 2.0}, {2, -3.0}}, &p);
+  EXPECT_DOUBLE_EQ(p.count, 1.0);
+  EXPECT_DOUBLE_EQ(p.sum[0], 2.0);
+  EXPECT_DOUBLE_EQ(p.sum[1], 0.0);
+  EXPECT_DOUBLE_EQ(p.sum[2], -3.0);
+  EXPECT_DOUBLE_EQ(p.quad[UpperTriIndex(kN, 0, 0)], 4.0);
+  EXPECT_DOUBLE_EQ(p.quad[UpperTriIndex(kN, 0, 2)], -6.0);
+  EXPECT_DOUBLE_EQ(p.quad[UpperTriIndex(kN, 2, 2)], 9.0);
+  EXPECT_DOUBLE_EQ(p.quad[UpperTriIndex(kN, 1, 1)], 0.0);
+}
+
+TEST(CovarLiftTest, ProductOfLiftsMatchesJointLift) {
+  // Lifting disjoint feature sets and multiplying equals lifting jointly —
+  // the core factorization identity.
+  CovarPayload a, b, prod, joint;
+  CovarLiftInto(kN, {{0, 1.5}}, &a);
+  CovarLiftInto(kN, {{2, -2.0}, {3, 0.5}}, &b);
+  CovarMulInto(kN, a, b, &prod);
+  CovarLiftInto(kN, {{0, 1.5}, {2, -2.0}, {3, 0.5}}, &joint);
+  EXPECT_DOUBLE_EQ(prod.count, 1.0);
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_DOUBLE_EQ(prod.sum[i], joint.sum[i]) << i;
+    for (int j = i; j < kN; ++j) {
+      EXPECT_DOUBLE_EQ(prod.quad[UpperTriIndex(kN, i, j)],
+                       joint.quad[UpperTriIndex(kN, i, j)])
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(UpperTriTest, IndexingIsBijective) {
+  const int n = 7;
+  std::vector<int> hits(UpperTriSize(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i; j < n; ++j) {
+      ++hits[UpperTriIndex(n, i, j)];
+    }
+  }
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(CovarMatrixTest, MomentConventions) {
+  CovarPayload p = CovarPayload::Zero(2);
+  p.count = 10;
+  p.sum = {3.0, 4.0};
+  p.quad = {9.0, 12.0, 16.0};  // (0,0), (0,1), (1,1)
+  CovarMatrix m(2, p);
+  EXPECT_DOUBLE_EQ(m.Moment(2, 2), 10.0);
+  EXPECT_DOUBLE_EQ(m.Moment(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.Moment(2, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m.Moment(0, 1), 12.0);
+  EXPECT_DOUBLE_EQ(m.Moment(1, 0), 12.0);
+  // cov(0,1) = 12/10 - (3/10)(4/10)
+  EXPECT_NEAR(m.Covariance(0, 1), 1.2 - 0.12, 1e-12);
+}
+
+// --- Group ring ---
+
+TEST(GroupRingTest, KeysAndSlots) {
+  uint64_t hi = GroupKeyHigh(5);
+  uint64_t lo = GroupKeyLow(9);
+  uint64_t both = MergeGroupKeys(hi, lo);
+  EXPECT_EQ(both, GroupKeyBoth(5, 9));
+  EXPECT_EQ(MergeGroupKeys(kScalarGroupKey, hi), hi);
+  EXPECT_EQ(CanonicalGroupKey(kScalarGroupKey), kUnitKey);
+  EXPECT_EQ(CanonicalGroupKey(both), both);
+}
+
+TEST(GroupRingTest, AddMergesByKey) {
+  GroupPayload a = GroupPayload::Single(GroupKeyLow(1), 2.0);
+  a.AddEntry(GroupKeyLow(2), 3.0);
+  GroupPayload b = GroupPayload::Single(GroupKeyLow(2), 5.0);
+  a.AddInPlace(b);
+  EXPECT_EQ(a.size(), 2u);
+  for (const auto& e : a.entries()) {
+    if (e.key == GroupKeyLow(1)) EXPECT_DOUBLE_EQ(e.value, 2.0);
+    if (e.key == GroupKeyLow(2)) EXPECT_DOUBLE_EQ(e.value, 8.0);
+  }
+}
+
+TEST(GroupRingTest, ScalarProductScales) {
+  GroupPayload a = GroupPayload::Single(GroupKeyLow(1), 2.0);
+  a.AddEntry(GroupKeyLow(2), 3.0);
+  GroupPayload s = GroupPayload::Single(kScalarGroupKey, 4.0);
+  GroupPayload out;
+  GroupMulInto(a, s, &out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.entries()[0].value, 8.0);
+  EXPECT_DOUBLE_EQ(out.entries()[1].value, 12.0);
+  // Commutes.
+  GroupPayload out2;
+  GroupMulInto(s, a, &out2);
+  EXPECT_EQ(out2.size(), 2u);
+}
+
+TEST(GroupRingTest, OuterProductMergesSlots) {
+  GroupPayload a = GroupPayload::Single(GroupKeyHigh(1), 2.0);
+  a.AddEntry(GroupKeyHigh(2), 3.0);
+  GroupPayload b = GroupPayload::Single(GroupKeyLow(7), 10.0);
+  GroupPayload out;
+  GroupMulInto(a, b, &out);
+  ASSERT_EQ(out.size(), 2u);
+  const double* v17 = nullptr;
+  for (const auto& e : out.entries()) {
+    if (e.key == GroupKeyBoth(1, 7)) v17 = &e.value;
+  }
+  ASSERT_NE(v17, nullptr);
+  EXPECT_DOUBLE_EQ(*v17, 20.0);
+}
+
+TEST(GroupRingTest, OneIsMultiplicativeIdentity) {
+  GroupPayload a = GroupPayload::Single(GroupKeyLow(3), 2.5);
+  GroupPayload out;
+  GroupMulInto(a, GroupPayload::One(), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.entries()[0].key, GroupKeyLow(3));
+  EXPECT_DOUBLE_EQ(out.entries()[0].value, 2.5);
+}
+
+TEST(GroupRingTest, EmptyIsAbsorbingForMul) {
+  GroupPayload a = GroupPayload::Single(GroupKeyLow(3), 2.5);
+  GroupPayload zero;
+  GroupPayload out;
+  GroupMulInto(a, zero, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(GroupRingTest, ScalarValue) {
+  GroupPayload p = GroupPayload::Single(kScalarGroupKey, 6.0);
+  EXPECT_DOUBLE_EQ(p.ScalarValue(), 6.0);
+  GroupPayload q = GroupPayload::Single(GroupKeyLow(1), 6.0);
+  EXPECT_DOUBLE_EQ(q.ScalarValue(), 0.0);
+}
+
+}  // namespace
+}  // namespace relborg

@@ -1,0 +1,212 @@
+// Edge cases and failure-injection tests across modules: malformed CSV,
+// adversarial hash keys, degenerate joins, empty relations, extreme
+// options.
+#include <cstdio>
+#include <fstream>
+
+#include "baseline/materializer.h"
+#include "core/covar_engine.h"
+#include "core/groupby_engine.h"
+#include "gtest/gtest.h"
+#include "ivm/ivm.h"
+#include "ivm/update_stream.h"
+#include "ml/linear_regression.h"
+#include "relational/csv_io.h"
+#include "tests/test_util.h"
+#include "util/flat_hash_map.h"
+
+namespace relborg {
+namespace {
+
+using testing::MakeRandomDb;
+using testing::RandomDb;
+using testing::Topology;
+
+TEST(CsvRobustnessTest, TruncatedRowFailsCleanly) {
+  std::string path = ::testing::TempDir() + "/relborg_bad.csv";
+  {
+    std::ofstream f(path);
+    f << "a,b\n1.0,2.0\n3.0\n";  // second data row too short
+  }
+  Schema s({{"a", AttrType::kDouble}, {"b", AttrType::kDouble}});
+  Relation out("X", s);
+  EXPECT_FALSE(ReadCsv(path, "X", s, &out));
+  std::remove(path.c_str());
+}
+
+TEST(CsvRobustnessTest, HeaderOnlyGivesEmptyRelation) {
+  std::string path = ::testing::TempDir() + "/relborg_empty.csv";
+  {
+    std::ofstream f(path);
+    f << "a,b\n";
+  }
+  Schema s({{"a", AttrType::kDouble}, {"b", AttrType::kDouble}});
+  Relation out("X", s);
+  EXPECT_TRUE(ReadCsv(path, "X", s, &out));
+  EXPECT_EQ(out.num_rows(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FlatHashMapRobustnessTest, AdversarialSameBucketKeys) {
+  // Keys crafted to collide under multiply-shift hashing for small tables
+  // (arithmetic progression with a step that cancels the multiplier's low
+  // bits) must still probe correctly.
+  FlatHashMap<int> m;
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 1; i <= 2000; ++i) keys.push_back(i << 40);
+  for (size_t i = 0; i < keys.size(); ++i) m[keys[i]] = static_cast<int>(i);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const int* v = m.Find(keys[i]);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, static_cast<int>(i));
+  }
+  EXPECT_EQ(m.size(), keys.size());
+}
+
+TEST(FlatHashMapRobustnessTest, KeyZeroAndMaxPackedKey) {
+  FlatHashMap<double> m;
+  m[kUnitKey] = 1.5;
+  uint64_t big = PackKey2(0x7FFFFFFF, 0x7FFFFFFF);
+  m[big] = 2.5;
+  EXPECT_DOUBLE_EQ(*m.Find(kUnitKey), 1.5);
+  EXPECT_DOUBLE_EQ(*m.Find(big), 2.5);
+}
+
+TEST(EngineRobustnessTest, SingleRelationQueryUnsupportedJoinless) {
+  // A "join" of one relation with a self-contained tree (0 edges).
+  Catalog catalog;
+  Relation* r = catalog.AddRelation(
+      "R", Schema({{"x", AttrType::kDouble}, {"y", AttrType::kDouble}}));
+  for (int i = 0; i < 10; ++i) {
+    r->AppendRow({static_cast<double>(i), 2.0 * i});
+  }
+  JoinQuery q;
+  q.AddRelation(r);
+  RootedTree tree = q.Root(0);
+  FeatureMap fm(q, {{"R", "x"}, {"R", "y"}});
+  CovarMatrix m = ComputeCovarMatrix(tree, fm);
+  EXPECT_DOUBLE_EQ(m.count(), 10.0);
+  EXPECT_DOUBLE_EQ(m.Moment(0, 1), 2.0 * (0 + 1 + 4 + 9 + 16 + 25 + 36 + 49 +
+                                          64 + 81));
+}
+
+TEST(EngineRobustnessTest, AllRowsFilteredOut) {
+  RandomDb db = MakeRandomDb(3, Topology::kStar);
+  FeatureMap fm(db.query, db.features);
+  FilterSet filters(db.query.num_relations());
+  filters[0].push_back(Predicate::Ge(fm.AttrOf(fm.num_features() - 1), 1e30));
+  CovarMatrix m = ComputeCovarMatrix(db.query.Root(0), fm, filters);
+  EXPECT_DOUBLE_EQ(m.count(), 0.0);
+  GroupByResult g = ComputeGroupBy(
+      db.query.Root(0), CountGroupedBy(db.query, "R0", "k1"), filters);
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(EngineRobustnessTest, TwoGroupAttrsOnSameNode) {
+  Catalog catalog;
+  Relation* r = catalog.AddRelation(
+      "R", Schema({{"k", AttrType::kCategorical},
+                   {"a", AttrType::kCategorical},
+                   {"b", AttrType::kCategorical}}));
+  Relation* d = catalog.AddRelation(
+      "D", Schema({{"k", AttrType::kCategorical}}));
+  d->AppendRow({0});
+  r->AppendRow({0, 1, 2});
+  r->AppendRow({0, 1, 2});
+  r->AppendRow({0, 3, 4});
+  JoinQuery q;
+  q.AddRelation(r);
+  q.AddRelation(d);
+  q.AddJoin("R", "D", {"k"});
+  GroupByResult g = ComputeGroupBy(
+      q.Root("R"), CountGroupedByPair(q, "R", "a", "R", "b"));
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_DOUBLE_EQ(*g.Find(GroupKeyBoth(1, 2)), 2.0);
+  EXPECT_DOUBLE_EQ(*g.Find(GroupKeyBoth(3, 4)), 1.0);
+}
+
+TEST(StreamRobustnessTest, ProportionalOrderCoversAllRows) {
+  RandomDb db = MakeRandomDb(17, Topology::kBushy);
+  UpdateStreamOptions opts;
+  opts.order = StreamOrder::kProportional;
+  opts.batch_size = 7;
+  std::vector<UpdateBatch> stream = BuildInsertStream(db.query, opts);
+  size_t total = 0;
+  for (int v = 0; v < db.query.num_relations(); ++v) {
+    total += db.query.relation(v)->num_rows();
+  }
+  EXPECT_EQ(StreamRowCount(stream), total);
+}
+
+TEST(StreamRobustnessTest, IvmAgreesUnderProportionalOrderToo) {
+  RandomDb db = MakeRandomDb(23, Topology::kChain, /*fact_rows=*/40);
+  ShadowDb shadow(db.query, 0);
+  FeatureMap fm(shadow.query(), db.features);
+  CovarFivm fivm(&shadow, &fm);
+  UpdateStreamOptions opts;
+  opts.order = StreamOrder::kProportional;
+  opts.batch_size = 9;
+  for (const UpdateBatch& b : BuildInsertStream(db.query, opts)) {
+    size_t first = shadow.AppendRows(b.node, b.rows);
+    fivm.ApplyBatch(b.node, first, b.rows.size());
+  }
+  CovarMatrix want = ComputeCovarMatrix(shadow.tree(), fm);
+  EXPECT_NEAR(fivm.Current().count(), want.count(), 1e-6);
+  EXPECT_NEAR(fivm.Current().Moment(0, 1), want.Moment(0, 1),
+              1e-6 * (1 + std::abs(want.Moment(0, 1))));
+}
+
+TEST(TrainingRobustnessTest, ConstantFeatureDoesNotBreakRidge) {
+  Catalog catalog;
+  Relation* r = catalog.AddRelation(
+      "R", Schema({{"k", AttrType::kCategorical},
+                   {"c", AttrType::kDouble},     // constant column
+                   {"x", AttrType::kDouble},
+                   {"y", AttrType::kDouble}}));
+  Relation* d = catalog.AddRelation(
+      "D", Schema({{"k", AttrType::kCategorical}}));
+  d->AppendRow({0});
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.Gaussian();
+    r->AppendRow({0, 5.0, x, 3 * x + rng.Gaussian(0, 0.01)});
+  }
+  JoinQuery q;
+  q.AddRelation(r);
+  q.AddRelation(d);
+  q.AddJoin("R", "D", {"k"});
+  FeatureMap fm(q, {{"R", "c"}, {"R", "x"}, {"R", "y"}});
+  CovarMatrix m = ComputeCovarMatrix(q.Root("R"), fm);
+  LinearModel gd = TrainRidgeGd(m, 2);
+  LinearModel cf = SolveRidgeClosedForm(m, 2);
+  EXPECT_NEAR(gd.weights[1], 3.0, 0.01);
+  EXPECT_NEAR(cf.weights[1], 3.0, 0.01);
+  // The constant feature gets ~zero weight in both solvers.
+  EXPECT_NEAR(gd.weights[0], 0.0, 1e-6);
+  EXPECT_NEAR(cf.weights[0], 0.0, 1e-6);
+}
+
+TEST(TrainingRobustnessTest, SingleTupleJoin) {
+  Catalog catalog;
+  Relation* r = catalog.AddRelation(
+      "R", Schema({{"k", AttrType::kCategorical},
+                   {"x", AttrType::kDouble},
+                   {"y", AttrType::kDouble}}));
+  Relation* d = catalog.AddRelation(
+      "D", Schema({{"k", AttrType::kCategorical}}));
+  d->AppendRow({0});
+  r->AppendRow({0, 1.0, 2.0});
+  JoinQuery q;
+  q.AddRelation(r);
+  q.AddRelation(d);
+  q.AddJoin("R", "D", {"k"});
+  FeatureMap fm(q, {{"R", "x"}, {"R", "y"}});
+  CovarMatrix m = ComputeCovarMatrix(q.Root("R"), fm);
+  EXPECT_DOUBLE_EQ(m.count(), 1.0);
+  // Ridge on a single tuple: no variance, all weight in the bias.
+  LinearModel model = SolveRidgeClosedForm(m, 1);
+  EXPECT_NEAR(model.bias + model.weights[0] * 1.0, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace relborg

@@ -1,0 +1,146 @@
+// Tests for the SVM over inequality aggregates, and for the batched
+// inequality aggregates backing it.
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "inequality/inequality_join.h"
+#include "ml/svm.h"
+#include "util/rng.h"
+
+namespace relborg {
+namespace {
+
+// Builds a linearly separable two-relation problem: the label of a join
+// tuple is sign(2*xr - 1.5*ys + 0.5) with a margin; R carries (key, xr,
+// label), S carries (key, ys). The label must be decided per R row, so ys
+// enters through the per-key mean: we generate S with ONE row per key so
+// the join label is exact.
+struct SvmFixture {
+  Relation r;
+  Relation s;
+  SvmFixture(int num_keys, int rows, uint64_t seed)
+      : r("R", Schema({{"k", AttrType::kCategorical},
+                       {"xr", AttrType::kDouble},
+                       {"label", AttrType::kCategorical}})),
+        s("S", Schema({{"k", AttrType::kCategorical},
+                       {"ys", AttrType::kDouble}})) {
+    Rng rng(seed);
+    std::vector<double> ys(num_keys);
+    for (int k = 0; k < num_keys; ++k) {
+      ys[k] = rng.Uniform(-1, 1);
+      s.AppendRow({static_cast<double>(k), ys[k]});
+    }
+    for (int i = 0; i < rows; ++i) {
+      int k = static_cast<int>(rng.Below(num_keys));
+      double xr = rng.Uniform(-1, 1);
+      double margin = 2 * xr - 1.5 * ys[k] + 0.5;
+      if (std::abs(margin) < 0.2) continue;  // enforce a margin
+      r.AppendRow({static_cast<double>(k), xr, margin > 0 ? 1.0 : 0.0});
+    }
+  }
+};
+
+TEST(InequalityBatchTest, SortedMatchesNaive) {
+  Rng rng(3);
+  Relation r("R", Schema({{"k", AttrType::kCategorical},
+                          {"a", AttrType::kDouble},
+                          {"b", AttrType::kDouble}}));
+  Relation s("S", Schema({{"k", AttrType::kCategorical},
+                          {"c", AttrType::kDouble},
+                          {"d", AttrType::kDouble}}));
+  for (int i = 0; i < 400; ++i) {
+    r.AppendRow({static_cast<double>(rng.Below(9)), rng.Uniform(-2, 2),
+                 rng.Uniform(-2, 2)});
+    s.AppendRow({static_cast<double>(rng.Below(9)), rng.Uniform(-2, 2),
+                 rng.Uniform(-2, 2)});
+  }
+  InequalityBatchSpec spec;
+  spec.r_score_attrs = {1, 2};
+  spec.r_score_weights = {0.7, -1.1};
+  spec.s_score_attrs = {1};
+  spec.s_score_weights = {1.3};
+  spec.threshold = 0.25;
+  spec.r_measure_attrs = {1, 2};
+  spec.s_measure_attrs = {1, 2};
+  InequalityBatchResult sorted = InequalityAggregateBatchSorted(r, s, spec);
+  InequalityBatchResult naive = InequalityAggregateBatchNaive(r, s, spec);
+  EXPECT_NEAR(sorted.count, naive.count, 1e-9);
+  for (size_t m = 0; m < 2; ++m) {
+    EXPECT_NEAR(sorted.r_sums[m], naive.r_sums[m],
+                1e-8 * (1 + std::abs(naive.r_sums[m])));
+    EXPECT_NEAR(sorted.s_sums[m], naive.s_sums[m],
+                1e-8 * (1 + std::abs(naive.s_sums[m])));
+  }
+}
+
+TEST(InequalityBatchTest, EmptyMeasures) {
+  Relation r("R", Schema({{"k", AttrType::kCategorical},
+                          {"a", AttrType::kDouble}}));
+  Relation s("S", Schema({{"k", AttrType::kCategorical},
+                          {"c", AttrType::kDouble}}));
+  r.AppendRow({0, 5.0});
+  s.AppendRow({0, 5.0});
+  InequalityBatchSpec spec;
+  spec.r_score_attrs = {1};
+  spec.r_score_weights = {1.0};
+  spec.s_score_attrs = {1};
+  spec.s_score_weights = {1.0};
+  spec.threshold = 0.0;
+  InequalityBatchResult res = InequalityAggregateBatchSorted(r, s, spec);
+  EXPECT_DOUBLE_EQ(res.count, 1.0);
+  EXPECT_TRUE(res.r_sums.empty());
+}
+
+class SvmProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SvmProperty, SeparatesPlantedHyperplane) {
+  SvmFixture fx(40, 3000, GetParam());
+  SvmProblem problem;
+  problem.r = &fx.r;
+  problem.s = &fx.s;
+  problem.r_key_attr = 0;
+  problem.s_key_attr = 0;
+  problem.r_feature_attrs = {1};
+  problem.s_feature_attrs = {1};
+  problem.label_attr = 2;
+
+  SvmOptions opts;
+  opts.iterations = 300;
+  SvmTrainStats stats;
+  SvmModel model = TrainSvmOverJoin(problem, opts, &stats);
+  EXPECT_EQ(stats.aggregate_batches, 600u);  // two sorted passes per step
+  EXPECT_GT(stats.join_size, 1000);
+
+  double acc = SvmJoinAccuracy(problem, model);
+  EXPECT_GT(acc, 0.97) << "w_r=" << model.r_weights[0]
+                       << " w_s=" << model.s_weights[0]
+                       << " b=" << model.bias;
+  // Weight signs match the planted hyperplane 2*xr - 1.5*ys + 0.5.
+  EXPECT_GT(model.r_weights[0], 0);
+  EXPECT_LT(model.s_weights[0], 0);
+  EXPECT_GE(stats.final_hinge_loss, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SvmProperty, ::testing::Values(1, 7, 23));
+
+TEST(SvmTest, EmptyJoinGivesZeroModel) {
+  Relation r("R", Schema({{"k", AttrType::kCategorical},
+                          {"x", AttrType::kDouble},
+                          {"label", AttrType::kCategorical}}));
+  Relation s("S", Schema({{"k", AttrType::kCategorical},
+                          {"y", AttrType::kDouble}}));
+  r.AppendRow({1, 0.5, 1});
+  s.AppendRow({2, 0.5});  // disjoint keys
+  SvmProblem problem;
+  problem.r = &r;
+  problem.s = &s;
+  problem.r_feature_attrs = {1};
+  problem.s_feature_attrs = {1};
+  problem.label_attr = 2;
+  SvmModel model = TrainSvmOverJoin(problem);
+  EXPECT_DOUBLE_EQ(model.r_weights[0], 0.0);
+  EXPECT_DOUBLE_EQ(model.bias, 0.0);
+}
+
+}  // namespace
+}  // namespace relborg

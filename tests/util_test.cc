@@ -1,0 +1,179 @@
+// Unit tests for src/util: flat hash map, rng, packed keys, thread pool.
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/flat_hash_map.h"
+#include "util/packed_key.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace relborg {
+namespace {
+
+TEST(PackedKeyTest, PackUnpackRoundTrip) {
+  EXPECT_EQ(UnpackHigh(PackKey2(7, 11)), 7);
+  EXPECT_EQ(UnpackLow(PackKey2(7, 11)), 11);
+  EXPECT_EQ(PackKey1(42), 42u);
+  EXPECT_EQ(UnpackLow(PackKey1(42)), 42);
+}
+
+TEST(PackedKeyTest, OrderMatters) {
+  EXPECT_NE(PackKey2(1, 2), PackKey2(2, 1));
+}
+
+TEST(PackedKeyTest, SentinelUnreachable) {
+  // Non-negative int32 halves can never produce the empty sentinel.
+  EXPECT_NE(PackKey2(0x7FFFFFFF, 0x7FFFFFFF), kEmptyKey);
+}
+
+TEST(FlatHashMapTest, InsertAndFind) {
+  FlatHashMap<int> m;
+  m[3] = 7;
+  m[5] = 9;
+  ASSERT_NE(m.Find(3), nullptr);
+  EXPECT_EQ(*m.Find(3), 7);
+  ASSERT_NE(m.Find(5), nullptr);
+  EXPECT_EQ(*m.Find(5), 9);
+  EXPECT_EQ(m.Find(4), nullptr);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatHashMapTest, OperatorBracketDefaultConstructs) {
+  FlatHashMap<double> m;
+  EXPECT_EQ(m[10], 0.0);
+  m[10] += 2.5;
+  EXPECT_EQ(m[10], 2.5);
+}
+
+TEST(FlatHashMapTest, GrowsThroughManyInsertions) {
+  FlatHashMap<uint64_t> m;
+  constexpr uint64_t kN = 10000;
+  for (uint64_t i = 0; i < kN; ++i) m[i * 2654435761u] = i;
+  EXPECT_EQ(m.size(), kN);
+  for (uint64_t i = 0; i < kN; ++i) {
+    const uint64_t* v = m.Find(i * 2654435761u);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(FlatHashMapTest, ForEachVisitsEveryEntryOnce) {
+  FlatHashMap<int> m;
+  for (int i = 1; i <= 100; ++i) m[i] = i;
+  int64_t sum = 0;
+  size_t visits = 0;
+  m.ForEach([&](uint64_t k, int v) {
+    sum += v;
+    EXPECT_EQ(static_cast<int>(k), v);
+    ++visits;
+  });
+  EXPECT_EQ(visits, 100u);
+  EXPECT_EQ(sum, 5050);
+}
+
+TEST(FlatHashMapTest, ClearEmpties) {
+  FlatHashMap<int> m;
+  m[1] = 1;
+  m[2] = 2;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.Find(1), nullptr);
+}
+
+TEST(FlatHashMapTest, ReserveDoesNotLoseEntries) {
+  FlatHashMap<int> m;
+  for (int i = 0; i < 10; ++i) m[i + 1] = i;
+  m.Reserve(100000);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_NE(m.Find(i + 1), nullptr);
+    EXPECT_EQ(*m.Find(i + 1), i);
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    int64_t r = rng.Range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(99);
+  double sum = 0;
+  double sum2 = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.02);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SkewedCategoryInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    int32_t c = rng.SkewedCategory(10);
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 10);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(TimerTest, Advances) {
+  WallTimer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1;
+  EXPECT_GE(t.Seconds(), 0.0);
+}
+
+TEST(HashKeyTest, DistinctForSmallInputs) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(HashKey(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace relborg

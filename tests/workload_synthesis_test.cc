@@ -1,0 +1,82 @@
+// Tests for the Fig. 5 batch synthesis: counts follow the documented
+// formulas and the batches contain the expected aggregate descriptors.
+#include <algorithm>
+
+#include "data/dataset.h"
+#include "gtest/gtest.h"
+#include "ml/workload_synthesis.h"
+
+namespace relborg {
+namespace {
+
+TEST(WorkloadSynthesisTest, CovarBatchCounts) {
+  // n continuous: 1 + n + n(n+1)/2; plus per categorical: 1 count +
+  // n sums, plus pair counts.
+  std::vector<AggregateDescriptor> batch = SynthesizeCovarBatch(3, 2);
+  size_t dense = 1 + 3 + 6;
+  size_t categorical = 2 * (1 + 3) + 1;
+  EXPECT_EQ(batch.size(), dense + categorical);
+  EXPECT_NE(std::find(batch.begin(), batch.end(), "SUM(x0*x2)"), batch.end());
+  EXPECT_NE(std::find(batch.begin(), batch.end(), "SUM(1) GROUP BY c0,c1"),
+            batch.end());
+  EXPECT_NE(std::find(batch.begin(), batch.end(), "SUM(x1) GROUP BY c1"),
+            batch.end());
+}
+
+TEST(WorkloadSynthesisTest, DecisionNodeBatchIsThreePerCandidate) {
+  Dataset ds = MakeDataset("yelp", [] {
+    GenOptions o;
+    o.scale = 0.002;
+    return o;
+  }());
+  std::vector<TreeFeature> features;
+  for (size_t f = 0; f + 1 < ds.features.size(); ++f) {
+    features.push_back({ds.features[f].relation, ds.features[f].attr, false});
+  }
+  DecisionTreeOptions opts;
+  opts.thresholds_per_feature = 4;
+  std::vector<int> owner;
+  std::vector<SplitCandidate> candidates =
+      BuildSplitCandidates(ds.query, features, opts, &owner);
+  EXPECT_EQ(owner.size(), candidates.size());
+  std::vector<AggregateDescriptor> batch =
+      SynthesizeDecisionNodeBatch(ds.query, features, opts);
+  EXPECT_EQ(batch.size(), 3 * candidates.size());
+}
+
+TEST(WorkloadSynthesisTest, MutualInfoAndKMeansCounts) {
+  EXPECT_EQ(SynthesizeMutualInfoBatch(4).size(), 4u + 6u);
+  EXPECT_EQ(SynthesizeMutualInfoBatch(0).size(), 0u);
+  // k-means: 1 + 2 per dim + 1 per feature relation + 1 coreset.
+  EXPECT_EQ(SynthesizeKMeansBatch(5, 3).size(), 1u + 10u + 3u + 1u);
+}
+
+TEST(WorkloadSynthesisTest, OrderingAcrossWorkloadsHolds) {
+  // The Fig. 5 shape: decision node > covariance >> mutual info.
+  for (const std::string& name : DatasetNames()) {
+    Dataset ds = MakeDataset(name, [] {
+      GenOptions o;
+      o.scale = 0.002;
+      return o;
+    }());
+    int n_cont = static_cast<int>(ds.features.size());
+    int n_cat = static_cast<int>(ds.categoricals.size());
+    size_t covar = SynthesizeCovarBatch(n_cont, n_cat).size();
+    std::vector<TreeFeature> features;
+    for (size_t f = 0; f + 1 < ds.features.size(); ++f) {
+      features.push_back(
+          {ds.features[f].relation, ds.features[f].attr, false});
+    }
+    for (const auto& c : ds.categoricals) {
+      features.push_back({c.relation, c.attr, true});
+    }
+    size_t decision =
+        SynthesizeDecisionNodeBatch(ds.query, features, {}).size();
+    size_t mi = SynthesizeMutualInfoBatch(n_cat).size();
+    EXPECT_GT(decision, covar) << name;
+    EXPECT_GT(covar, mi) << name;
+  }
+}
+
+}  // namespace
+}  // namespace relborg
