@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Continuous-integration driver: configure -> build -> ctest in the two
+# supported configurations.
+#
+#   ./ci.sh            # Release (warnings-as-errors) + ASan/UBSan
+#   ./ci.sh release    # just the Release leg
+#   ./ci.sh asan       # just the sanitizer leg
+#
+# Both legs run the full CTest suite including the `bench-smoke` label,
+# which executes every bench/ binary at tiny scale (RELBORG_SCALE=0.05).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=${JOBS:-$(nproc)}
+MODE=${1:-all}
+
+run_leg() {
+  local name=$1
+  shift
+  local dir="build-ci-${name}"
+  echo "==== [${name}] configure"
+  cmake -B "${dir}" -S . "$@"
+  echo "==== [${name}] build"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==== [${name}] test"
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+if [[ "${MODE}" == "all" || "${MODE}" == "release" ]]; then
+  # -march=native is off in CI so binaries are portable across runners.
+  run_leg release \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DRELBORG_WERROR=ON \
+    -DRELBORG_NATIVE=OFF
+fi
+
+if [[ "${MODE}" == "all" || "${MODE}" == "asan" ]]; then
+  run_leg asan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRELBORG_WERROR=ON \
+    -DRELBORG_SANITIZE=ON
+fi
+
+echo "==== ci.sh: all requested legs green"

@@ -64,13 +64,11 @@ double PowerIteration(const std::vector<double>& a, int n,
   v->resize(n);
   for (double& x : *v) x = rng.Gaussian();
   std::vector<double> next;
-  double lambda = 0;
   for (int it = 0; it < iters; ++it) {
     MatVec(a, *v, n, &next);
     double norm = std::sqrt(Dot(next, next));
     if (norm < 1e-300) return 0.0;
     for (double& x : next) x /= norm;
-    lambda = norm;
     *v = next;
   }
   // Rayleigh quotient for a signed eigenvalue.

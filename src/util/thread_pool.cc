@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "util/check.h"
@@ -40,13 +41,50 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   std::atomic<size_t> next{0};
-  auto worker = [&] {
+  // Helpers report completion through this local counter instead of the
+  // pool-wide in-flight count: waiting on in_flight_ == 0 from inside a pool
+  // task would wait on the caller's own ancestor task and deadlock.
+  std::atomic<int> pending{0};
+  auto worker = [&next, n, &fn] {
     for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
   };
-  int helpers = num_threads();
-  for (int i = 0; i < helpers; ++i) Submit(worker);
+  // No more helpers than remaining indices: tiny loops must not pay
+  // pool-sized submission overhead (the calling thread covers one share).
+  int helpers = static_cast<int>(
+      std::min<size_t>(n - 1, static_cast<size_t>(num_threads())));
+  for (int i = 0; i < helpers; ++i) {
+    pending.fetch_add(1, std::memory_order_relaxed);
+    Submit([this, &worker, &pending] {
+      worker();
+      if (pending.fetch_sub(1, std::memory_order_release) == 1) {
+        // Lock before notifying so the decrement cannot slip into the gap
+        // between the owner's predicate check and its sleep.
+        std::lock_guard<std::mutex> lock(mu_);
+        task_cv_.notify_all();
+      }
+    });
+  }
   worker();  // The calling thread chips in too.
-  Wait();
+  // The queued tasks may be the helpers of a nested ParallelFor whose owner
+  // occupies a worker thread, so steal work instead of blocking; when the
+  // queue is empty, sleep on task_cv_ (woken by Submit or by the final
+  // helper's decrement) rather than spinning.
+  while (pending.load(std::memory_order_acquire) != 0) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this, &pending] {
+        return !tasks_.empty() ||
+               pending.load(std::memory_order_acquire) == 0;
+      });
+      if (tasks_.empty()) continue;  // all helpers finished
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--in_flight_ == 0) done_cv_.notify_all();
+  }
 }
 
 ThreadPool& ThreadPool::Default() {

@@ -23,14 +23,19 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  // Enqueues a task for asynchronous execution.
+  // Enqueues a task for asynchronous execution. Tasks should be short-lived:
+  // a thread blocked in ParallelFor steals queued tasks and runs them inline,
+  // so a long task can run on the stealing caller's thread and delay that
+  // ParallelFor's return.
   void Submit(std::function<void()> task);
 
   // Blocks until every submitted task has finished.
   void Wait();
 
   // Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  // fn is also invoked on the calling thread.
+  // fn is also invoked on the calling thread. Safe to call from inside a
+  // pool task (nested parallelism): completion is tracked per call, and the
+  // waiting thread steals queued tasks instead of blocking.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   // Default pool sized to the hardware; shared by engines that do not

@@ -193,7 +193,7 @@ TEST_P(CategoricalRidgeProperty, RecoversPlantedEffects) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CategoricalRidgeProperty,
-                         ::testing::Values(1, 4, 9));
+                         ::testing::ValuesIn(relborg::testing::kPropertySeedsSmall));
 
 }  // namespace
 }  // namespace relborg

@@ -76,7 +76,7 @@ TEST_P(CovarCompressedProperty, MatchesMaterializedWithFilters) {
 
 INSTANTIATE_TEST_SUITE_P(
     RandomDbs, CovarCompressedProperty,
-    ::testing::Combine(::testing::Values(2, 13, 29, 47, 101),
+    ::testing::Combine(::testing::ValuesIn(relborg::testing::kPropertySeeds),
                        ::testing::Values(Topology::kStar, Topology::kChain,
                                          Topology::kBushy)));
 

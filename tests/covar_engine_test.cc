@@ -160,7 +160,7 @@ TEST_P(CovarEngineProperty, FiltersMatchMaterializedReference) {
 
 INSTANTIATE_TEST_SUITE_P(
     RandomDbs, CovarEngineProperty,
-    ::testing::Combine(::testing::Values(1, 2, 3, 7, 42, 1001),
+    ::testing::Combine(::testing::ValuesIn(relborg::testing::kPropertySeeds),
                        ::testing::Values(Topology::kStar, Topology::kChain,
                                          Topology::kBushy)));
 

@@ -117,7 +117,7 @@ TEST_P(DecisionNodeProperty, ClassCountsMatchMaterialized) {
 
 INSTANTIATE_TEST_SUITE_P(
     RandomDbs, DecisionNodeProperty,
-    ::testing::Combine(::testing::Values(6, 19, 31),
+    ::testing::Combine(::testing::ValuesIn(relborg::testing::kPropertySeedsSmall),
                        ::testing::Values(Topology::kStar, Topology::kChain,
                                          Topology::kBushy)));
 

@@ -198,7 +198,7 @@ TEST_P(GroupByProperty, BatchMatchesIndividualEvaluation) {
 
 INSTANTIATE_TEST_SUITE_P(
     RandomDbs, GroupByProperty,
-    ::testing::Combine(::testing::Values(4, 8, 15, 23),
+    ::testing::Combine(::testing::ValuesIn(relborg::testing::kPropertySeeds),
                        ::testing::Values(Topology::kStar, Topology::kChain,
                                          Topology::kBushy)));
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "gtest/gtest.h"
+#include "tests/test_util.h"
 #include "inequality/inequality_join.h"
 #include "util/rng.h"
 
@@ -65,7 +66,7 @@ TEST_P(InequalityProperty, CountMeasure) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InequalityProperty,
-                         ::testing::Values(1, 2, 3, 11, 29));
+                         ::testing::ValuesIn(relborg::testing::kPropertySeeds));
 
 TEST(InequalityWorkTest, SortedInspectsFewerTuplesOnFatJoins) {
   // Few keys -> huge join. The naive path touches every join tuple; the

@@ -143,7 +143,7 @@ TEST_P(IvmProperty, DeletionsCancelInsertions) {
 
 INSTANTIATE_TEST_SUITE_P(
     RandomDbs, IvmProperty,
-    ::testing::Combine(::testing::Values(3, 21, 55),
+    ::testing::Combine(::testing::ValuesIn(relborg::testing::kPropertySeedsSmall),
                        ::testing::Values(Topology::kStar, Topology::kChain,
                                          Topology::kBushy)));
 

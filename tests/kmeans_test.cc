@@ -138,7 +138,7 @@ TEST_P(RelationalKMeansProperty, CoresetObjectiveNearFullLloyd) {
 
 INSTANTIATE_TEST_SUITE_P(
     RandomDbs, RelationalKMeansProperty,
-    ::testing::Combine(::testing::Values(5, 14),
+    ::testing::Combine(::testing::ValuesIn(relborg::testing::kPropertySeedsSmall),
                        ::testing::Values(Topology::kStar, Topology::kChain,
                                          Topology::kBushy)));
 

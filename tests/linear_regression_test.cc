@@ -82,7 +82,7 @@ TEST_P(LinRegProperty, FactorizedMatchesMaterializedTraining) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LinRegProperty,
-                         ::testing::Values(1, 5, 9, 33));
+                         ::testing::ValuesIn(relborg::testing::kPropertySeeds));
 
 TEST(LinRegTest, RecoversPlantedModel) {
   // y = 2 x0 - 3 x1 + 1 + noise over a single-relation "join".

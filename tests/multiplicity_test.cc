@@ -70,7 +70,9 @@ TEST_P(MultiplicityProperty, FiltersZeroOutRows) {
   auto mult = ComputeRowMultiplicities(tree, filters);
   const Relation& fact = *db.query.relation(0);
   for (size_t r = 0; r < fact.num_rows(); ++r) {
-    if (fact.Cat(r, 0) > 1) EXPECT_DOUBLE_EQ(mult[0][r], 0.0);
+    if (fact.Cat(r, 0) > 1) {
+      EXPECT_DOUBLE_EQ(mult[0][r], 0.0);
+    }
   }
   double total = 0;
   for (double w : mult[0]) total += w;
@@ -79,7 +81,7 @@ TEST_P(MultiplicityProperty, FiltersZeroOutRows) {
 
 INSTANTIATE_TEST_SUITE_P(
     RandomDbs, MultiplicityProperty,
-    ::testing::Combine(::testing::Values(2, 12, 77),
+    ::testing::Combine(::testing::ValuesIn(relborg::testing::kPropertySeedsSmall),
                        ::testing::Values(Topology::kStar, Topology::kChain,
                                          Topology::kBushy)));
 

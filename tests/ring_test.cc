@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "gtest/gtest.h"
+#include "tests/test_util.h"
 #include "ring/covariance.h"
 #include "ring/group_ring.h"
 #include "util/rng.h"
@@ -109,7 +110,7 @@ TEST_P(CovarRingAxioms, Identities) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CovarRingAxioms,
-                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+                         ::testing::ValuesIn(relborg::testing::kPropertySeeds));
 
 TEST(CovarLiftTest, SingleTupleMoments) {
   // Lift of a tuple with features {0: 2.0, 2: -3.0}.
@@ -189,8 +190,12 @@ TEST(GroupRingTest, AddMergesByKey) {
   a.AddInPlace(b);
   EXPECT_EQ(a.size(), 2u);
   for (const auto& e : a.entries()) {
-    if (e.key == GroupKeyLow(1)) EXPECT_DOUBLE_EQ(e.value, 2.0);
-    if (e.key == GroupKeyLow(2)) EXPECT_DOUBLE_EQ(e.value, 8.0);
+    if (e.key == GroupKeyLow(1)) {
+      EXPECT_DOUBLE_EQ(e.value, 2.0);
+    }
+    if (e.key == GroupKeyLow(2)) {
+      EXPECT_DOUBLE_EQ(e.value, 8.0);
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "gtest/gtest.h"
+#include "tests/test_util.h"
 #include "inequality/inequality_join.h"
 #include "ml/svm.h"
 #include "util/rng.h"
@@ -121,7 +122,7 @@ TEST_P(SvmProperty, SeparatesPlantedHyperplane) {
   EXPECT_GE(stats.final_hinge_loss, 0.0);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SvmProperty, ::testing::Values(1, 7, 23));
+INSTANTIATE_TEST_SUITE_P(Seeds, SvmProperty, ::testing::ValuesIn(relborg::testing::kPropertySeedsSmall));
 
 TEST(SvmTest, EmptyJoinGivesZeroModel) {
   Relation r("R", Schema({{"k", AttrType::kCategorical},

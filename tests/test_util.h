@@ -4,6 +4,19 @@
 //  * random acyclic databases (star / chain / bushy topologies) used by the
 //    property tests to cross-check the factorized engines against the
 //    materialized reference.
+//
+// Seed policy — every randomized test must be bit-for-bit deterministic:
+//  * All randomness flows through util/rng.h (SplitMix64); tests never use
+//    std::random_device, time-based seeds, or address-dependent values.
+//  * Every Rng in a test is constructed with a literal seed written at the
+//    construction site. Property suites enumerate their seeds through
+//    INSTANTIATE_TEST_SUITE_P (e.g. Values(1, 2, 3, 7, 42, 1001)) so a
+//    failing test's name identifies the seed to replay.
+//  * Dataset generators derive their streams from GenOptions::seed
+//    (default 20200901); tests that need a different instance change the
+//    seed in GenOptions rather than re-seeding mid-test.
+//  * Concurrency tests assert order-independent facts (counts, coverage,
+//    permutation-invariant sums), never a particular interleaving.
 #ifndef RELBORG_TESTS_TEST_UTIL_H_
 #define RELBORG_TESTS_TEST_UTIL_H_
 
@@ -62,6 +75,16 @@ inline JoinQuery MakeDinnerQuery(const Catalog& catalog) {
   q.AddJoin("Dish", "Items", {"item"});
   return q;
 }
+
+// Canonical seed lists for randomized property suites (see the seed policy
+// above). Suites take their seeds from one of these tiers instead of
+// inventing ad-hoc sets, so the full inventory of random streams exercised
+// by the suite lives in this header:
+//  * kPropertySeeds — broad tier for cheap, exact-comparison suites;
+//  * kPropertySeedsSmall — small tier for expensive suites (per-seed cost
+//    dominated by engine runs or iterative solvers).
+inline constexpr uint64_t kPropertySeeds[] = {1, 2, 3, 7, 42, 1001};
+inline constexpr uint64_t kPropertySeedsSmall[] = {3, 21, 55};
 
 enum class Topology { kStar, kChain, kBushy };
 

@@ -1,0 +1,125 @@
+// Dedicated suite for util/thread_pool.h: Submit/Wait/ParallelFor under
+// contention, nested ParallelFor (regression: the seed implementation
+// waited on the pool-wide in-flight count from inside a pool task and
+// deadlocked), and zero-task edge cases.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace relborg {
+namespace {
+
+TEST(ThreadPoolSuite, ZeroTaskWaitReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // Nothing submitted: must not block.
+  pool.ParallelFor(0, [](size_t) { FAIL() << "fn called for n == 0"; });
+  pool.Wait();
+}
+
+TEST(ThreadPoolSuite, SubmitManyTasksUnderContention) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 2000;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolSuite, WaitFromMultipleThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      done.fetch_add(1);
+    });
+  }
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&pool, &done] {
+      pool.Wait();
+      EXPECT_EQ(done.load(), 64);
+    });
+  }
+  for (std::thread& t : waiters) t.join();
+}
+
+TEST(ThreadPoolSuite, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolSuite, ParallelForSingleThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, [&sum](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 100u * 99u / 2);
+}
+
+TEST(ThreadPoolSuite, ConcurrentParallelForsFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kN = 500;
+  std::vector<std::atomic<int>> counts(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &counts, c] {
+      pool.ParallelFor(kN, [&counts, c](size_t) { counts[c].fetch_add(1); });
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(counts[c].load(), static_cast<int>(kN)) << "caller " << c;
+  }
+}
+
+// Regression: a ParallelFor issued from inside a pool task used to wait for
+// the pool-wide in-flight count to reach zero — which includes the caller's
+// own task — and deadlocked. The run must terminate and cover all indices.
+TEST(ThreadPoolSuite, NestedParallelForFromPoolTask) {
+  ThreadPool pool(3);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](size_t o) {
+    pool.ParallelFor(kInner,
+                     [&, o](size_t i) { hits[o * kInner + i].fetch_add(1); });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolSuite, NestedParallelForFromSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&pool, &count] {
+    pool.ParallelFor(256, [&count](size_t) { count.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 256);
+}
+
+TEST(ThreadPoolSuite, DefaultPoolIsUsableAndStable) {
+  ThreadPool& pool = ThreadPool::Default();
+  EXPECT_GE(pool.num_threads(), 1);
+  EXPECT_EQ(&pool, &ThreadPool::Default());
+  std::atomic<int> count{0};
+  pool.ParallelFor(32, [&count](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace relborg
