@@ -4,11 +4,24 @@
 // of the paper. Scales default to values that finish in seconds on a
 // 2-core container and can be overridden with RELBORG_SCALE (a multiplier
 // applied to each harness's default dataset scale).
+//
+// Machine-readable trajectory: when RELBORG_BENCH_JSON=<path> is set (or
+// `--json <path>` / `--json=<path>` is passed), every bench::Report call
+// appends one JSON-lines record to <path>:
+//
+//   {"harness": "...", "scale": <RELBORG_SCALE multiplier>,
+//    "metric": "...", "value": <double>, "unit": "...", "threads": <int>}
+//
+// The CI bench leg points each harness at its own file and merges them
+// into BENCH_ci.json (tools/merge_bench_json.py), so trajectory
+// collection never scrapes stdout.
 #ifndef RELBORG_BENCH_BENCH_UTIL_H_
 #define RELBORG_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace relborg {
@@ -16,9 +29,101 @@ namespace bench {
 
 inline double ScaleMultiplier() {
   const char* env = std::getenv("RELBORG_SCALE");
-  if (env == nullptr) return 1.0;
-  double v = std::atof(env);
-  return v > 0 ? v : 1.0;
+  if (env == nullptr || *env == '\0') return 1.0;
+  char* end = nullptr;
+  double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !std::isfinite(v) || v <= 0) {
+    // A silently coerced scale would record baseline numbers for a dataset
+    // size nobody asked for; refuse instead of faking the trajectory.
+    std::fprintf(stderr,
+                 "RELBORG_SCALE='%s' is not a positive finite number; "
+                 "refusing to run with a coerced scale.\n",
+                 env);
+    std::exit(2);
+  }
+  return v;
+}
+
+namespace internal {
+
+struct JsonSink {
+  std::FILE* file = nullptr;
+  std::string harness = "unknown";
+
+  ~JsonSink() {
+    if (file != nullptr) std::fclose(file);
+  }
+};
+
+inline JsonSink& Sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+// Metric/unit strings are repo-controlled identifiers; escape the few JSON
+// metacharacters anyway so a stray quote cannot corrupt the record stream.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+// Opens the JSON sink from `--json <path>` / `--json=<path>` (consumed
+// from argv) or RELBORG_BENCH_JSON, whichever comes first. Call at the top
+// of main(); without a path every Report is a no-op. The file is truncated
+// per run, so a harness's records always describe one execution.
+inline void InitReporting(int* argc, char** argv, const std::string& harness) {
+  internal::JsonSink& sink = internal::Sink();
+  sink.harness = harness;
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (path.empty()) {
+    const char* env = std::getenv("RELBORG_BENCH_JSON");
+    if (env != nullptr && *env != '\0') path = env;
+  }
+  if (path.empty()) return;
+  sink.file = std::fopen(path.c_str(), "w");
+  if (sink.file == nullptr) {
+    std::fprintf(stderr, "cannot open bench JSON sink '%s'\n", path.c_str());
+    std::exit(2);
+  }
+}
+
+// Emits one record. `threads` is the thread count the measurement ran
+// with (1 for serial / non-engine metrics).
+inline void Report(const std::string& metric, double value,
+                   const std::string& unit, int threads = 1) {
+  internal::JsonSink& sink = internal::Sink();
+  if (sink.file == nullptr) return;
+  std::fprintf(sink.file,
+               "{\"harness\":\"%s\",\"scale\":%.6g,\"metric\":\"%s\","
+               "\"value\":%.17g,\"unit\":\"%s\",\"threads\":%d}\n",
+               internal::JsonEscape(sink.harness).c_str(), ScaleMultiplier(),
+               internal::JsonEscape(metric).c_str(), value,
+               internal::JsonEscape(unit).c_str(), threads);
+  std::fflush(sink.file);
 }
 
 inline void PrintHeader(const std::string& id, const std::string& title) {

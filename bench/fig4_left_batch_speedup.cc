@@ -72,6 +72,10 @@ void Run() {
                 baseline_secs / std::max(1e-9, shared_secs),
                 matrix.num_rows(),
                 diff < 1e-6 ? "" : "  (MISMATCH!)");
+    bench::Report("covar_shared_seconds/" + name, shared_secs, "s");
+    bench::Report("covar_per_query_seconds/" + name, baseline_secs, "s");
+    bench::Report("covar_batch_speedup/" + name,
+                  baseline_secs / std::max(1e-9, shared_secs), "x");
 
     // --- Batch R: one regression-tree node ---
     std::vector<TreeFeature> tree_feats;
@@ -120,6 +124,70 @@ void Run() {
                 node_baseline_secs / std::max(1e-9, node_shared_secs),
                 matrix.num_rows(),
                 rdiff < 1e-6 ? "" : "  (MISMATCH!)");
+    bench::Report("decision_shared_seconds/" + name, node_shared_secs, "s");
+    bench::Report("decision_speedup/" + name,
+                  node_baseline_secs / std::max(1e-9, node_shared_secs), "x");
+  }
+
+  // --- Two-level parallel engine: thread sweep on the covariance batch ---
+  // ExecPolicy{N} runs the deterministic partitioned plan with N threads;
+  // the serial policy ExecPolicy{1} is the reference both for the speedup
+  // and for bit-identical results (checked below; the thread-sweep
+  // property suite proves it exhaustively).
+  std::printf("\nTwo-level parallel covariance batch (partitioned plan):\n");
+  std::printf("%-10s | %8s %10s %8s | identical to 1-thread\n", "dataset",
+              "threads", "time (s)", "speedup");
+  bool determinism_ok = true;
+  for (const std::string& name : DatasetNames()) {
+    GenOptions gen;
+    gen.scale = scale;
+    Dataset ds = MakeDataset(name, gen);
+    FeatureMap fm(ds.query, ds.features);
+    RootedTree tree = ds.RootAtFact();
+    double serial_secs = 0;
+    CovarMatrix serial_result(0, CovarPayload::Zero(0));
+    for (int threads : {1, 2, 4}) {
+      CovarEngineOptions options;
+      options.mode = ExecMode::kSharedParallel;
+      options.policy = ExecPolicy{threads};
+      double best = 1e300;
+      CovarMatrix m(0, CovarPayload::Zero(0));
+      for (int rep = 0; rep < 3; ++rep) {
+        WallTimer t;
+        m = ComputeCovarMatrix(tree, fm, {}, options);
+        best = std::min(best, t.Seconds());
+      }
+      bool identical = true;
+      if (threads == 1) {
+        serial_secs = best;
+        serial_result = m;
+      } else {
+        for (int i = 0; i <= fm.num_features() && identical; ++i) {
+          for (int j = i; j <= fm.num_features(); ++j) {
+            if (m.Moment(i, j) != serial_result.Moment(i, j)) {
+              identical = false;
+              break;
+            }
+          }
+        }
+      }
+      double speedup = serial_secs / std::max(1e-9, best);
+      std::printf("%-10s | %8d %10.3f %7.2fx | %s\n", name.c_str(), threads,
+                  best, speedup,
+                  identical ? "yes" : "NO (DETERMINISM BUG)");
+      if (!identical) determinism_ok = false;
+      bench::Report("covar_parallel_seconds/" + name, best, "s", threads);
+      bench::Report("covar_parallel_speedup/" + name, speedup, "x", threads);
+    }
+  }
+  if (!determinism_ok) {
+    // A recorded baseline must never contain thread-count-dependent
+    // numbers; fail the harness (and with it the bench-smoke CTest entry
+    // and the CI bench leg) instead of publishing them.
+    std::fprintf(stderr,
+                 "fig4_left: parallel covariance result differs from the "
+                 "1-thread policy — determinism regression\n");
+    std::exit(1);
   }
   std::printf("\nPer-query cost = join + aggregate scan (measured; the join"
               " is charged once per aggregate, as a query-at-a-time DBMS"
@@ -131,7 +199,8 @@ void Run() {
 }  // namespace
 }  // namespace relborg
 
-int main() {
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "fig4_left_batch_speedup");
   relborg::Run();
   return 0;
 }

@@ -66,6 +66,14 @@ void Run() {
                 ds.name.c_str(), covar, kPaper[d].covar, decision,
                 kPaper[d].decision, mi, kPaper[d].mi, kmeans,
                 kPaper[d].kmeans);
+    bench::Report("covar_aggregates/" + ds.name,
+                  static_cast<double>(covar), "count");
+    bench::Report("decision_aggregates/" + ds.name,
+                  static_cast<double>(decision), "count");
+    bench::Report("mutual_info_aggregates/" + ds.name,
+                  static_cast<double>(mi), "count");
+    bench::Report("kmeans_aggregates/" + ds.name,
+                  static_cast<double>(kmeans), "count");
   }
   std::printf("\nShape check: decision-node > covariance >> MI, k-means "
               "(holds in both columns; absolute values track each schema's "
@@ -75,7 +83,8 @@ void Run() {
 }  // namespace
 }  // namespace relborg
 
-int main() {
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "fig5_aggregate_counts");
   relborg::Run();
   return 0;
 }

@@ -74,7 +74,15 @@ void Run() {
       (void)m;
     }
     double parallel = time_mode(ExecMode::kSharedParallel);
+    const int par_threads = ExecPolicy::FromEnv().threads;
 
+    bench::Report("interpreted_seconds/" + name, interpreted, "s");
+    bench::Report("specialized_seconds/" + name, specialized, "s");
+    bench::Report("shared_seconds/" + name, shared, "s");
+    bench::Report("compressed_seconds/" + name, compressed, "s");
+    bench::Report("parallel_seconds/" + name, parallel, "s", par_threads);
+    bench::Report("cumulative_speedup/" + name, interpreted / parallel, "x",
+                  par_threads);
     std::printf(
         "%-10s %6zu | %9.3f %9.3f %9.3f %9.3f %9.3f | 1x -> %.1fx -> %.1fx "
         "-> %.1fx -> %.1fx\n",
@@ -91,7 +99,8 @@ void Run() {
 }  // namespace
 }  // namespace relborg
 
-int main() {
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "fig6_optimization_ablation");
   relborg::Run();
   return 0;
 }

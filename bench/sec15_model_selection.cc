@@ -77,6 +77,13 @@ void Run() {
               "(%.0fx per model)\n",
               1e3 * per_model_aware, 1e3 * sgd_per_model,
               sgd_per_model / std::max(1e-9, per_model_aware));
+  bench::Report("covar_batch_seconds", batch_secs, "s");
+  bench::Report("models_evaluated",
+                static_cast<double>(sel.models_evaluated), "count");
+  bench::Report("aware_ms_per_model", 1e3 * per_model_aware, "ms");
+  bench::Report("agnostic_ms_per_model", 1e3 * sgd_per_model, "ms");
+  bench::Report("exploration_speedup",
+                agnostic_total / std::max(1e-9, aware_total), "x");
   std::printf("\nSelection path (feature -> training MSE):\n");
   for (const SelectionStep& s : sel.steps) {
     std::printf("  + %-28s mse %.4f\n", fm.name(s.added_feature).c_str(),
@@ -89,7 +96,8 @@ void Run() {
 }  // namespace
 }  // namespace relborg
 
-int main() {
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "sec15_model_selection");
   relborg::Run();
   return 0;
 }

@@ -127,7 +127,15 @@ void Run() {
   std::printf("  (at this toy scale both finish in milliseconds; the paper's "
               "point is the memory column above, which decides feasibility "
               "at 84M rows)\n");
-  (void)aware_secs;
+  bench::Report("lean_matrix_bytes", static_cast<double>(lean_bytes), "B");
+  bench::Report("onehot_matrix_bytes", static_cast<double>(onehot_bytes),
+                "B");
+  bench::Report("sparse_aggregate_bytes", static_cast<double>(sparse_bytes),
+                "B");
+  bench::Report("onehot_blowup",
+                static_cast<double>(onehot_bytes) / lean_bytes, "x");
+  bench::Report("agnostic_seconds", agnostic_secs, "s");
+  bench::Report("aware_seconds", aware_secs, "s");
   // Agreement check on a few tuples.
   double max_diff = 0;
   if (solved) {
@@ -158,7 +166,8 @@ void Run() {
 }  // namespace
 }  // namespace relborg
 
-int main() {
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "sec21_sparse_categorical");
   relborg::Run();
   return 0;
 }

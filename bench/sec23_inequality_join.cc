@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "inequality/inequality_join.h"
@@ -54,6 +55,11 @@ void Run() {
                 naive.tuples_inspected, naive_secs, sorted_secs,
                 naive_secs / std::max(1e-9, sorted_secs),
                 agree ? "yes" : "NO (BUG)");
+    const std::string suffix = "/domain_" + std::to_string(domain);
+    bench::Report("naive_seconds" + suffix, naive_secs, "s");
+    bench::Report("sorted_seconds" + suffix, sorted_secs, "s");
+    bench::Report("inequality_speedup" + suffix,
+                  naive_secs / std::max(1e-9, sorted_secs), "x");
   }
   std::printf("\nShape: the sorted algorithm's time is flat in the fan-out; "
               "the naive algorithm scales with the join size (Sec. 2.3: "
@@ -63,7 +69,8 @@ void Run() {
 }  // namespace
 }  // namespace relborg
 
-int main() {
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "sec23_inequality_join");
   relborg::Run();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <string>
 
 #include "baseline/materializer.h"
 #include "bench/bench_util.h"
@@ -64,6 +65,13 @@ void Run() {
                 lloyd_secs, lloyd_secs + mat_secs, rk_secs, rk.coreset_size,
                 rk_obj_on_full / std::max(1e-12, base.objective),
                 (lloyd_secs + mat_secs) / std::max(1e-9, rk_secs));
+    const std::string suffix = "/k_" + std::to_string(k);
+    bench::Report("lloyd_seconds" + suffix, lloyd_secs + mat_secs, "s");
+    bench::Report("rkmeans_seconds" + suffix, rk_secs, "s");
+    bench::Report("rkmeans_speedup" + suffix,
+                  (lloyd_secs + mat_secs) / std::max(1e-9, rk_secs), "x");
+    bench::Report("objective_ratio" + suffix,
+                  rk_obj_on_full / std::max(1e-12, base.objective), "x");
   }
   std::printf("\nJoin: %zu tuples (materialization alone took %.3f s).\n",
               matrix.num_rows(), mat_secs);
@@ -74,7 +82,8 @@ void Run() {
 }  // namespace
 }  // namespace relborg
 
-int main() {
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "sec33_rkmeans");
   relborg::Run();
   return 0;
 }

@@ -160,12 +160,18 @@ void Run() {
   std::printf("\n%d GD iterations over %zu join tuples; all stages return "
               "the same model (equivalence-preserving rewrites).\n", kIters,
               matrix.num_rows());
+  bench::Report("stage0_seconds", stage0, "s");
+  bench::Report("stage1_seconds", stage1, "s");
+  bench::Report("stage2_seconds", stage2, "s");
+  bench::Report("stage1_speedup", stage0 / stage1, "x");
+  bench::Report("stage2_speedup", stage0 / stage2, "x");
 }
 
 }  // namespace
 }  // namespace relborg
 
-int main() {
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "sec53_ifaq_stages");
   relborg::Run();
   return 0;
 }

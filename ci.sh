@@ -1,25 +1,62 @@
 #!/usr/bin/env bash
-# Continuous-integration driver: configure -> build -> ctest in the two
+# Continuous-integration driver: configure -> build -> ctest in the
 # supported configurations.
 #
-#   ./ci.sh            # Release (warnings-as-errors) + ASan/UBSan
+#   ./ci.sh            # Release (warnings-as-errors) + ASan/UBSan (+ TSan)
 #   ./ci.sh release    # just the Release leg
-#   ./ci.sh asan       # just the sanitizer leg
+#   ./ci.sh asan       # the sanitizer leg: ASan/UBSan suite + a TSan
+#                      # sibling config running the parallel-path tests
+#   ./ci.sh bench      # Release bench leg: ctest -L bench-smoke with the
+#                      # JSON sink on, merged into BENCH_ci.json
 #
-# Both legs run the full CTest suite including the `bench-smoke` label,
-# which executes every bench/ binary at tiny scale (RELBORG_SCALE=0.05).
+# The release and asan legs run the full CTest suite including the
+# `bench-smoke` label, which executes every bench/ binary at tiny scale
+# (RELBORG_SCALE=0.05).
+#
+# Env knobs:
+#   JOBS=N                       parallel build/test jobs (default: nproc)
+#   RELBORG_REQUIRE_BENCHMARK=1  fail if CMake configure warns that Google
+#                                Benchmark is missing (CI sets this so the
+#                                micro_* targets can never silently vanish
+#                                from the recorded trajectory)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS=${JOBS:-$(nproc)}
 MODE=${1:-all}
 
+# ccache cuts warm CI configure+build times dramatically; harmless when
+# absent locally.
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+check_configure_log() {
+  local log=$1
+  if [[ "${RELBORG_REQUIRE_BENCHMARK:-0}" == "1" ]] &&
+     grep -q "Google Benchmark not found" "${log}"; then
+    echo "ci.sh: Google Benchmark is missing but RELBORG_REQUIRE_BENCHMARK=1;" \
+         "refusing to silently skip the micro_* targets" >&2
+    exit 1
+  fi
+}
+
+configure() {
+  local dir=$1
+  shift
+  mkdir -p "${dir}"
+  cmake -B "${dir}" -S . "${LAUNCHER_ARGS[@]}" "$@" 2>&1 |
+    tee "${dir}/configure.log"
+  check_configure_log "${dir}/configure.log"
+}
+
 run_leg() {
   local name=$1
   shift
   local dir="build-ci-${name}"
   echo "==== [${name}] configure"
-  cmake -B "${dir}" -S . "$@"
+  configure "${dir}" "$@"
   echo "==== [${name}] build"
   cmake --build "${dir}" -j "${JOBS}"
   echo "==== [${name}] test"
@@ -39,6 +76,73 @@ if [[ "${MODE}" == "all" || "${MODE}" == "asan" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRELBORG_WERROR=ON \
     -DRELBORG_SANITIZE=ON
+
+  # TSan sibling config: ASan and TSan cannot combine, so the parallel
+  # exec paths (thread pool, ExecPolicy thread sweeps) get their own
+  # build; only the thread-exercising suites run, to keep the leg cheap.
+  echo "==== [tsan] configure"
+  configure build-ci-tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRELBORG_WERROR=ON \
+    -DRELBORG_SANITIZE_THREAD=ON \
+    -DRELBORG_BUILD_BENCH=OFF \
+    -DRELBORG_BUILD_EXAMPLES=OFF
+  echo "==== [tsan] build"
+  cmake --build build-ci-tsan -j "${JOBS}" \
+    --target exec_policy_test thread_pool_test util_test
+  echo "==== [tsan] test (parallel paths)"
+  # --no-tests=error: a renamed suite or broken discovery must fail the
+  # leg, not let it pass green having verified nothing.
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-ci-tsan \
+    --output-on-failure -j "${JOBS}" --no-tests=error \
+    -R 'ExecPolicy|ThreadSweep|IndependentViewGroups|ThreadPool'
+fi
+
+if [[ "${MODE}" == "all" || "${MODE}" == "bench" ]]; then
+  dir=build-ci-bench
+  echo "==== [bench] configure"
+  configure "${dir}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DRELBORG_WERROR=ON \
+    -DRELBORG_NATIVE=OFF \
+    -DRELBORG_BUILD_EXAMPLES=OFF
+  echo "==== [bench] build"
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==== [bench] run bench smokes (JSON sink on)"
+  # The smokes' CTest ENVIRONMENT points each harness at its own file
+  # under ${dir}/bench-json/, so parallel execution cannot interleave.
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" \
+    --no-tests=error -L bench-smoke
+  echo "==== [bench] fig4_left thread sweep at default scale"
+  # The smokes run at RELBORG_SCALE=0.05, far too small for parallel
+  # headroom; the speedup acceptance gate is measured at default scale.
+  RELBORG_BENCH_JSON="${dir}/bench-json/fig4_left_default_scale.jsonl" \
+    "${dir}/bench/fig4_left_batch_speedup" > "${dir}/fig4_left_default.log"
+  echo "==== [bench] merge trajectory"
+  python3 tools/merge_bench_json.py "${dir}/bench-json" \
+    -o "${dir}/BENCH_ci.json" \
+    --label "ci-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  echo "==== [bench] check 4-thread speedup gate"
+  # >= 1.5x on the best dataset at default scale with 4 threads (the
+  # engines are bit-identical across thread counts, so this gate is pure
+  # performance). Skipped with a loud note on runners with < 4 CPUs,
+  # where the bar is physically unreachable.
+  python3 - "${dir}/BENCH_ci.json" <<'EOF'
+import json, os, sys
+d = json.load(open(sys.argv[1]))
+sweep = [r["value"] for r in d["records"]
+         if r["metric"].startswith("covar_parallel_speedup/")
+         and r["threads"] == 4 and r.get("scale") == 1]
+if not sweep:
+    sys.exit("bench gate: no default-scale 4-thread sweep records found")
+best = max(sweep)
+cpus = os.cpu_count() or 1
+print(f"bench gate: best 4-thread covar speedup {best:.2f}x on {cpus} CPUs")
+if cpus < 4:
+    print("bench gate: <4 CPUs, speedup bar not enforceable on this host")
+elif best < 1.5:
+    sys.exit(f"bench gate: best 4-thread speedup {best:.2f}x < 1.5x")
+EOF
 fi
 
 echo "==== ci.sh: all requested legs green"

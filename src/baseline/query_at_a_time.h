@@ -4,6 +4,11 @@
 // observes LMFAO's speedup over them is "on par with the number of
 // aggregates". This baseline is charitable: the join is materialized once
 // (not per query) and each aggregate then costs one full scan.
+//
+// These materialized scans are deliberately kept serial and policy-free:
+// together with the legacy serial engine plans they are the canonical
+// references that the parallel ExecPolicy plans (core/exec_policy.h) are
+// validated against in the property and thread-sweep suites.
 #ifndef RELBORG_BASELINE_QUERY_AT_A_TIME_H_
 #define RELBORG_BASELINE_QUERY_AT_A_TIME_H_
 

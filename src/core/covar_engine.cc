@@ -65,7 +65,7 @@ void ComputeCovarNodeView(const RootedTree& tree, const FeatureMap& fm,
 
 CovarMatrix ComputeSharedCovar(const RootedTree& tree, const FeatureMap& fm,
                                const FilterSet& filters, bool parallel,
-                               ThreadPool* pool) {
+                               const ExecPolicy& policy) {
   const int num_nodes = tree.num_nodes();
   const int n = fm.num_features();
   std::vector<CovarView> views(num_nodes);
@@ -76,45 +76,26 @@ CovarMatrix ComputeSharedCovar(const RootedTree& tree, const FeatureMap& fm,
                            tree.relation(v).num_rows(), &views[v]);
     }
   } else {
-    if (pool == nullptr) pool = &ThreadPool::Default();
-    // Task parallelism: nodes grouped by depth (deepest first) are mutually
-    // independent within a group.
-    std::vector<int> depth(num_nodes, 0);
-    int max_depth = 0;
-    // Preorder = reversed postorder gives parents before children.
-    const auto& post = tree.postorder();
-    for (auto it = post.rbegin(); it != post.rend(); ++it) {
-      int v = *it;
-      int p = tree.node(v).parent;
-      depth[v] = p < 0 ? 0 : depth[p] + 1;
-      max_depth = std::max(max_depth, depth[v]);
-    }
-    for (int d = max_depth; d >= 1; --d) {
-      std::vector<int> level;
-      for (int v = 0; v < num_nodes; ++v) {
-        if (depth[v] == d) level.push_back(v);
-      }
-      pool->ParallelFor(level.size(), [&](size_t idx) {
-        int v = level[idx];
-        ComputeCovarNodeView(tree, fm, filters, v, views, 0,
-                             tree.relation(v).num_rows(), &views[v]);
-      });
-    }
-    // Domain parallelism over the root relation: per-thread partial views
-    // merged at the end.
-    int root = tree.root();
-    size_t rows = tree.relation(root).num_rows();
-    int num_parts = pool->num_threads() + 1;
-    std::vector<CovarView> partials(num_parts);
-    pool->ParallelFor(num_parts, [&](size_t part) {
-      size_t begin = rows * part / num_parts;
-      size_t end = rows * (part + 1) / num_parts;
-      ComputeCovarNodeView(tree, fm, filters, root, views, begin, end,
-                           &partials[part]);
-    });
-    for (CovarView& partial : partials) {
-      partial.ForEach([&](uint64_t key, const CovarPayload& p) {
-        CovarAddInPlace(&views[root][key], p);
+    // Two-level parallel plan: independent view groups (same depth) run
+    // concurrently, and each node's scan is domain-parallel over fixed
+    // partitions via the nest-safe ParallelFor. Partition boundaries and
+    // merge order never depend on the thread count, so the result is
+    // bit-identical for every ExecPolicy{N >= 1}.
+    ExecContext ctx(policy);
+    for (const std::vector<int>& group : IndependentViewGroups(tree)) {
+      ctx.ParallelFor(group.size(), [&](size_t idx) {
+        int v = group[idx];
+        PartitionedScan<CovarView>(
+            ctx, tree.relation(v).num_rows(), &views[v],
+            [&](size_t begin, size_t end, CovarView* acc) {
+              ComputeCovarNodeView(tree, fm, filters, v, views, begin, end,
+                                   acc);
+            },
+            [&](CovarView* out, CovarView* partial) {
+              partial->ForEach([&](uint64_t key, const CovarPayload& p) {
+                CovarAddInPlace(&(*out)[key], p);
+              });
+            });
       });
     }
   }
@@ -303,11 +284,13 @@ CovarMatrix ComputeCovarMatrix(const RootedTree& tree, const FeatureMap& fm,
   const int n = fm.num_features();
   switch (options.mode) {
     case ExecMode::kShared:
-      return ComputeSharedCovar(tree, fm, filters, /*parallel=*/false,
-                                options.pool);
-    case ExecMode::kSharedParallel:
-      return ComputeSharedCovar(tree, fm, filters, /*parallel=*/true,
-                                options.pool);
+      return ComputeSharedCovar(tree, fm, filters, /*parallel=*/false, {});
+    case ExecMode::kSharedParallel: {
+      ExecPolicy policy = options.policy;
+      if (!policy.enabled()) policy = ExecPolicy::FromEnv();
+      if (options.pool != nullptr) policy.pool = options.pool;
+      return ComputeSharedCovar(tree, fm, filters, /*parallel=*/true, policy);
+    }
     case ExecMode::kPerAggregate:
     case ExecMode::kPerAggregateInterpreted: {
       const bool interpreted =

@@ -20,6 +20,7 @@
 #ifndef RELBORG_CORE_COVAR_ENGINE_H_
 #define RELBORG_CORE_COVAR_ENGINE_H_
 
+#include "core/exec_policy.h"
 #include "core/feature_map.h"
 #include "query/join_tree.h"
 #include "query/predicate.h"
@@ -37,8 +38,14 @@ enum class ExecMode {
 
 struct CovarEngineOptions {
   ExecMode mode = ExecMode::kShared;
-  // Thread pool for kSharedParallel; Default() pool if null.
+  // Legacy pool injection for kSharedParallel; preferred over creating one
+  // in the ExecContext when set.
   ThreadPool* pool = nullptr;
+  // Execution policy for kSharedParallel. The default (threads == 0) is
+  // resolved through ExecPolicy::FromEnv() at evaluation time; pass an
+  // explicit ExecPolicy{N} for a fixed thread count. Results are
+  // bit-identical for every N >= 1 (see core/exec_policy.h).
+  ExecPolicy policy;
 };
 
 // Computes the full covariance batch over the join defined by `tree`.

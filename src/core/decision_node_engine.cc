@@ -43,161 +43,289 @@ std::vector<std::vector<size_t>> CandidatesByNode(
   return by_node;
 }
 
+// Non-root node pass of the regression batch: rows [row_begin, row_end) of
+// node v accumulated into *out.
+void ScanTripleNode(const RootedTree& tree, const FilterSet& path_filters,
+                    int v, int response_node, int response_attr,
+                    const std::vector<FlatHashMap<Triple>>& views,
+                    size_t row_begin, size_t row_end,
+                    FlatHashMap<Triple>* out) {
+  const Relation& rel = tree.relation(v);
+  const RootedNode& node = tree.node(v);
+  const std::vector<Predicate>& preds = NodeFilters(path_filters, v);
+  const bool has_response = v == response_node;
+  for (size_t row = row_begin; row < row_end; ++row) {
+    if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+    Triple p{1, 0, 0};
+    if (has_response) {
+      double y = rel.Double(row, response_attr);
+      p = Triple{1, y, y * y};
+    }
+    bool dangling = false;
+    for (int c : node.children) {
+      const Triple* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
+      if (cp == nullptr) {
+        dangling = true;
+        break;
+      }
+      p = Mul(p, *cp);
+    }
+    if (dangling) continue;
+    AddInPlace(&(*out)[tree.RowKeyToParent(v, row)], p);
+  }
+}
+
+// Root pass: rows [row_begin, row_end) of root r; each candidate owned by
+// r accumulates into *outs[k] (pointers so the one-partition path writes
+// the final stats directly, exactly like the serial engine).
+void ScanTripleRoot(const RootedTree& tree, const FilterSet& path_filters,
+                    int r, int response_node, int response_attr,
+                    const std::vector<FlatHashMap<Triple>>& views,
+                    const std::vector<SplitCandidate>& candidates,
+                    const std::vector<size_t>& owned, size_t row_begin,
+                    size_t row_end, const std::vector<SplitStats*>& outs) {
+  const Relation& rel = tree.relation(r);
+  const RootedNode& node = tree.node(r);
+  const std::vector<Predicate>& preds = NodeFilters(path_filters, r);
+  const bool has_response = r == response_node;
+  for (size_t row = row_begin; row < row_end; ++row) {
+    if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+    Triple p{1, 0, 0};
+    if (has_response) {
+      double y = rel.Double(row, response_attr);
+      p = Triple{1, y, y * y};
+    }
+    bool dangling = false;
+    for (int c : node.children) {
+      const Triple* cp = views[c].Find(tree.RowKeyToChild(r, c, row));
+      if (cp == nullptr) {
+        dangling = true;
+        break;
+      }
+      p = Mul(p, *cp);
+    }
+    if (dangling) continue;
+    for (size_t k = 0; k < owned.size(); ++k) {
+      if (candidates[owned[k]].pred.Matches(rel, row)) {
+        outs[k]->count += p.c;
+        outs[k]->sum += p.s;
+        outs[k]->sum_sq += p.q;
+      }
+    }
+  }
+}
+
+// One full per-root pass of the regression batch (views bottom-up, then the
+// shared root scan), writing the owned candidates' stats into *stats.
+void ProcessStatsRoot(const JoinQuery& query, int r, int response_node,
+                      int response_attr, const FilterSet& path_filters,
+                      const std::vector<SplitCandidate>& candidates,
+                      const std::vector<size_t>& owned,
+                      const ExecContext& ctx, std::vector<SplitStats>* stats) {
+  RootedTree tree = query.Root(r);
+  const int num_nodes = query.num_relations();
+  std::vector<FlatHashMap<Triple>> views(num_nodes);
+  for (int v : tree.postorder()) {
+    if (v == r) break;  // root handled below (postorder ends with root)
+    PartitionedScan<FlatHashMap<Triple>>(
+        ctx, tree.relation(v).num_rows(), &views[v],
+        [&](size_t begin, size_t end, FlatHashMap<Triple>* acc) {
+          ScanTripleNode(tree, path_filters, v, response_node, response_attr,
+                         views, begin, end, acc);
+        },
+        [&](FlatHashMap<Triple>* out, FlatHashMap<Triple>* partial) {
+          partial->ForEach([&](uint64_t key, const Triple& p) {
+            AddInPlace(&(*out)[key], p);
+          });
+        });
+  }
+  // Root scan: one pass serves every candidate owned by r.
+  PartitionedSlotScan<SplitStats>(
+      ctx, tree.relation(r).num_rows(), owned.size(),
+      [&](size_t k) { return &(*stats)[owned[k]]; },
+      [&](size_t begin, size_t end, const std::vector<SplitStats*>& slots) {
+        ScanTripleRoot(tree, path_filters, r, response_node, response_attr,
+                       views, candidates, owned, begin, end, slots);
+      },
+      [](SplitStats* out, SplitStats* partial) {
+        out->count += partial->count;
+        out->sum += partial->sum;
+        out->sum_sq += partial->sum_sq;
+      });
+}
+
 }  // namespace
 
 std::vector<SplitStats> ComputeSplitStats(
     const JoinQuery& query, int response_node, int response_attr,
     const FilterSet& path_filters,
-    const std::vector<SplitCandidate>& candidates) {
+    const std::vector<SplitCandidate>& candidates, const ExecPolicy& policy) {
   const int num_nodes = query.num_relations();
   std::vector<SplitStats> stats(candidates.size());
   std::vector<std::vector<size_t>> by_node =
       CandidatesByNode(num_nodes, candidates);
-
+  std::vector<int> roots;
   for (int r = 0; r < num_nodes; ++r) {
-    if (by_node[r].empty()) continue;
-    RootedTree tree = query.Root(r);
-    // Bottom-up views for every node except the root r.
-    std::vector<FlatHashMap<Triple>> views(num_nodes);
-    for (int v : tree.postorder()) {
-      const Relation& rel = tree.relation(v);
-      const RootedNode& node = tree.node(v);
-      const std::vector<Predicate>& preds = NodeFilters(path_filters, v);
-      const bool has_response = v == response_node;
-      if (v == r) break;  // root handled below (postorder ends with root)
-      FlatHashMap<Triple>& out = views[v];
-      for (size_t row = 0; row < rel.num_rows(); ++row) {
-        if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
-        Triple p{1, 0, 0};
-        if (has_response) {
-          double y = rel.Double(row, response_attr);
-          p = Triple{1, y, y * y};
-        }
-        bool dangling = false;
-        for (int c : node.children) {
-          const Triple* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
-          if (cp == nullptr) {
-            dangling = true;
-            break;
-          }
-          p = Mul(p, *cp);
-        }
-        if (dangling) continue;
-        AddInPlace(&out[tree.RowKeyToParent(v, row)], p);
+    if (!by_node[r].empty()) roots.push_back(r);
+  }
+
+  ExecContext ctx(policy);
+  // Each candidate-owning root is an independent view group: its pass only
+  // writes stats of its own candidates. The inner level partitions every
+  // relation scan of the pass.
+  ctx.ParallelFor(roots.size(), [&](size_t ri) {
+    int r = roots[ri];
+    ProcessStatsRoot(query, r, response_node, response_attr, path_filters,
+                     candidates, by_node[r], ctx, &stats);
+  });
+  return stats;
+}
+
+namespace {
+
+// Classification lift: indicator payload keyed by the response class.
+GroupPayload ClassLift(int v, int response_node, int response_attr,
+                       const Relation& rel, size_t row) {
+  if (v == response_node) {
+    return GroupPayload::Single(GroupKeyHigh(rel.Cat(row, response_attr)),
+                                1.0);
+  }
+  return GroupPayload::One();
+}
+
+// Non-root node pass of the classification batch.
+void ScanClassNode(const RootedTree& tree, const FilterSet& path_filters,
+                   int v, int response_node, int response_attr,
+                   const std::vector<FlatHashMap<GroupPayload>>& views,
+                   size_t row_begin, size_t row_end,
+                   FlatHashMap<GroupPayload>* out) {
+  const Relation& rel = tree.relation(v);
+  const RootedNode& node = tree.node(v);
+  const std::vector<Predicate>& preds = NodeFilters(path_filters, v);
+  GroupPayload buf_a;
+  GroupPayload buf_b;
+  for (size_t row = row_begin; row < row_end; ++row) {
+    if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+    GroupPayload p = ClassLift(v, response_node, response_attr, rel, row);
+    GroupPayload* cur = &p;
+    GroupPayload* nxt = &buf_a;
+    bool dangling = false;
+    for (int c : node.children) {
+      const GroupPayload* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
+      if (cp == nullptr || cp->empty()) {
+        dangling = true;
+        break;
       }
+      GroupMulInto(*cur, *cp, nxt);
+      cur = nxt;
+      nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
     }
-    // Root scan: one pass serves every candidate owned by r.
-    const Relation& rel = tree.relation(r);
-    const RootedNode& node = tree.node(r);
-    const std::vector<Predicate>& preds = NodeFilters(path_filters, r);
-    const bool has_response = r == response_node;
-    for (size_t row = 0; row < rel.num_rows(); ++row) {
-      if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
-      Triple p{1, 0, 0};
-      if (has_response) {
-        double y = rel.Double(row, response_attr);
-        p = Triple{1, y, y * y};
+    if (dangling) continue;
+    (*out)[tree.RowKeyToParent(v, row)].AddInPlace(*cur);
+  }
+}
+
+// Root pass of the classification batch: per-candidate class-count maps,
+// written through *outs[k] pointers (see ScanTripleRoot).
+void ScanClassRoot(const RootedTree& tree, const FilterSet& path_filters,
+                   int r, int response_node, int response_attr,
+                   const std::vector<FlatHashMap<GroupPayload>>& views,
+                   const std::vector<SplitCandidate>& candidates,
+                   const std::vector<size_t>& owned, size_t row_begin,
+                   size_t row_end,
+                   const std::vector<FlatHashMap<double>*>& outs) {
+  const Relation& rel = tree.relation(r);
+  const RootedNode& node = tree.node(r);
+  const std::vector<Predicate>& preds = NodeFilters(path_filters, r);
+  GroupPayload buf_a;
+  GroupPayload buf_b;
+  for (size_t row = row_begin; row < row_end; ++row) {
+    if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
+    GroupPayload p = ClassLift(r, response_node, response_attr, rel, row);
+    GroupPayload* cur = &p;
+    GroupPayload* nxt = &buf_a;
+    bool dangling = false;
+    for (int c : node.children) {
+      const GroupPayload* cp = views[c].Find(tree.RowKeyToChild(r, c, row));
+      if (cp == nullptr || cp->empty()) {
+        dangling = true;
+        break;
       }
-      bool dangling = false;
-      for (int c : node.children) {
-        const Triple* cp = views[c].Find(tree.RowKeyToChild(r, c, row));
-        if (cp == nullptr) {
-          dangling = true;
-          break;
-        }
-        p = Mul(p, *cp);
-      }
-      if (dangling) continue;
-      for (size_t idx : by_node[r]) {
-        if (candidates[idx].pred.Matches(rel, row)) {
-          stats[idx].count += p.c;
-          stats[idx].sum += p.s;
-          stats[idx].sum_sq += p.q;
+      GroupMulInto(*cur, *cp, nxt);
+      cur = nxt;
+      nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
+    }
+    if (dangling) continue;
+    for (size_t k = 0; k < owned.size(); ++k) {
+      if (candidates[owned[k]].pred.Matches(rel, row)) {
+        for (const auto& e : cur->entries()) {
+          (*outs[k])[PackKey1(UnpackHigh(e.key))] += e.value;
         }
       }
     }
   }
-  return stats;
 }
+
+void ProcessClassRoot(const JoinQuery& query, int r, int response_node,
+                      int response_attr, const FilterSet& path_filters,
+                      const std::vector<SplitCandidate>& candidates,
+                      const std::vector<size_t>& owned,
+                      const ExecContext& ctx,
+                      std::vector<FlatHashMap<double>>* counts) {
+  RootedTree tree = query.Root(r);
+  const int num_nodes = query.num_relations();
+  std::vector<FlatHashMap<GroupPayload>> views(num_nodes);
+  for (int v : tree.postorder()) {
+    if (v == r) break;
+    PartitionedScan<FlatHashMap<GroupPayload>>(
+        ctx, tree.relation(v).num_rows(), &views[v],
+        [&](size_t begin, size_t end, FlatHashMap<GroupPayload>* acc) {
+          ScanClassNode(tree, path_filters, v, response_node, response_attr,
+                        views, begin, end, acc);
+        },
+        [&](FlatHashMap<GroupPayload>* out,
+            FlatHashMap<GroupPayload>* partial) {
+          partial->ForEach([&](uint64_t key, const GroupPayload& p) {
+            (*out)[key].AddInPlace(p);
+          });
+        });
+  }
+  PartitionedSlotScan<FlatHashMap<double>>(
+      ctx, tree.relation(r).num_rows(), owned.size(),
+      [&](size_t k) { return &(*counts)[owned[k]]; },
+      [&](size_t begin, size_t end,
+          const std::vector<FlatHashMap<double>*>& slots) {
+        ScanClassRoot(tree, path_filters, r, response_node, response_attr,
+                      views, candidates, owned, begin, end, slots);
+      },
+      [](FlatHashMap<double>* out, FlatHashMap<double>* partial) {
+        partial->ForEach([&](uint64_t key, const double& value) {
+          (*out)[key] += value;
+        });
+      });
+}
+
+}  // namespace
 
 std::vector<FlatHashMap<double>> ComputeSplitClassCounts(
     const JoinQuery& query, int response_node, int response_attr,
     const FilterSet& path_filters,
-    const std::vector<SplitCandidate>& candidates) {
+    const std::vector<SplitCandidate>& candidates, const ExecPolicy& policy) {
   const int num_nodes = query.num_relations();
   std::vector<FlatHashMap<double>> counts(candidates.size());
   std::vector<std::vector<size_t>> by_node =
       CandidatesByNode(num_nodes, candidates);
-
+  std::vector<int> roots;
   for (int r = 0; r < num_nodes; ++r) {
-    if (by_node[r].empty()) continue;
-    RootedTree tree = query.Root(r);
-    std::vector<FlatHashMap<GroupPayload>> views(num_nodes);
-    GroupPayload buf_a;
-    GroupPayload buf_b;
-    auto lift = [&](int v, const Relation& rel, size_t row) {
-      if (v == response_node) {
-        return GroupPayload::Single(GroupKeyHigh(rel.Cat(row, response_attr)),
-                                    1.0);
-      }
-      return GroupPayload::One();
-    };
-    for (int v : tree.postorder()) {
-      if (v == r) break;
-      const Relation& rel = tree.relation(v);
-      const RootedNode& node = tree.node(v);
-      const std::vector<Predicate>& preds = NodeFilters(path_filters, v);
-      FlatHashMap<GroupPayload>& out = views[v];
-      for (size_t row = 0; row < rel.num_rows(); ++row) {
-        if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
-        GroupPayload p = lift(v, rel, row);
-        GroupPayload* cur = &p;
-        GroupPayload* nxt = &buf_a;
-        bool dangling = false;
-        for (int c : node.children) {
-          const GroupPayload* cp =
-              views[c].Find(tree.RowKeyToChild(v, c, row));
-          if (cp == nullptr || cp->empty()) {
-            dangling = true;
-            break;
-          }
-          GroupMulInto(*cur, *cp, nxt);
-          cur = nxt;
-          nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
-        }
-        if (dangling) continue;
-        out[tree.RowKeyToParent(v, row)].AddInPlace(*cur);
-      }
-    }
-    const Relation& rel = tree.relation(r);
-    const RootedNode& node = tree.node(r);
-    const std::vector<Predicate>& preds = NodeFilters(path_filters, r);
-    for (size_t row = 0; row < rel.num_rows(); ++row) {
-      if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
-      GroupPayload p = lift(r, rel, row);
-      GroupPayload* cur = &p;
-      GroupPayload* nxt = &buf_a;
-      bool dangling = false;
-      for (int c : node.children) {
-        const GroupPayload* cp = views[c].Find(tree.RowKeyToChild(r, c, row));
-        if (cp == nullptr || cp->empty()) {
-          dangling = true;
-          break;
-        }
-        GroupMulInto(*cur, *cp, nxt);
-        cur = nxt;
-        nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
-      }
-      if (dangling) continue;
-      for (size_t idx : by_node[r]) {
-        if (candidates[idx].pred.Matches(rel, row)) {
-          for (const auto& e : cur->entries()) {
-            counts[idx][PackKey1(UnpackHigh(e.key))] += e.value;
-          }
-        }
-      }
-    }
+    if (!by_node[r].empty()) roots.push_back(r);
   }
+
+  ExecContext ctx(policy);
+  ctx.ParallelFor(roots.size(), [&](size_t ri) {
+    int r = roots[ri];
+    ProcessClassRoot(query, r, response_node, response_attr, path_filters,
+                     candidates, by_node[r], ctx, &counts);
+  });
   return counts;
 }
 

@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "core/exec_policy.h"
 #include "core/feature_map.h"
 #include "query/join_tree.h"
 #include "query/predicate.h"
@@ -44,18 +45,24 @@ struct SplitStats {
 // Computes, for each candidate, the (count, sum_y, sumsq_y) triple over the
 // join restricted by `path_filters` AND the candidate's predicate. The
 // response is identified by (response_node, response_attr) and must be
-// continuous. Candidates sharing a node share one pass.
+// continuous. Candidates sharing a node share one pass. An enabled policy
+// runs the per-root passes as independent view groups (outer level) with
+// partitioned relation scans inside each pass (inner level); results are
+// bit-identical for any thread count >= 1 (see core/exec_policy.h).
 std::vector<SplitStats> ComputeSplitStats(
     const JoinQuery& query, int response_node, int response_attr,
     const FilterSet& path_filters,
-    const std::vector<SplitCandidate>& candidates);
+    const std::vector<SplitCandidate>& candidates,
+    const ExecPolicy& policy = {});
 
 // Classification variant: per-candidate counts per class of the categorical
-// response. Result maps class code -> count.
+// response. Result maps class code -> count. The policy parameter behaves
+// as in ComputeSplitStats.
 std::vector<FlatHashMap<double>> ComputeSplitClassCounts(
     const JoinQuery& query, int response_node, int response_attr,
     const FilterSet& path_filters,
-    const std::vector<SplitCandidate>& candidates);
+    const std::vector<SplitCandidate>& candidates,
+    const ExecPolicy& policy = {});
 
 // Number of scalar aggregates the regression batch expands to (3 per
 // candidate); used by the Fig. 5 aggregate-count table.

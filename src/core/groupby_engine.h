@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/exec_policy.h"
 #include "query/join_tree.h"
 #include "query/predicate.h"
 #include "ring/group_ring.h"
@@ -38,18 +39,23 @@ struct GroupByAggregate {
 // For aggregates without group-by the single entry has key kUnitKey.
 using GroupByResult = FlatHashMap<double>;
 
+// With the default (disabled) policy this is the canonical serial pass;
+// an enabled policy selects the deterministic two-level parallel plan of
+// core/exec_policy.h (bit-identical results for any thread count >= 1).
 GroupByResult ComputeGroupBy(const RootedTree& tree,
                              const GroupByAggregate& agg,
-                             const FilterSet& filters = {});
+                             const FilterSet& filters = {},
+                             const ExecPolicy& policy = {});
 
 // Evaluates a whole batch of group-by aggregates in ONE bottom-up pass:
 // the relation scans, join-key computations and child-view probes are
 // shared across the batch; each view entry carries one group-ring payload
 // per aggregate. This is the LMFAO-style sharing applied to group-by
 // batches (mutual information, sparse covariance, decision-node batches).
+// The policy parameter behaves as in ComputeGroupBy.
 std::vector<GroupByResult> ComputeGroupByBatch(
     const RootedTree& tree, const std::vector<GroupByAggregate>& aggs,
-    const FilterSet& filters = {});
+    const FilterSet& filters = {}, const ExecPolicy& policy = {});
 
 // Convenience helpers for building aggregates against named attributes.
 GroupByAggregate CountGroupedBy(const JoinQuery& query,

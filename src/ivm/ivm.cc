@@ -20,8 +20,9 @@ std::vector<std::vector<int>> MultipliersFor(const FeatureMap& fm,
 
 }  // namespace
 
-HigherOrderIvm::HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm)
-    : fm_(fm) {
+HigherOrderIvm::HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm,
+                               const ExecPolicy& policy)
+    : fm_(fm), ctx_(policy) {
   const int n = fm->num_features();
   const int num_nodes = db->tree().num_nodes();
   for (int i = 0; i <= n; ++i) {
@@ -34,7 +35,11 @@ HigherOrderIvm::HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm)
 }
 
 void HigherOrderIvm::ApplyBatch(int v, size_t first, size_t count) {
-  for (auto& m : maintainers_) m.ApplyBatch(v, first, count);
+  // The maintainers are mutually independent; each one applies the batch
+  // serially, so the per-maintainer state is thread-count-invariant.
+  ctx_.ParallelFor(maintainers_.size(), [&](size_t k) {
+    maintainers_[k].ApplyBatch(v, first, count);
+  });
 }
 
 CovarMatrix HigherOrderIvm::Current() const {
@@ -55,9 +60,11 @@ CovarMatrix HigherOrderIvm::Current() const {
   return CovarMatrix(n, std::move(payload));
 }
 
-FirstOrderIvm::FirstOrderIvm(const ShadowDb* db, const FeatureMap* fm)
+FirstOrderIvm::FirstOrderIvm(const ShadowDb* db, const FeatureMap* fm,
+                             const ExecPolicy& policy)
     : db_(db),
       fm_(fm),
+      ctx_(policy),
       parent_index_(db->tree().num_nodes()),
       indexed_rows_(db->tree().num_nodes(), 0) {
   const int n = fm->num_features();
@@ -101,14 +108,16 @@ void FirstOrderIvm::ApplyBatch(int v, size_t first, size_t count) {
     indexed_rows_[u] = rel.num_rows();
   }
   // One delta query per aggregate: each re-enumerates the delta join. No
-  // sharing across the batch — the defining cost of this strategy.
-  for (size_t k = 0; k < pairs_.size(); ++k) {
+  // sharing across the batch — the defining cost of this strategy. The
+  // delta queries are independent (disjoint accumulators, read-only
+  // indexes), so they may run in parallel without changing any result.
+  ctx_.ParallelFor(pairs_.size(), [&](size_t k) {
     double acc = 0;
     for (size_t row = first; row < first + count; ++row) {
       Expand(v, row, /*from=*/-1, db_->sign(v, row), mults_[k], &acc);
     }
     values_[k] += acc;
-  }
+  });
 }
 
 void FirstOrderIvm::Expand(int v, size_t row, int from, double mult,

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/exec_policy.h"
 #include "core/feature_map.h"
 #include "ivm/shadow_db.h"
 #include "ivm/view_tree.h"
@@ -93,11 +94,17 @@ class ScalarIvmOps {
 
 class CovarFivm {
  public:
-  CovarFivm(const ShadowDb* db, const FeatureMap* fm)
-      : fm_(fm), maintainer_(db, CovarIvmOps(fm)) {}
+  // The policy drives domain parallelism over each update batch's delta
+  // computation (see ViewTreeMaintainer::ApplyBatch); the default keeps
+  // the canonical serial path. Results are bit-identical for any thread
+  // count >= 1.
+  CovarFivm(const ShadowDb* db, const FeatureMap* fm,
+            const ExecPolicy& policy = {})
+      : fm_(fm), ctx_(policy), maintainer_(db, CovarIvmOps(fm)) {}
 
   void ApplyBatch(int v, size_t first, size_t count) {
-    maintainer_.ApplyBatch(v, first, count);
+    maintainer_.ApplyBatch(v, first, count,
+                           ctx_.enabled() ? &ctx_ : nullptr);
   }
 
   CovarMatrix Current() const {
@@ -110,12 +117,17 @@ class CovarFivm {
 
  private:
   const FeatureMap* fm_;
+  ExecContext ctx_;
   ViewTreeMaintainer<CovarIvmOps> maintainer_;
 };
 
 class HigherOrderIvm {
  public:
-  HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm);
+  // An enabled policy applies each batch to the (n+1)(n+2)/2 independent
+  // scalar maintainers in parallel — each maintainer stays internally
+  // serial, so results are identical for any thread count.
+  HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm,
+                 const ExecPolicy& policy = {});
 
   void ApplyBatch(int v, size_t first, size_t count);
 
@@ -125,6 +137,7 @@ class HigherOrderIvm {
 
  private:
   const FeatureMap* fm_;
+  ExecContext ctx_;
   // Maintainer k tracks the aggregate for feature pair pairs_[k]; index n
   // denotes the constant feature (counts / sums).
   std::vector<std::pair<int, int>> pairs_;
@@ -141,7 +154,11 @@ class HigherOrderIvm {
 // paper credits for the orders-of-magnitude gap to F-IVM.
 class FirstOrderIvm {
  public:
-  FirstOrderIvm(const ShadowDb* db, const FeatureMap* fm);
+  // An enabled policy evaluates the per-aggregate delta queries in
+  // parallel (each aggregate's enumeration stays serial, writing only its
+  // own accumulator), so results are identical for any thread count.
+  FirstOrderIvm(const ShadowDb* db, const FeatureMap* fm,
+                const ExecPolicy& policy = {});
 
   void ApplyBatch(int v, size_t first, size_t count);
 
@@ -158,6 +175,7 @@ class FirstOrderIvm {
 
   const ShadowDb* db_;
   const FeatureMap* fm_;
+  ExecContext ctx_;
   std::vector<std::pair<int, int>> pairs_;
   std::vector<std::vector<std::vector<int>>> mults_;  // per aggregate
   std::vector<double> values_;                        // per aggregate

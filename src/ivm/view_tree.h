@@ -30,8 +30,10 @@
 #ifndef RELBORG_IVM_VIEW_TREE_H_
 #define RELBORG_IVM_VIEW_TREE_H_
 
+#include <utility>
 #include <vector>
 
+#include "core/exec_policy.h"
 #include "ivm/shadow_db.h"
 #include "util/check.h"
 #include "util/flat_hash_map.h"
@@ -48,12 +50,46 @@ class ViewTreeMaintainer {
 
   // Processes rows [first, first + count) previously appended to node v's
   // shadow relation (all with the same multiplicity sign, already recorded
-  // in the ShadowDb).
-  void ApplyBatch(int v, size_t first, size_t count) {
+  // in the ShadowDb). With a context, the per-row delta computation is
+  // domain-parallel over deterministic partitions of the batch (partials
+  // merged in ascending partition order — bit-identical for any thread
+  // count); upward propagation is work-proportional and stays serial.
+  void ApplyBatch(int v, size_t first, size_t count,
+                  const ExecContext* ctx = nullptr) {
+    FlatHashMap<Payload> delta;
+    if (ctx == nullptr || ctx->NumPartitions(count) <= 1) {
+      ScanDelta(v, first, count, &delta);
+    } else {
+      const size_t parts = ctx->NumPartitions(count);
+      std::vector<FlatHashMap<Payload>> partials(parts);
+      ctx->ParallelFor(parts, [&](size_t p) {
+        const std::pair<size_t, size_t> b =
+            ExecContext::PartitionBounds(count, parts, p);
+        ScanDelta(v, first + b.first, b.second - b.first, &partials[p]);
+      });
+      for (size_t p = 0; p < parts; ++p) {
+        partials[p].ForEach([&](uint64_t key, const Payload& payload) {
+          ops_.Add(&delta[key], payload);
+        });
+      }
+    }
+    Propagate(v, std::move(delta));
+  }
+
+  // The root payload (the maintained aggregate batch); nullptr while the
+  // join is still empty.
+  const Payload* Root() const { return views_[db_->tree().root()].Find(kUnitKey); }
+
+  // Read access for tests.
+  const FlatHashMap<Payload>& view(int v) const { return views_[v]; }
+
+ private:
+  // Computes the delta at v for rows [first, first + count) into *delta,
+  // serially in row order.
+  void ScanDelta(int v, size_t first, size_t count,
+                 FlatHashMap<Payload>* delta) {
     const RootedTree& tree = db_->tree();
     const Relation& rel = db_->relation(v);
-    // Delta at v.
-    FlatHashMap<Payload> delta;
     Payload lift;
     Payload buf_a;
     Payload buf_b;
@@ -73,19 +109,10 @@ class ViewTreeMaintainer {
         nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
       }
       if (dangling) continue;
-      ops_.Add(&delta[tree.RowKeyToParent(v, row)], *cur);
+      ops_.Add(&(*delta)[tree.RowKeyToParent(v, row)], *cur);
     }
-    Propagate(v, std::move(delta));
   }
 
-  // The root payload (the maintained aggregate batch); nullptr while the
-  // join is still empty.
-  const Payload* Root() const { return views_[db_->tree().root()].Find(kUnitKey); }
-
-  // Read access for tests.
-  const FlatHashMap<Payload>& view(int v) const { return views_[v]; }
-
- private:
   void Propagate(int v, FlatHashMap<Payload> delta) {
     const RootedTree& tree = db_->tree();
     while (true) {

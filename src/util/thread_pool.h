@@ -1,6 +1,10 @@
 // Fixed-size thread pool used by the parallel execution mode of the
 // aggregate engines (task parallelism across view groups, domain parallelism
-// across partitions of a relation).
+// across partitions of a relation). Engines do not use the pool directly:
+// they go through core/exec_policy.h's ExecContext, which either borrows a
+// pool (ExecPolicy::pool) or owns one sized to the policy's thread count,
+// and relies on ParallelFor being nest-safe for its two-level
+// (view-group x partition) parallelism.
 #ifndef RELBORG_UTIL_THREAD_POOL_H_
 #define RELBORG_UTIL_THREAD_POOL_H_
 

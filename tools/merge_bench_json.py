@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Merges per-harness bench output into one trajectory file.
+
+The bench-smoke CTest entries write machine-readable output under
+<build>/bench-json/: the fig*/sec* harnesses emit JSON-lines records via
+bench_util.h's sink ({harness, scale, metric, value, unit, threads}), and
+the micro_* Google Benchmark binaries emit their native JSON report
+(*.benchmark.json). This script normalizes both into a single sorted
+record list:
+
+    python3 tools/merge_bench_json.py <dir-or-files...> -o BENCH_ci.json
+
+The output is the repo's trajectory format (BENCH_*.json): a JSON object
+with a `records` array sorted by (harness, metric, threads) plus a small
+metadata header. Fails (exit 1) when no records are found — an empty
+"baseline" would silently hide a broken bench leg.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_jsonl(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{lineno}: bad JSON record: {e}")
+            for field in ("harness", "metric", "value", "unit", "threads"):
+                if field not in rec:
+                    raise SystemExit(
+                        f"{path}:{lineno}: record missing '{field}': {rec}")
+            records.append(rec)
+    return records
+
+
+def load_google_benchmark(path):
+    """Normalizes a Google Benchmark JSON report into sink-style records."""
+    with open(path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    harness = os.path.basename(path).split(".")[0]
+    records = []
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        records.append({
+            "harness": harness,
+            "scale": None,
+            "metric": b.get("name", "unknown"),
+            "value": b.get("real_time", 0.0),
+            "unit": b.get("time_unit", "ns"),
+            "threads": b.get("threads", 1),
+        })
+    return records
+
+
+def collect(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            files.extend(
+                os.path.join(p, f) for f in sorted(os.listdir(p))
+                if f.endswith(".jsonl") or f.endswith(".benchmark.json"))
+        else:
+            files.append(p)
+    records = []
+    for f in files:
+        if f.endswith(".benchmark.json"):
+            records.extend(load_google_benchmark(f))
+        else:
+            records.extend(load_jsonl(f))
+    return files, records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("inputs", nargs="+",
+                    help="bench-json directory or individual record files")
+    ap.add_argument("-o", "--output", required=True)
+    ap.add_argument("--label", default="ci",
+                    help="free-form label recorded in the header")
+    args = ap.parse_args()
+
+    files, records = collect(args.inputs)
+    if not records:
+        print(f"merge_bench_json: no records found in {args.inputs}",
+              file=sys.stderr)
+        return 1
+    records.sort(key=lambda r: (r["harness"], r["metric"], r["threads"]))
+    out = {
+        "label": args.label,
+        "host_cpus": os.cpu_count(),
+        "source_files": [os.path.basename(f) for f in files],
+        "record_count": len(records),
+        "records": records,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(out, fh, indent=1)
+        fh.write("\n")
+    print(f"merge_bench_json: {len(records)} records from "
+          f"{len(files)} files -> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
