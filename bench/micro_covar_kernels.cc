@@ -1,0 +1,218 @@
+// Micro-benchmarks for the covariance payload representations
+// (google-benchmark): the AoS CovarPayload ops of ring/covariance.h
+// against the arena span kernels of ring/covar_arena.h, across feature
+// widths n in {8, 32, 128}. These back the PR-3 payload-layout numbers:
+// the per-row engine op is lift * child-product accumulated into a view
+// payload, so the AosRowOp / ArenaFusedRowOp pair is the apples-to-apples
+// comparison; the plain Add/Mul pairs isolate the layout effect.
+#include <benchmark/benchmark.h>
+
+#include <utility>
+#include <vector>
+
+#include "ring/covar_arena.h"
+#include "ring/covariance.h"
+#include "util/rng.h"
+
+namespace relborg {
+namespace {
+
+CovarPayload RandomPayload(int n, Rng* rng) {
+  CovarPayload p = CovarPayload::Zero(n);
+  p.count = rng->Uniform(0.5, 3.0);
+  for (auto& s : p.sum) s = rng->Uniform(-1, 1);
+  for (auto& q : p.quad) q = rng->Uniform(-1, 1);
+  return p;
+}
+
+std::vector<double> RandomSpan(int n, Rng* rng) {
+  std::vector<double> span(CovarStride(n));
+  CovarPayloadToSpan(RandomPayload(n, rng), span.data());
+  return span;
+}
+
+std::vector<std::pair<int, double>> Feats(int n, size_t count) {
+  std::vector<std::pair<int, double>> feats;
+  for (size_t k = 0; k < count && static_cast<int>(k) < n; ++k) {
+    feats.push_back({static_cast<int>(k), 0.5 + 0.25 * k});
+  }
+  return feats;
+}
+
+// --- Ring addition: AoS payloads vs contiguous spans ----------------------
+
+void BM_AosAdd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  CovarPayload a = RandomPayload(n, &rng);
+  const CovarPayload b = RandomPayload(n, &rng);
+  for (auto _ : state) {
+    CovarAddInPlace(&a, b);
+    benchmark::DoNotOptimize(a.count);
+  }
+}
+BENCHMARK(BM_AosAdd)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ArenaAdd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<double> a = RandomSpan(n, &rng);
+  const std::vector<double> b = RandomSpan(n, &rng);
+  const size_t stride = CovarStride(n);
+  for (auto _ : state) {
+    CovarSpanAdd(stride, a.data(), b.data());
+    benchmark::DoNotOptimize(a[0]);
+  }
+}
+BENCHMARK(BM_ArenaAdd)->Arg(8)->Arg(32)->Arg(128);
+
+// --- Ring product ---------------------------------------------------------
+
+void BM_AosMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const CovarPayload a = RandomPayload(n, &rng);
+  const CovarPayload b = RandomPayload(n, &rng);
+  CovarPayload dst;
+  for (auto _ : state) {
+    CovarMulInto(n, a, b, &dst);
+    benchmark::DoNotOptimize(dst.count);
+  }
+}
+BENCHMARK(BM_AosMul)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ArenaMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const std::vector<double> a = RandomSpan(n, &rng);
+  const std::vector<double> b = RandomSpan(n, &rng);
+  std::vector<double> dst(CovarStride(n));
+  for (auto _ : state) {
+    CovarSpanMul(n, a.data(), b.data(), dst.data());
+    benchmark::DoNotOptimize(dst[0]);
+  }
+}
+BENCHMARK(BM_ArenaMul)->Arg(8)->Arg(32)->Arg(128);
+
+// --- The engine's per-row op: lift * child-product, accumulated -----------
+//
+// AoS: materialize the lift, one ring product, one ring add (the pre-arena
+// engine inner loop). Arena: the fused kernel.
+
+void BM_AosRowOp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const auto feats = Feats(n, 2);
+  const CovarPayload child = RandomPayload(n, &rng);
+  CovarPayload acc = CovarPayload::Zero(n);
+  CovarPayload lift;
+  CovarPayload prod;
+  for (auto _ : state) {
+    CovarLiftInto(n, feats, &lift);
+    CovarMulInto(n, lift, child, &prod);
+    CovarAddInPlace(&acc, prod);
+    benchmark::DoNotOptimize(acc.count);
+  }
+}
+BENCHMARK(BM_AosRowOp)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ArenaFusedRowOp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  const auto feats = Feats(n, 2);
+  const std::vector<double> child = RandomSpan(n, &rng);
+  std::vector<double> acc(CovarStride(n), 0.0);
+  for (auto _ : state) {
+    CovarSpanLiftMulAdd(n, feats.data(), feats.size(), 1.0, child.data(),
+                        acc.data());
+    benchmark::DoNotOptimize(acc[0]);
+  }
+}
+BENCHMARK(BM_ArenaFusedRowOp)->Arg(8)->Arg(32)->Arg(128);
+
+// Leaf-node row op: the lift alone accumulated into the view. The arena
+// path is pure sparse update, O(#feats^2) instead of O(n^2).
+void BM_AosLeafRowOp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto feats = Feats(n, 2);
+  CovarPayload acc = CovarPayload::Zero(n);
+  CovarPayload lift;
+  for (auto _ : state) {
+    CovarLiftInto(n, feats, &lift);
+    CovarAddInPlace(&acc, lift);
+    benchmark::DoNotOptimize(acc.count);
+  }
+}
+BENCHMARK(BM_AosLeafRowOp)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ArenaLeafRowOp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto feats = Feats(n, 2);
+  std::vector<double> acc(CovarStride(n), 0.0);
+  for (auto _ : state) {
+    CovarSpanLiftMulAdd(n, feats.data(), feats.size(), 1.0, nullptr,
+                        acc.data());
+    benchmark::DoNotOptimize(acc[0]);
+  }
+}
+BENCHMARK(BM_ArenaLeafRowOp)->Arg(8)->Arg(32)->Arg(128);
+
+// Scoped product: both operands live on a quarter of the features (the
+// factorized-view sparsity the scoped kernels exploit).
+void BM_ArenaScopedMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<int> sa, sb;
+  for (int f = 0; f < n / 4; ++f) {
+    sa.push_back(f);
+    sb.push_back(n / 2 + f);
+  }
+  const CovarScope scope = CovarScope::Union(n, sa, sb);
+  const std::vector<double> a = RandomSpan(n, &rng);
+  const std::vector<double> b = RandomSpan(n, &rng);
+  std::vector<double> dst(CovarStride(n), 0.0);
+  for (auto _ : state) {
+    CovarSpanMulScoped(scope, a.data(), b.data(), dst.data());
+    benchmark::DoNotOptimize(dst[0]);
+  }
+}
+BENCHMARK(BM_ArenaScopedMul)->Arg(8)->Arg(32)->Arg(128);
+
+// View accumulation through the hash map: FlatHashMap<CovarPayload> vs
+// CovarArenaView, round-robin over a pre-materialized key set (the
+// steady-state probe + payload-touch pattern of a node scan).
+void BM_AosViewAccumulate(benchmark::State& state) {
+  const int n = 32;
+  const uint64_t kKeys = static_cast<uint64_t>(state.range(0));
+  Rng rng(5);
+  const CovarPayload lift = RandomPayload(n, &rng);
+  FlatHashMap<CovarPayload> view;
+  for (uint64_t k = 0; k < kKeys; ++k) CovarAddInPlace(&view[1 + k], lift);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    CovarAddInPlace(&view[1 + (key++ % kKeys)], lift);
+    benchmark::DoNotOptimize(view.size());
+  }
+}
+BENCHMARK(BM_AosViewAccumulate)->Arg(64)->Arg(4096);
+
+void BM_ArenaViewAccumulate(benchmark::State& state) {
+  const int n = 32;
+  const uint64_t kKeys = static_cast<uint64_t>(state.range(0));
+  Rng rng(5);
+  const std::vector<double> lift = RandomSpan(n, &rng);
+  CovarArenaView view(n);
+  const size_t stride = CovarStride(n);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    CovarSpanAdd(stride, view.GetOrAdd(1 + k), lift.data());
+  }
+  uint64_t key = 0;
+  for (auto _ : state) {
+    CovarSpanAdd(stride, view.GetOrAdd(1 + (key++ % kKeys)), lift.data());
+    benchmark::DoNotOptimize(view.size());
+  }
+}
+BENCHMARK(BM_ArenaViewAccumulate)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace relborg

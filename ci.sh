@@ -89,13 +89,13 @@ if [[ "${MODE}" == "all" || "${MODE}" == "asan" ]]; then
     -DRELBORG_BUILD_EXAMPLES=OFF
   echo "==== [tsan] build"
   cmake --build build-ci-tsan -j "${JOBS}" \
-    --target exec_policy_test thread_pool_test util_test
+    --target covar_arena_test exec_policy_test thread_pool_test util_test
   echo "==== [tsan] test (parallel paths)"
   # --no-tests=error: a renamed suite or broken discovery must fail the
   # leg, not let it pass green having verified nothing.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-ci-tsan \
     --output-on-failure -j "${JOBS}" --no-tests=error \
-    -R 'ExecPolicy|ThreadSweep|IndependentViewGroups|ThreadPool'
+    -R 'ExecPolicy|ThreadSweep|IndependentViewGroups|ThreadPool|CovarArena'
 fi
 
 if [[ "${MODE}" == "all" || "${MODE}" == "bench" ]]; then
@@ -122,6 +122,21 @@ if [[ "${MODE}" == "all" || "${MODE}" == "bench" ]]; then
   python3 tools/merge_bench_json.py "${dir}/bench-json" \
     -o "${dir}/BENCH_ci.json" \
     --label "ci-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  echo "==== [bench] diff against committed baseline"
+  # Warn (never fail) on >10% regressions of matching records against the
+  # newest committed BENCH_PR*.json — single-shot timings on shared
+  # runners are too noisy for a hard gate, but the warnings make every
+  # drift visible in the log next to the artifact.
+  baseline=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1)
+  if [[ -n "${baseline}" ]]; then
+    # `|| true`: the diff also exits nonzero when no records match (e.g.
+    # after a metric rename); under set -e that would turn the warn-only
+    # step into a hard gate.
+    python3 tools/diff_bench_json.py "${baseline}" "${dir}/BENCH_ci.json" ||
+      echo "ci.sh: bench diff could not compare baselines (non-fatal)" >&2
+  else
+    echo "ci.sh: no committed BENCH_PR*.json baseline; skipping diff" >&2
+  fi
   echo "==== [bench] check 4-thread speedup gate"
   # >= 1.5x on the best dataset at default scale with 4 threads (the
   # engines are bit-identical across thread counts, so this gate is pure

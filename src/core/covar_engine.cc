@@ -1,9 +1,9 @@
 #include "core/covar_engine.h"
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "ring/covar_arena.h"
 #include "util/check.h"
 #include "util/flat_hash_map.h"
 
@@ -17,49 +17,144 @@ const std::vector<Predicate>& NodeFilters(const FilterSet& filters, int v) {
 }
 
 // ---------------------------------------------------------------------------
-// Shared execution: one pass, covariance-ring payloads.
+// Shared execution: one pass, covariance-ring payloads in arena storage.
+// Each view keeps its payloads in one contiguous CovarArena buffer; the
+// per-row work is the fused CovarSpanLiftMulAdd kernel, so the hot loop
+// never allocates and never materializes a lift payload.
 // ---------------------------------------------------------------------------
 
-using CovarView = FlatHashMap<CovarPayload>;
+using CovarView = CovarArenaView;
+
+// Plan-time kernel metadata per join-tree node: the feature scope of each
+// step of the node's child-product chain. Payloads are nonzero only on
+// their subtree's features, so the scoped kernels skip the structural
+// zeros; the scopes depend on the tree and the feature map only — never on
+// rows or the thread count.
+struct NodeKernelPlan {
+  // chain[i] = scope after folding child i into the running product
+  // (chain[0] additionally covers the node's own lifted features). Only
+  // used with two or more children.
+  std::vector<CovarScope> chain;
+  // Single-child nodes: scope of the child's view for the fused add.
+  CovarScope single;
+};
+
+std::vector<NodeKernelPlan> BuildKernelPlans(const RootedTree& tree,
+                                             const FeatureMap& fm) {
+  const int n = fm.num_features();
+  std::vector<std::vector<int>> subtree(tree.num_nodes());
+  std::vector<NodeKernelPlan> plans(tree.num_nodes());
+  for (int v : tree.postorder()) {
+    const RootedNode& node = tree.node(v);
+    std::vector<int> own;
+    for (const auto& [attr, f] : fm.NodeFeatures(v)) own.push_back(f);
+    const size_t m = node.children.size();
+    if (m == 1) {
+      plans[v].single = CovarScope::Over(n, subtree[node.children[0]]);
+    } else if (m >= 2) {
+      std::vector<int> acc = own;
+      for (size_t ci = 0; ci < m; ++ci) {
+        const std::vector<int>& child = subtree[node.children[ci]];
+        acc.insert(acc.end(), child.begin(), child.end());
+        plans[v].chain.push_back(CovarScope::Over(n, acc));
+      }
+    }
+    std::vector<int>& scope = subtree[v];
+    scope = std::move(own);
+    for (int c : node.children) {
+      scope.insert(scope.end(), subtree[c].begin(), subtree[c].end());
+    }
+  }
+  return plans;
+}
 
 // Computes the view of node v given its children's views. If `row_begin` /
 // `row_end` restrict the scan, only that partition contributes (used for
 // domain parallelism over the root).
 void ComputeCovarNodeView(const RootedTree& tree, const FeatureMap& fm,
-                          const FilterSet& filters, int v,
-                          const std::vector<CovarView>& views, size_t row_begin,
-                          size_t row_end, CovarView* out) {
+                          const FilterSet& filters, const NodeKernelPlan& plan,
+                          int v, const std::vector<CovarView>& views,
+                          size_t row_begin, size_t row_end, CovarView* out) {
   const Relation& rel = tree.relation(v);
   const RootedNode& node = tree.node(v);
   const std::vector<Predicate>& preds = NodeFilters(filters, v);
   const auto& feats = fm.NodeFeatures(v);
   const int n = fm.num_features();
+  const size_t stride = CovarStride(n);
+  out->Init(n);
 
+  const size_t num_children = node.children.size();
   std::vector<std::pair<int, double>> feat_vals(feats.size());
-  CovarPayload lift;
-  CovarPayload buf_a;
-  CovarPayload buf_b;
+  std::vector<const double*> child_spans(num_children);
+  // One scratch intermediate per chain step (step i writes scratch[i] with
+  // the SAME scope on every row, so entries outside that scope stay at
+  // their zero initialization — the invariant the scoped kernels rely on).
+  // With zero or one child the fused kernel needs no intermediate at all.
+  std::vector<std::vector<double>> scratch(
+      num_children >= 2 ? num_children - 1 : 0,
+      std::vector<double>(stride, 0.0));
   for (size_t row = row_begin; row < row_end; ++row) {
     if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
-    for (size_t k = 0; k < feats.size(); ++k) {
-      feat_vals[k] = {feats[k].second, rel.Double(row, feats[k].first)};
-    }
-    CovarLiftInto(n, feat_vals, &lift);
-    CovarPayload* cur = &lift;
-    CovarPayload* nxt = &buf_a;
     bool dangling = false;
-    for (int c : node.children) {
-      const CovarPayload* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
-      if (cp == nullptr || cp->IsUnset()) {
+    for (size_t ci = 0; ci < num_children; ++ci) {
+      const int c = node.children[ci];
+      const double* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
+      if (cp == nullptr) {
         dangling = true;  // row has no join partner in subtree c
         break;
       }
-      CovarMulInto(n, *cur, *cp, nxt);
-      cur = nxt;
-      nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
+      child_spans[ci] = cp;
     }
     if (dangling) continue;
-    CovarAddInPlace(&(*out)[tree.RowKeyToParent(v, row)], *cur);
+    for (size_t k = 0; k < feats.size(); ++k) {
+      feat_vals[k] = {feats[k].second, rel.Double(row, feats[k].first)};
+    }
+    double* dst = out->GetOrAdd(tree.RowKeyToParent(v, row));
+    if (num_children == 0) {
+      // Leaf: pure sparse update, O(#feats^2) per row.
+      CovarSpanLiftMulAdd(n, feat_vals.data(), feat_vals.size(), /*sign=*/1.0,
+                          nullptr, dst);
+    } else if (num_children == 1) {
+      // One fused kernel, no intermediate at all.
+      if (plan.single.IsDense()) {
+        CovarSpanLiftMulAdd(n, feat_vals.data(), feat_vals.size(),
+                            /*sign=*/1.0, child_spans[0], dst);
+      } else {
+        CovarSpanLiftMulAddScoped(n, plan.single, feat_vals.data(),
+                                  feat_vals.size(), /*sign=*/1.0,
+                                  child_spans[0], dst);
+      }
+    } else {
+      // Fold the sparse lift into the first child, chain the middle
+      // children, and fuse the last product into the accumulator — every
+      // step restricted to its live feature scope (contiguous dense
+      // kernels once a step's scope covers all features).
+      if (plan.chain[0].IsDense()) {
+        CovarSpanLiftMul(n, feat_vals.data(), feat_vals.size(), /*sign=*/1.0,
+                         child_spans[0], scratch[0].data());
+      } else {
+        CovarSpanLiftMulScoped(n, plan.chain[0], feat_vals.data(),
+                               feat_vals.size(), /*sign=*/1.0, child_spans[0],
+                               scratch[0].data());
+      }
+      for (size_t ci = 1; ci + 1 < num_children; ++ci) {
+        if (plan.chain[ci].IsDense()) {
+          CovarSpanMul(n, scratch[ci - 1].data(), child_spans[ci],
+                       scratch[ci].data());
+        } else {
+          CovarSpanMulScoped(plan.chain[ci], scratch[ci - 1].data(),
+                             child_spans[ci], scratch[ci].data());
+        }
+      }
+      if (plan.chain[num_children - 1].IsDense()) {
+        CovarSpanMulAdd(n, scratch[num_children - 2].data(),
+                        child_spans[num_children - 1], dst);
+      } else {
+        CovarSpanMulAddScoped(plan.chain[num_children - 1],
+                              scratch[num_children - 2].data(),
+                              child_spans[num_children - 1], dst);
+      }
+    }
   }
 }
 
@@ -69,10 +164,11 @@ CovarMatrix ComputeSharedCovar(const RootedTree& tree, const FeatureMap& fm,
   const int num_nodes = tree.num_nodes();
   const int n = fm.num_features();
   std::vector<CovarView> views(num_nodes);
+  const std::vector<NodeKernelPlan> plans = BuildKernelPlans(tree, fm);
 
   if (!parallel) {
     for (int v : tree.postorder()) {
-      ComputeCovarNodeView(tree, fm, filters, v, views, 0,
+      ComputeCovarNodeView(tree, fm, filters, plans[v], v, views, 0,
                            tree.relation(v).num_rows(), &views[v]);
     }
   } else {
@@ -82,28 +178,31 @@ CovarMatrix ComputeSharedCovar(const RootedTree& tree, const FeatureMap& fm,
     // merge order never depend on the thread count, so the result is
     // bit-identical for every ExecPolicy{N >= 1}.
     ExecContext ctx(policy);
+    const size_t stride = CovarStride(n);
     for (const std::vector<int>& group : IndependentViewGroups(tree)) {
       ctx.ParallelFor(group.size(), [&](size_t idx) {
         int v = group[idx];
+        views[v].Init(n);
         PartitionedScan<CovarView>(
             ctx, tree.relation(v).num_rows(), &views[v],
             [&](size_t begin, size_t end, CovarView* acc) {
-              ComputeCovarNodeView(tree, fm, filters, v, views, begin, end,
-                                   acc);
+              ComputeCovarNodeView(tree, fm, filters, plans[v], v, views,
+                                   begin, end, acc);
             },
             [&](CovarView* out, CovarView* partial) {
-              partial->ForEach([&](uint64_t key, const CovarPayload& p) {
-                CovarAddInPlace(&(*out)[key], p);
+              // Partials arrive in ascending partition order; each span
+              // folds with one contiguous add.
+              partial->ForEach([&](uint64_t key, const double* span) {
+                CovarSpanAdd(stride, out->GetOrAdd(key), span);
               });
             });
       });
     }
   }
 
-  const CovarPayload* result = views[tree.root()].Find(kUnitKey);
-  return CovarMatrix(n, result == nullptr || result->IsUnset()
-                            ? CovarPayload::Zero(n)
-                            : *result);
+  const double* result = views[tree.root()].Find(kUnitKey);
+  return CovarMatrix(n, result == nullptr ? CovarPayload::Zero(n)
+                                          : CovarPayloadFromSpan(n, result));
 }
 
 // ---------------------------------------------------------------------------
@@ -143,9 +242,11 @@ double ComputeScalarSpecialized(const RootedTree& tree, const FilterSet& filters
 // ---------------------------------------------------------------------------
 // Per-aggregate execution (interpreted): models a tuple-at-a-time engine
 // without code specialization — each scanned tuple is materialized into a
-// generic row buffer, expressions and key extractors are evaluated through
-// virtual dispatch, and views live in generic hash tables. This is the 1x
-// baseline of the Figure 6 ablation (AC/DC before LMFAO's compilation).
+// generic row buffer and expressions and key extractors are evaluated
+// through virtual dispatch. This is the 1x baseline of the Figure 6
+// ablation (AC/DC before LMFAO's compilation); the modeled cost is the
+// interpretation overhead, so views use the same FlatHashMap as every
+// other engine.
 // ---------------------------------------------------------------------------
 
 class Expr {
@@ -215,7 +316,7 @@ class KeyExpr {
 double ComputeScalarInterpreted(const RootedTree& tree,
                                 const FilterSet& filters,
                                 const std::vector<std::vector<int>>& mults) {
-  std::vector<std::unordered_map<uint64_t, double>> views(tree.num_nodes());
+  std::vector<FlatHashMap<double>> views(tree.num_nodes());
   for (int v : tree.postorder()) {
     const Relation& rel = tree.relation(v);
     const RootedNode& node = tree.node(v);
@@ -237,20 +338,20 @@ double ComputeScalarInterpreted(const RootedTree& tree,
       double m = expr->Eval(tuple.data());
       bool dangling = false;
       for (size_t ci = 0; ci < node.children.size(); ++ci) {
-        auto it = views[node.children[ci]].find(
-            child_keys[ci]->Eval(tuple.data()));
-        if (it == views[node.children[ci]].end()) {
+        const double* cp =
+            views[node.children[ci]].Find(child_keys[ci]->Eval(tuple.data()));
+        if (cp == nullptr) {
           dangling = true;
           break;
         }
-        m *= it->second;
+        m *= *cp;
       }
       if (dangling) continue;
       out[parent_key.Eval(tuple.data())] += m;
     }
   }
-  auto it = views[tree.root()].find(kUnitKey);
-  return it == views[tree.root()].end() ? 0.0 : it->second;
+  const double* result = views[tree.root()].Find(kUnitKey);
+  return result == nullptr ? 0.0 : *result;
 }
 
 // Per-node multiplier attribute lists for SUM(x_i * x_j); index n (== number
@@ -287,7 +388,9 @@ CovarMatrix ComputeCovarMatrix(const RootedTree& tree, const FeatureMap& fm,
       return ComputeSharedCovar(tree, fm, filters, /*parallel=*/false, {});
     case ExecMode::kSharedParallel: {
       ExecPolicy policy = options.policy;
-      if (!policy.enabled()) policy = ExecPolicy::FromEnv();
+      // Resolve only the thread count from the environment so a caller's
+      // partition_grain / max_partitions customization survives.
+      if (!policy.enabled()) policy.threads = ExecPolicy::FromEnv().threads;
       if (options.pool != nullptr) policy.pool = options.pool;
       return ComputeSharedCovar(tree, fm, filters, /*parallel=*/true, policy);
     }

@@ -6,14 +6,17 @@
 // paper (each adds one optimization on top of the previous):
 //
 //   kPerAggregateInterpreted  one bottom-up pass per aggregate, evaluating
-//                             an interpreted expression per tuple and using
-//                             generic std::unordered_map views. Models the
-//                             unspecialized AC/DC-style baseline (1x).
+//                             an interpreted expression per tuple through
+//                             virtual dispatch over a materialized generic
+//                             row buffer. Models the unspecialized
+//                             AC/DC-style baseline (1x).
 //   kPerAggregate             + code specialization: static per-node
-//                             multiplier lists, flat hash views. Still one
-//                             pass per aggregate.
+//                             multiplier lists, direct column reads. Still
+//                             one pass per aggregate.
 //   kShared                   + sharing: a single pass with the covariance
-//                             ring computes the whole batch at once.
+//                             ring computes the whole batch at once, with
+//                             payloads in arena storage (ring/covar_arena.h)
+//                             and the fused lift-multiply-accumulate kernel.
 //   kSharedParallel           + parallelization: task parallelism across
 //                             independent subtrees and domain parallelism
 //                             over partitions of the root relation.

@@ -1,29 +1,37 @@
 #include "core/decision_node_engine.h"
 
+#include "ring/covar_arena.h"
 #include "ring/group_ring.h"
 #include "util/check.h"
 
 namespace relborg {
 namespace {
 
-// Scalar covariance-ring payload specialized to a single feature (the
-// response): (count, sum, sum of squares). This is the n=1 covariance ring
-// without the vector/matrix indirection — decision-node batches are hot.
+// The regression batch maintains the n=1 covariance ring over the response:
+// (count, sum, sum of squares), i.e. payload spans of kTripleStride doubles
+// in arena storage (CovarArenaView keeps all of a view's triples in one
+// contiguous buffer behind a FlatHashMap<uint32_t>). Decision-node batches
+// are hot, so the per-row ring math runs on a register-resident Triple
+// instead of the generic span kernels; the formulas are the n=1 covariance
+// ring product and lift.
+constexpr int kTripleN = 1;
+constexpr size_t kTripleStride = 3;  // == CovarStride(kTripleN)
+
 struct Triple {
   double c = 0;
   double s = 0;
   double q = 0;
 };
 
-inline Triple Mul(const Triple& a, const Triple& b) {
-  return Triple{a.c * b.c, b.c * a.s + a.c * b.s,
-                b.c * a.q + a.c * b.q + 2 * a.s * b.s};
+inline Triple Mul(const Triple& a, const double* RELBORG_RESTRICT b) {
+  return Triple{a.c * b[0], b[0] * a.s + a.c * b[1],
+                b[0] * a.q + a.c * b[2] + 2 * a.s * b[1]};
 }
 
-inline void AddInPlace(Triple* dst, const Triple& src) {
-  dst->c += src.c;
-  dst->s += src.s;
-  dst->q += src.q;
+inline void AddInPlace(double* RELBORG_RESTRICT dst, const Triple& src) {
+  dst[0] += src.c;
+  dst[1] += src.s;
+  dst[2] += src.q;
 }
 
 const std::vector<Predicate>& NodeFilters(const FilterSet& filters, int v) {
@@ -47,13 +55,13 @@ std::vector<std::vector<size_t>> CandidatesByNode(
 // node v accumulated into *out.
 void ScanTripleNode(const RootedTree& tree, const FilterSet& path_filters,
                     int v, int response_node, int response_attr,
-                    const std::vector<FlatHashMap<Triple>>& views,
-                    size_t row_begin, size_t row_end,
-                    FlatHashMap<Triple>* out) {
+                    const std::vector<CovarArenaView>& views,
+                    size_t row_begin, size_t row_end, CovarArenaView* out) {
   const Relation& rel = tree.relation(v);
   const RootedNode& node = tree.node(v);
   const std::vector<Predicate>& preds = NodeFilters(path_filters, v);
   const bool has_response = v == response_node;
+  out->Init(kTripleN);
   for (size_t row = row_begin; row < row_end; ++row) {
     if (!preds.empty() && !RowPasses(rel, row, preds)) continue;
     Triple p{1, 0, 0};
@@ -63,15 +71,15 @@ void ScanTripleNode(const RootedTree& tree, const FilterSet& path_filters,
     }
     bool dangling = false;
     for (int c : node.children) {
-      const Triple* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
+      const double* cp = views[c].Find(tree.RowKeyToChild(v, c, row));
       if (cp == nullptr) {
         dangling = true;
         break;
       }
-      p = Mul(p, *cp);
+      p = Mul(p, cp);
     }
     if (dangling) continue;
-    AddInPlace(&(*out)[tree.RowKeyToParent(v, row)], p);
+    AddInPlace(out->GetOrAdd(tree.RowKeyToParent(v, row)), p);
   }
 }
 
@@ -80,7 +88,7 @@ void ScanTripleNode(const RootedTree& tree, const FilterSet& path_filters,
 // the final stats directly, exactly like the serial engine).
 void ScanTripleRoot(const RootedTree& tree, const FilterSet& path_filters,
                     int r, int response_node, int response_attr,
-                    const std::vector<FlatHashMap<Triple>>& views,
+                    const std::vector<CovarArenaView>& views,
                     const std::vector<SplitCandidate>& candidates,
                     const std::vector<size_t>& owned, size_t row_begin,
                     size_t row_end, const std::vector<SplitStats*>& outs) {
@@ -97,12 +105,12 @@ void ScanTripleRoot(const RootedTree& tree, const FilterSet& path_filters,
     }
     bool dangling = false;
     for (int c : node.children) {
-      const Triple* cp = views[c].Find(tree.RowKeyToChild(r, c, row));
+      const double* cp = views[c].Find(tree.RowKeyToChild(r, c, row));
       if (cp == nullptr) {
         dangling = true;
         break;
       }
-      p = Mul(p, *cp);
+      p = Mul(p, cp);
     }
     if (dangling) continue;
     for (size_t k = 0; k < owned.size(); ++k) {
@@ -124,18 +132,19 @@ void ProcessStatsRoot(const JoinQuery& query, int r, int response_node,
                       const ExecContext& ctx, std::vector<SplitStats>* stats) {
   RootedTree tree = query.Root(r);
   const int num_nodes = query.num_relations();
-  std::vector<FlatHashMap<Triple>> views(num_nodes);
+  std::vector<CovarArenaView> views(num_nodes);
   for (int v : tree.postorder()) {
     if (v == r) break;  // root handled below (postorder ends with root)
-    PartitionedScan<FlatHashMap<Triple>>(
+    views[v].Init(kTripleN);
+    PartitionedScan<CovarArenaView>(
         ctx, tree.relation(v).num_rows(), &views[v],
-        [&](size_t begin, size_t end, FlatHashMap<Triple>* acc) {
+        [&](size_t begin, size_t end, CovarArenaView* acc) {
           ScanTripleNode(tree, path_filters, v, response_node, response_attr,
                          views, begin, end, acc);
         },
-        [&](FlatHashMap<Triple>* out, FlatHashMap<Triple>* partial) {
-          partial->ForEach([&](uint64_t key, const Triple& p) {
-            AddInPlace(&(*out)[key], p);
+        [&](CovarArenaView* out, CovarArenaView* partial) {
+          partial->ForEach([&](uint64_t key, const double* span) {
+            CovarSpanAdd(kTripleStride, out->GetOrAdd(key), span);
           });
         });
   }

@@ -26,38 +26,81 @@
 #include "core/feature_map.h"
 #include "ivm/shadow_db.h"
 #include "ivm/view_tree.h"
+#include "ring/covar_arena.h"
 #include "ring/covariance.h"
 
 namespace relborg {
 
-// --- Ring adapters -------------------------------------------------------
+// --- Ring adapters (the view-level Ops concept of ivm/view_tree.h) -------
 
-// Covariance-ring ops over the features of `fm` (indices follow fm).
-class CovarIvmOps {
+// Covariance-ring ops over the features of `fm` (indices follow fm), with
+// views in arena storage: every view and delta keeps its payloads in one
+// contiguous CovarArena buffer, and the per-row delta is the fused
+// CovarSpanLiftMulAdd kernel — no payload allocation, no materialized
+// lift, in the maintenance hot loop.
+class CovarArenaIvmOps {
  public:
-  using Payload = CovarPayload;
+  using View = CovarArenaView;
+  struct Scratch {
+    std::vector<std::pair<int, double>> feat_vals;
+    std::vector<double> prod_a;  // child-product ping-pong buffers
+    std::vector<double> prod_b;
+  };
 
-  CovarIvmOps(const FeatureMap* fm) : fm_(fm) {}
+  explicit CovarArenaIvmOps(const FeatureMap* fm) : fm_(fm) {}
 
-  void Lift(int v, const Relation& rel, size_t row, double sign,
-            Payload* out) const {
+  View MakeView() const { return CovarArenaView(fm_->num_features()); }
+  Scratch MakeScratch() const {
+    Scratch s;
+    const size_t stride = CovarStride(fm_->num_features());
+    s.prod_a.resize(stride);
+    s.prod_b.resize(stride);
+    return s;
+  }
+  bool Empty(const View& view) const { return view.empty(); }
+  const double* Find(const View& view, uint64_t key) const {
+    return view.Find(key);
+  }
+
+  void RowDelta(int v, const Relation& rel, size_t row, double sign,
+                const double* const* children, size_t num_children,
+                uint64_t key, View* out, Scratch* scratch) const {
+    const int n = fm_->num_features();
     const auto& feats = fm_->NodeFeatures(v);
-    std::vector<std::pair<int, double>> vals(feats.size());
+    scratch->feat_vals.resize(feats.size());
     for (size_t k = 0; k < feats.size(); ++k) {
-      vals[k] = {feats[k].second, rel.Double(row, feats[k].first)};
+      scratch->feat_vals[k] = {feats[k].second, rel.Double(row, feats[k].first)};
     }
-    CovarLiftInto(fm_->num_features(), vals, out);
-    if (sign != 1.0) {
-      out->count *= sign;
-      for (double& s : out->sum) s *= sign;
-      for (double& q : out->quad) q *= sign;
+    double* dst = out->GetOrAdd(key);
+    if (num_children <= 1) {
+      CovarSpanLiftMulAdd(n, scratch->feat_vals.data(),
+                          scratch->feat_vals.size(), sign,
+                          num_children == 0 ? nullptr : children[0], dst);
+    } else {
+      // Same chain shape as the covariance engine: sparse lift folds into
+      // the first child, the last product fuses into the accumulator.
+      double* cur = scratch->prod_a.data();
+      double* nxt = scratch->prod_b.data();
+      CovarSpanLiftMul(n, scratch->feat_vals.data(),
+                       scratch->feat_vals.size(), sign, children[0], cur);
+      for (size_t ci = 1; ci + 1 < num_children; ++ci) {
+        CovarSpanMul(n, cur, children[ci], nxt);
+        std::swap(cur, nxt);
+      }
+      CovarSpanMulAdd(n, cur, children[num_children - 1], dst);
     }
   }
-  void Mul(const Payload& a, const Payload& b, Payload* dst) const {
-    CovarMulInto(fm_->num_features(), a, b, dst);
+
+  void Merge(View* dst, const View& src) const {
+    const size_t stride = CovarStride(fm_->num_features());
+    src.ForEach([&](uint64_t key, const double* span) {
+      CovarSpanAdd(stride, dst->GetOrAdd(key), span);
+    });
   }
-  void Add(Payload* dst, const Payload& src) const {
-    CovarAddInPlace(dst, src);
+
+  template <typename Fn>
+  void ForEach(const View& view, Fn&& fn) const {
+    view.ForEach(fn);
   }
 
  private:
@@ -65,26 +108,41 @@ class CovarIvmOps {
 };
 
 // Scalar ring ops for a single SUM(x_i * x_j) aggregate: the payload is a
-// double; the lift multiplies whichever of the two features live at the
-// node.
+// double in a plain FlatHashMap view; the lift multiplies whichever of the
+// two features live at the node.
 class ScalarIvmOps {
  public:
-  using Payload = double;
+  using View = FlatHashMap<double>;
+  struct Scratch {};
 
   // mults[v] = attribute indices to multiply at node v.
   explicit ScalarIvmOps(std::vector<std::vector<int>> mults)
       : mults_(std::move(mults)) {}
 
-  void Lift(int v, const Relation& rel, size_t row, double sign,
-            Payload* out) const {
+  View MakeView() const { return View(); }
+  Scratch MakeScratch() const { return Scratch(); }
+  bool Empty(const View& view) const { return view.empty(); }
+  const double* Find(const View& view, uint64_t key) const {
+    return view.Find(key);
+  }
+
+  void RowDelta(int v, const Relation& rel, size_t row, double sign,
+                const double* const* children, size_t num_children,
+                uint64_t key, View* out, Scratch*) const {
     double m = sign;
     for (int attr : mults_[v]) m *= rel.Double(row, attr);
-    *out = m;
+    for (size_t ci = 0; ci < num_children; ++ci) m *= *children[ci];
+    (*out)[key] += m;
   }
-  void Mul(const Payload& a, const Payload& b, Payload* dst) const {
-    *dst = a * b;
+
+  void Merge(View* dst, const View& src) const {
+    src.ForEach([&](uint64_t key, const double& v) { (*dst)[key] += v; });
   }
-  void Add(Payload* dst, const Payload& src) const { *dst += src; }
+
+  template <typename Fn>
+  void ForEach(const View& view, Fn&& fn) const {
+    view.ForEach([&](uint64_t key, const double& v) { fn(key, &v); });
+  }
 
  private:
   std::vector<std::vector<int>> mults_;
@@ -100,7 +158,7 @@ class CovarFivm {
   // count >= 1.
   CovarFivm(const ShadowDb* db, const FeatureMap* fm,
             const ExecPolicy& policy = {})
-      : fm_(fm), ctx_(policy), maintainer_(db, CovarIvmOps(fm)) {}
+      : fm_(fm), ctx_(policy), maintainer_(db, CovarArenaIvmOps(fm)) {}
 
   void ApplyBatch(int v, size_t first, size_t count) {
     maintainer_.ApplyBatch(v, first, count,
@@ -108,17 +166,16 @@ class CovarFivm {
   }
 
   CovarMatrix Current() const {
-    const CovarPayload* p = maintainer_.Root();
-    return CovarMatrix(fm_->num_features(),
-                       p == nullptr || p->IsUnset()
-                           ? CovarPayload::Zero(fm_->num_features())
-                           : *p);
+    const int n = fm_->num_features();
+    const double* span = maintainer_.Root();
+    return CovarMatrix(n, span == nullptr ? CovarPayload::Zero(n)
+                                          : CovarPayloadFromSpan(n, span));
   }
 
  private:
   const FeatureMap* fm_;
   ExecContext ctx_;
-  ViewTreeMaintainer<CovarIvmOps> maintainer_;
+  ViewTreeMaintainer<CovarArenaIvmOps> maintainer_;
 };
 
 class HigherOrderIvm {

@@ -18,14 +18,28 @@
 // scalar ring — one maintainer per aggregate, no sharing — which is
 // exactly the distinction Fig. 4 (right) measures.
 //
-// The Ops parameter supplies the ring:
+// The Ops parameter supplies the ring AND the physical view layout, so the
+// covariance instantiation can keep its payloads in arena storage
+// (ring/covar_arena.h) while the scalar baseline stays on FlatHashMap:
+//
 //   struct Ops {
-//     using Payload = ...;
-//     void Lift(int node, const Relation&, size_t row, double sign,
-//               Payload* out) const;
-//     void Mul(const Payload& a, const Payload& b, Payload* dst) const;
-//     void Add(Payload* dst, const Payload& src) const;
-//     bool IsZero(const Payload&) const;
+//     using View = ...;     // keyed payload container, movable
+//     using Scratch = ...;  // per-scan scratch, one instance per partition
+//     View MakeView() const;
+//     Scratch MakeScratch() const;
+//     bool Empty(const View&) const;
+//     // Opaque payload handle of `key`, nullptr when absent. Handles stay
+//     // valid while their owning view is not written to.
+//     const double* Find(const View&, uint64_t key) const;
+//     // (*out)[key] += sign * lift(node, row) * prod(children handles).
+//     void RowDelta(int node, const Relation&, size_t row, double sign,
+//                   const double* const* children, size_t num_children,
+//                   uint64_t key, View* out, Scratch*) const;
+//     // dst[key] += payload for every entry of src, in src's iteration
+//     // order (a pure function of src's key set).
+//     void Merge(View* dst, const View& src) const;
+//     // fn(uint64_t key, const double* handle) over all entries.
+//     template <typename Fn> void ForEach(const View&, Fn&& fn) const;
 //   };
 #ifndef RELBORG_IVM_VIEW_TREE_H_
 #define RELBORG_IVM_VIEW_TREE_H_
@@ -43,10 +57,14 @@ namespace relborg {
 template <typename Ops>
 class ViewTreeMaintainer {
  public:
-  using Payload = typename Ops::Payload;
+  using View = typename Ops::View;
 
   ViewTreeMaintainer(const ShadowDb* db, Ops ops)
-      : db_(db), ops_(std::move(ops)), views_(db->tree().num_nodes()) {}
+      : db_(db), ops_(std::move(ops)) {
+    const int num_nodes = db->tree().num_nodes();
+    views_.reserve(num_nodes);
+    for (int v = 0; v < num_nodes; ++v) views_.push_back(ops_.MakeView());
+  }
 
   // Processes rows [first, first + count) previously appended to node v's
   // shadow relation (all with the same multiplicity sign, already recorded
@@ -56,105 +74,98 @@ class ViewTreeMaintainer {
   // count); upward propagation is work-proportional and stays serial.
   void ApplyBatch(int v, size_t first, size_t count,
                   const ExecContext* ctx = nullptr) {
-    FlatHashMap<Payload> delta;
+    View delta = ops_.MakeView();
     if (ctx == nullptr || ctx->NumPartitions(count) <= 1) {
       ScanDelta(v, first, count, &delta);
     } else {
       const size_t parts = ctx->NumPartitions(count);
-      std::vector<FlatHashMap<Payload>> partials(parts);
+      std::vector<View> partials;
+      partials.reserve(parts);
+      for (size_t p = 0; p < parts; ++p) partials.push_back(ops_.MakeView());
       ctx->ParallelFor(parts, [&](size_t p) {
         const std::pair<size_t, size_t> b =
             ExecContext::PartitionBounds(count, parts, p);
         ScanDelta(v, first + b.first, b.second - b.first, &partials[p]);
       });
-      for (size_t p = 0; p < parts; ++p) {
-        partials[p].ForEach([&](uint64_t key, const Payload& payload) {
-          ops_.Add(&delta[key], payload);
-        });
-      }
+      for (size_t p = 0; p < parts; ++p) ops_.Merge(&delta, partials[p]);
     }
     Propagate(v, std::move(delta));
   }
 
-  // The root payload (the maintained aggregate batch); nullptr while the
-  // join is still empty.
-  const Payload* Root() const { return views_[db_->tree().root()].Find(kUnitKey); }
+  // Handle of the root payload (the maintained aggregate batch); nullptr
+  // while the join is still empty.
+  const double* Root() const {
+    return ops_.Find(views_[db_->tree().root()], kUnitKey);
+  }
 
   // Read access for tests.
-  const FlatHashMap<Payload>& view(int v) const { return views_[v]; }
+  const View& view(int v) const { return views_[v]; }
+  const Ops& ops() const { return ops_; }
 
  private:
   // Computes the delta at v for rows [first, first + count) into *delta,
   // serially in row order.
-  void ScanDelta(int v, size_t first, size_t count,
-                 FlatHashMap<Payload>* delta) {
+  void ScanDelta(int v, size_t first, size_t count, View* delta) {
     const RootedTree& tree = db_->tree();
     const Relation& rel = db_->relation(v);
-    Payload lift;
-    Payload buf_a;
-    Payload buf_b;
+    const std::vector<int>& children = tree.node(v).children;
+    std::vector<const double*> spans(children.size());
+    typename Ops::Scratch scratch = ops_.MakeScratch();
     for (size_t row = first; row < first + count; ++row) {
-      ops_.Lift(v, rel, row, db_->sign(v, row), &lift);
-      Payload* cur = &lift;
-      Payload* nxt = &buf_a;
       bool dangling = false;
-      for (int c : tree.node(v).children) {
-        const Payload* cp = views_[c].Find(tree.RowKeyToChild(v, c, row));
-        if (cp == nullptr) {
+      for (size_t ci = 0; ci < children.size(); ++ci) {
+        spans[ci] = ops_.Find(views_[children[ci]],
+                              tree.RowKeyToChild(v, children[ci], row));
+        if (spans[ci] == nullptr) {
           dangling = true;
           break;
         }
-        ops_.Mul(*cur, *cp, nxt);
-        cur = nxt;
-        nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
       }
       if (dangling) continue;
-      ops_.Add(&(*delta)[tree.RowKeyToParent(v, row)], *cur);
+      ops_.RowDelta(v, rel, row, db_->sign(v, row), spans.data(),
+                    spans.size(), tree.RowKeyToParent(v, row), delta,
+                    &scratch);
     }
   }
 
-  void Propagate(int v, FlatHashMap<Payload> delta) {
+  void Propagate(int v, View delta) {
     const RootedTree& tree = db_->tree();
     while (true) {
-      if (delta.empty()) return;
+      if (ops_.Empty(delta)) return;
       // Fold the delta into v's own view.
-      delta.ForEach([&](uint64_t key, const Payload& p) {
-        ops_.Add(&views_[v][key], p);
-      });
+      ops_.Merge(&views_[v], delta);
       int parent = tree.node(v).parent;
       if (parent < 0) return;
       // Delta at the parent: only its rows matching the delta keys.
       const Relation& prel = db_->relation(parent);
-      FlatHashMap<Payload> parent_delta;
-      Payload lift;
-      Payload buf_a;
-      Payload buf_b;
-      delta.ForEach([&](uint64_t key, const Payload& dp) {
+      const std::vector<int>& children = tree.node(parent).children;
+      View parent_delta = ops_.MakeView();
+      std::vector<const double*> spans(children.size());
+      typename Ops::Scratch scratch = ops_.MakeScratch();
+      ops_.ForEach(delta, [&](uint64_t key, const double* dp) {
         const std::vector<uint32_t>* rows =
             db_->RowsByChildKey(parent, v, key);
         if (rows == nullptr) return;
         for (uint32_t row : *rows) {
-          ops_.Lift(parent, prel, row, db_->sign(parent, row), &lift);
-          Payload* cur = &lift;
-          Payload* nxt = &buf_a;
           bool dangling = false;
-          for (int c : tree.node(parent).children) {
-            const Payload* cp;
-            if (c == v) {
-              cp = &dp;  // the delta, not the (already updated) view
+          for (size_t ci = 0; ci < children.size(); ++ci) {
+            if (children[ci] == v) {
+              spans[ci] = dp;  // the delta, not the (already updated) view
             } else {
-              cp = views_[c].Find(tree.RowKeyToChild(parent, c, row));
+              spans[ci] =
+                  ops_.Find(views_[children[ci]],
+                            tree.RowKeyToChild(parent, children[ci], row));
             }
-            if (cp == nullptr) {
+            if (spans[ci] == nullptr) {
               dangling = true;
               break;
             }
-            ops_.Mul(*cur, *cp, nxt);
-            cur = nxt;
-            nxt = (nxt == &buf_a) ? &buf_b : &buf_a;
           }
           if (dangling) continue;
-          ops_.Add(&parent_delta[tree.RowKeyToParent(parent, row)], *cur);
+          ops_.RowDelta(parent, prel, row, db_->sign(parent, row),
+                        spans.data(), spans.size(),
+                        tree.RowKeyToParent(parent, row), &parent_delta,
+                        &scratch);
         }
       });
       delta = std::move(parent_delta);
@@ -164,7 +175,7 @@ class ViewTreeMaintainer {
 
   const ShadowDb* db_;
   Ops ops_;
-  std::vector<FlatHashMap<Payload>> views_;
+  std::vector<View> views_;
 };
 
 }  // namespace relborg

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Diffs two bench trajectory files (BENCH_*.json) record by record.
+
+Records are matched on the full identity (harness, scale, metric,
+threads); only matching pairs are compared. The direction of "better"
+follows the unit: time units (s/ms/us/ns) regress when the value grows,
+speedup-style units ('x') regress when it shrinks. Units that are neither
+(counts, sizes) are reported as changed but never count as regressions.
+
+    python3 tools/diff_bench_json.py BENCH_PR2.json BENCH_ci.json
+
+Exit code is 0 even when regressions are found — the CI bench leg WARNS
+on regressions rather than failing, because single-shot harness timings
+on shared runners are noisy; pass --strict to fail (exit 1) instead.
+--threshold sets the relative change that counts as a regression or an
+improvement (default 0.10, i.e. 10%).
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNITS = {"s", "ms", "us", "ns"}
+HIGHER_IS_BETTER_UNITS = {"x"}
+
+
+def load_records(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict):
+        records = data.get("records", [])
+    else:
+        records = data
+    table = {}
+    for rec in records:
+        key = (rec.get("harness"), rec.get("scale"), rec.get("metric"),
+               rec.get("threads"))
+        # Duplicate identities (reruns in one file) keep the last record,
+        # matching merge_bench_json's sorted order.
+        table[key] = rec
+    return table
+
+
+def classify(unit, baseline, current, threshold):
+    """Returns (kind, rel_change) with kind in regression/improvement/same."""
+    if baseline == 0:
+        return ("same", 0.0)
+    rel = (current - baseline) / abs(baseline)
+    if unit in TIME_UNITS:
+        worse = rel > threshold
+        better = rel < -threshold
+    elif unit in HIGHER_IS_BETTER_UNITS:
+        worse = rel < -threshold
+        better = rel > threshold
+    else:
+        return ("other", rel)
+    if worse:
+        return ("regression", rel)
+    if better:
+        return ("improvement", rel)
+    return ("same", rel)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline", help="committed baseline (e.g. BENCH_PR2.json)")
+    ap.add_argument("current", help="fresh trajectory (e.g. BENCH_ci.json)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative change that counts (default 0.10)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when regressions are found")
+    args = ap.parse_args()
+
+    base = load_records(args.baseline)
+    cur = load_records(args.current)
+    shared = sorted(set(base) & set(cur), key=lambda k: (k[0] or "", k[2] or "",
+                                                         k[3] or 0))
+    if not shared:
+        print("diff_bench_json: no matching {harness, scale, metric, threads} "
+              "records between the two files", file=sys.stderr)
+        return 1
+
+    regressions = []
+    improvements = []
+    for key in shared:
+        b = base[key]
+        c = cur[key]
+        kind, rel = classify(b.get("unit"), b["value"], c["value"],
+                             args.threshold)
+        line = (f"{key[0]}/{key[2]} (scale={key[1]}, threads={key[3]}): "
+                f"{b['value']:.6g} -> {c['value']:.6g} {b.get('unit', '')} "
+                f"({rel:+.1%})")
+        if kind == "regression":
+            regressions.append(line)
+        elif kind == "improvement":
+            improvements.append(line)
+
+    print(f"diff_bench_json: {len(shared)} matching records "
+          f"({len(base)} baseline, {len(cur)} current), "
+          f"threshold {args.threshold:.0%}")
+    for line in improvements:
+        print(f"  IMPROVED   {line}")
+    for line in regressions:
+        print(f"  WARNING: REGRESSION {line}")
+    if not regressions:
+        print("diff_bench_json: no regressions")
+    if regressions and args.strict:
+        print(f"diff_bench_json: {len(regressions)} regression(s) with "
+              "--strict", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
