@@ -89,13 +89,14 @@ if [[ "${MODE}" == "all" || "${MODE}" == "asan" ]]; then
     -DRELBORG_BUILD_EXAMPLES=OFF
   echo "==== [tsan] build"
   cmake --build build-ci-tsan -j "${JOBS}" \
-    --target covar_arena_test exec_policy_test thread_pool_test util_test
+    --target covar_arena_test exec_policy_test stream_scheduler_test \
+             thread_pool_test util_test
   echo "==== [tsan] test (parallel paths)"
   # --no-tests=error: a renamed suite or broken discovery must fail the
   # leg, not let it pass green having verified nothing.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-ci-tsan \
     --output-on-failure -j "${JOBS}" --no-tests=error \
-    -R 'ExecPolicy|ThreadSweep|IndependentViewGroups|ThreadPool|CovarArena'
+    -R 'ExecPolicy|ThreadSweep|IndependentViewGroups|ThreadPool|CovarArena|StreamScheduler|StagedIngest'
 fi
 
 if [[ "${MODE}" == "all" || "${MODE}" == "bench" ]]; then
@@ -118,22 +119,44 @@ if [[ "${MODE}" == "all" || "${MODE}" == "bench" ]]; then
   # headroom; the speedup acceptance gate is measured at default scale.
   RELBORG_BENCH_JSON="${dir}/bench-json/fig4_left_default_scale.jsonl" \
     "${dir}/bench/fig4_left_batch_speedup" > "${dir}/fig4_left_default.log"
+  echo "==== [bench] fig4_right at second scale point (0.5)"
+  # Second scale point for the trajectory: the smoke scale (0.05) streams
+  # only a few thousand tuples, far too few to say anything about the
+  # async scheduler; 0.5 runs a ~100k-tuple stream standalone (not under
+  # a parallel ctest), so the async-vs-serial ratio is meaningful.
+  # RELBORG_THREADS is pinned to 4 so the records carry a host-independent
+  # {threads} identity: the async gate below and the committed baselines
+  # (recorded with the same pin) match it on any runner size.
+  RELBORG_SCALE=0.5 RELBORG_THREADS=4 \
+    RELBORG_BENCH_JSON="${dir}/bench-json/fig4_right_scale05.jsonl" \
+    "${dir}/bench/fig4_right_ivm_throughput" > "${dir}/fig4_right_scale05.log"
   echo "==== [bench] merge trajectory"
   python3 tools/merge_bench_json.py "${dir}/bench-json" \
     -o "${dir}/BENCH_ci.json" \
     --label "ci-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
   echo "==== [bench] diff against committed baseline"
-  # Warn (never fail) on >10% regressions of matching records against the
-  # newest committed BENCH_PR*.json — single-shot timings on shared
-  # runners are too noisy for a hard gate, but the warnings make every
-  # drift visible in the log next to the artifact.
+  # >10% regressions of matching records against the newest committed
+  # BENCH_PR*.json are WARNINGS (single-shot timings on shared runners are
+  # too noisy for a tight hard gate); >25% regressions FAIL the leg —
+  # except observability metrics that stay warn-only: worst-case latency
+  # (one scheduler preemption swings a single-shot max arbitrarily) and
+  # the async scheduler records, whose smoke-scale instances are all
+  # pipeline startup; the meaningful 0.5-scale async ratio is enforced by
+  # the dedicated >= 1.3x gate below instead. Exit code 2 means the files
+  # share no records (e.g. after a metric rename) — that stays a warning,
+  # not a failure.
   baseline=$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1)
   if [[ -n "${baseline}" ]]; then
-    # `|| true`: the diff also exits nonzero when no records match (e.g.
-    # after a metric rename); under set -e that would turn the warn-only
-    # step into a hard gate.
-    python3 tools/diff_bench_json.py "${baseline}" "${dir}/BENCH_ci.json" ||
+    rc=0
+    python3 tools/diff_bench_json.py --fail-threshold 0.25 \
+      --fail-exclude '_async_|_latency_max_ms$' \
+      "${baseline}" "${dir}/BENCH_ci.json" || rc=$?
+    if [[ "${rc}" -eq 2 ]]; then
       echo "ci.sh: bench diff could not compare baselines (non-fatal)" >&2
+    elif [[ "${rc}" -ne 0 ]]; then
+      echo "ci.sh: bench diff found regressions beyond the fail threshold" >&2
+      exit "${rc}"
+    fi
   else
     echo "ci.sh: no committed BENCH_PR*.json baseline; skipping diff" >&2
   fi
@@ -157,6 +180,26 @@ if cpus < 4:
     print("bench gate: <4 CPUs, speedup bar not enforceable on this host")
 elif best < 1.5:
     sys.exit(f"bench gate: best 4-thread speedup {best:.2f}x < 1.5x")
+# Async stream scheduler gate: the 0.5-scale fig4_right run must show the
+# pipelined F-IVM path >= 1.3x over the serial path at 4 threads (the
+# smoke-scale records are excluded — a few-thousand-tuple stream is all
+# pipeline startup).
+async_ratio = [r["value"] for r in d["records"]
+               if r["metric"] == "fivm_async_over_serial"
+               and r["threads"] == 4 and r.get("scale") == 0.5]
+if async_ratio:
+    best_async = max(async_ratio)
+    print(f"bench gate: fivm async/serial stream throughput "
+          f"{best_async:.2f}x at scale 0.5")
+    if cpus < 4:
+        print("bench gate: <4 CPUs, async bar not enforceable on this host")
+    elif best_async < 1.3:
+        sys.exit(f"bench gate: async/serial {best_async:.2f}x < 1.3x")
+elif cpus >= 4:
+    sys.exit("bench gate: no 4-thread fivm_async_over_serial record at "
+             "scale 0.5")
+else:
+    print("bench gate: <4 CPUs, no enforceable async record (ok)")
 EOF
 fi
 

@@ -107,6 +107,12 @@ class ExecContext {
 // done.
 std::vector<std::vector<int>> IndependentViewGroups(const RootedTree& tree);
 
+// Per-node group index of IndependentViewGroups: group_of[v] == g iff v is
+// in groups[g] (0 is the deepest group, the root group is last). The
+// stream scheduler orders epoch ranges by this — same-group nodes are
+// never ancestor/descendant, so their deltas can be computed concurrently.
+std::vector<int> ViewGroupOf(const RootedTree& tree);
+
 // Deterministic partitioned reduction over [0, rows): `scan(begin, end,
 // &acc)` accumulates one partition serially in row order; `merge(out,
 // &partial)` folds partials into *out serially in ascending partition

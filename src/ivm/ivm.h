@@ -165,6 +165,29 @@ class CovarFivm {
                            ctx_.enabled() ? &ctx_ : nullptr);
   }
 
+  // Applies a group of ranges at the SAME view-tree depth (the stream
+  // scheduler's epoch groups). Same-depth nodes are never in an
+  // ancestor/descendant relation, so no range's delta scan reads a view
+  // another range's application writes: all delta scans run concurrently
+  // (each itself partition-parallel via the nested ParallelFor), then the
+  // propagations run serially in range order. Bit-identical to calling
+  // ApplyBatch per range in the same order, for any thread count.
+  void ApplyGroup(const NodeRowRange* ranges, size_t n) {
+    if (n == 1) {
+      ApplyBatch(ranges[0].node, ranges[0].first, ranges[0].count);
+      return;
+    }
+    const ExecContext* ctx = ctx_.enabled() ? &ctx_ : nullptr;
+    std::vector<CovarArenaView> deltas(n);
+    ctx_.ParallelFor(n, [&](size_t i) {
+      deltas[i] = maintainer_.ComputeDelta(ranges[i].node, ranges[i].first,
+                                           ranges[i].count, ctx);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      maintainer_.ApplyDelta(ranges[i].node, std::move(deltas[i]));
+    }
+  }
+
   CovarMatrix Current() const {
     const int n = fm_->num_features();
     const double* span = maintainer_.Root();

@@ -47,6 +47,89 @@ size_t ShadowDb::AppendRows(int v,
   return first;
 }
 
+namespace {
+
+// Packed key of a not-yet-appended row, matching PackRowKey on the
+// appended relation bit for bit: Column::AppendAsDouble casts categorical
+// values with static_cast<int32_t>, so the same cast here guarantees
+// staged fragments and per-row index inserts agree.
+uint64_t PackValuesKey(const std::vector<double>& values,
+                       const std::vector<int>& attrs) {
+  if (attrs.empty()) return kUnitKey;
+  if (attrs.size() == 1) {
+    return PackKey1(static_cast<int32_t>(values[attrs[0]]));
+  }
+  RELBORG_DCHECK(attrs.size() == 2);
+  return PackKey2(static_cast<int32_t>(values[attrs[0]]),
+                  static_cast<int32_t>(values[attrs[1]]));
+}
+
+}  // namespace
+
+IngestChunk ShadowDb::StageRows(int v, std::vector<std::vector<double>> rows,
+                                std::vector<double> signs,
+                                size_t first) const {
+  RELBORG_CHECK(signs.size() == rows.size());
+  IngestChunk chunk;
+  chunk.node = v;
+  chunk.first = first;
+  chunk.rows = rows.size();
+  chunk.signs = std::move(signs);
+  const RootedNode& node = tree_->node(v);
+  chunk.child_groups.resize(node.children.size());
+  for (size_t ci = 0; ci < node.children.size(); ++ci) {
+    const std::vector<int>& attrs =
+        tree_->node(node.children[ci]).parent_key_attrs;
+    FlatHashMap<std::vector<uint32_t>>& groups = chunk.child_groups[ci];
+    for (size_t i = 0; i < rows.size(); ++i) {
+      groups[PackValuesKey(rows[i], attrs)].push_back(
+          static_cast<uint32_t>(first + i));
+    }
+  }
+  // Transpose into typed columns; the casts match Column::AppendAsDouble,
+  // so committed state is identical to AppendRows of the same rows.
+  const Schema& schema = relations_[v]->schema();
+  chunk.double_cols.resize(schema.num_attrs());
+  chunk.cat_cols.resize(schema.num_attrs());
+  for (int a = 0; a < schema.num_attrs(); ++a) {
+    if (schema.attr(a).type == AttrType::kDouble) {
+      std::vector<double>& col = chunk.double_cols[a];
+      col.reserve(rows.size());
+      for (const auto& values : rows) col.push_back(values[a]);
+    } else {
+      std::vector<int32_t>& col = chunk.cat_cols[a];
+      col.reserve(rows.size());
+      for (const auto& values : rows) {
+        col.push_back(static_cast<int32_t>(values[a]));
+      }
+    }
+  }
+  return chunk;
+}
+
+void ShadowDb::CommitChunk(IngestChunk&& chunk) {
+  const int v = chunk.node;
+  Relation* rel = relations_[v];
+  RELBORG_CHECK_MSG(chunk.first == rel->num_rows(),
+                    "IngestChunk staged for a different row offset");
+  for (int a = 0; a < rel->num_attrs(); ++a) {
+    if (rel->schema().attr(a).type == AttrType::kDouble) {
+      rel->mutable_column(a).AppendChunk(chunk.double_cols[a]);
+    } else {
+      rel->mutable_column(a).AppendChunk(chunk.cat_cols[a]);
+    }
+  }
+  rel->CommitAppendedRows(chunk.rows);
+  signs_[v].insert(signs_[v].end(), chunk.signs.begin(), chunk.signs.end());
+  for (size_t ci = 0; ci < chunk.child_groups.size(); ++ci) {
+    chunk.child_groups[ci].ForEach(
+        [&](uint64_t key, const std::vector<uint32_t>& ids) {
+          std::vector<uint32_t>& dst = child_index_[v][ci][key];
+          dst.insert(dst.end(), ids.begin(), ids.end());
+        });
+  }
+}
+
 const std::vector<uint32_t>* ShadowDb::RowsByChildKey(int v, int c,
                                                       uint64_t key) const {
   const RootedNode& node = tree_->node(v);

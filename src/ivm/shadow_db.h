@@ -20,6 +20,30 @@
 
 namespace relborg {
 
+// Precomputed ingestion work for a contiguous run of rows at one node:
+// everything about an append that does NOT touch ShadowDb state — packed
+// child-edge keys grouped into index fragments with absolute row ids, plus
+// the row values and per-row signs. Built by ShadowDb::StageRows (safe to
+// call from any thread) and spliced in by CommitChunk; the stream
+// scheduler's epoch assembler stages chunks off the maintenance thread so
+// commits on the hot path reduce to bulk appends and per-key splices.
+struct IngestChunk {
+  int node = -1;
+  size_t first = 0;  // absolute row id the chunk's rows start at
+  size_t rows = 0;
+  // Rows transposed into typed columnar chunks (exactly one of the two
+  // vectors is non-empty per attribute, following the schema), so a
+  // commit splices whole columns instead of appending row by row.
+  std::vector<std::vector<double>> double_cols;   // per attr
+  std::vector<std::vector<int32_t>> cat_cols;     // per attr
+  std::vector<double> signs;  // one per row
+  // child_groups[ci] maps the packed key on the edge to children()[ci] to
+  // the ABSOLUTE ids of this chunk's rows with that key, in row order.
+  std::vector<FlatHashMap<std::vector<uint32_t>>> child_groups;
+
+  size_t num_rows() const { return rows; }
+};
+
 class ShadowDb {
  public:
   // Clones schemas and join topology from `source`, rooting the tree at
@@ -37,6 +61,25 @@ class ShadowDb {
   // [first, first + rows.size()).
   size_t AppendRows(int v, const std::vector<std::vector<double>>& rows,
                     double sign = 1.0);
+
+  // Phase 1 of a two-phase append: packs the child-edge keys of `rows` and
+  // groups them into index fragments, assuming the rows will land at
+  // absolute ids [first, first + rows.size()). Reads only immutable
+  // topology (tree, schemas) — never the relations — so it may run
+  // concurrently with maintenance reads and with CommitChunk calls for
+  // OTHER chunks; the caller promises `first` will equal
+  // relation(v).num_rows() at commit time (the stream scheduler tracks
+  // per-node cumulative counts to guarantee this). `signs` holds one
+  // multiplicity per row, so a staged chunk can mix inserts and deletes.
+  IngestChunk StageRows(int v, std::vector<std::vector<double>> rows,
+                        std::vector<double> signs, size_t first) const;
+
+  // Phase 2: appends the staged rows/signs and splices the fragments into
+  // the child indexes — one probe per distinct key instead of one per row.
+  // Aborts if the chunk was staged for a different row offset. The
+  // resulting relation, sign and index state is identical to AppendRows of
+  // the same rows.
+  void CommitChunk(IngestChunk&& chunk);
 
   // Rows of node v whose key on the edge to child c equals `key`
   // (nullptr if none). Used by upward delta propagation.

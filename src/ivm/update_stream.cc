@@ -71,6 +71,53 @@ std::vector<UpdateBatch> BuildInsertStream(
   return stream;
 }
 
+std::vector<UpdateBatch> BuildMixedStream(const JoinQuery& query,
+                                          const MixedStreamOptions& options) {
+  std::vector<UpdateBatch> inserts = BuildInsertStream(query, options.insert);
+  // Independent draw stream so the insert deal is byte-identical to
+  // BuildInsertStream with the same options.
+  Rng rng(options.insert.seed * 0x9E3779B97F4A7C15ull + 0x5DEECE66Dull);
+  const int n = query.num_relations();
+  // Per node: rows inserted so far (pointers into `inserts`, which is not
+  // resized below) and how many of the oldest have been deleted already.
+  std::vector<std::vector<const std::vector<double>*>> inserted(n);
+  std::vector<size_t> deleted(n, 0);
+  std::vector<UpdateBatch> stream;
+  stream.reserve(inserts.size());
+  for (const UpdateBatch& batch : inserts) {
+    for (const auto& row : batch.rows) inserted[batch.node].push_back(&row);
+    stream.push_back(batch);
+    if (rng.Uniform() >= options.delete_probability) continue;
+    // Pick a relation weighted by its live (inserted, not yet deleted) row
+    // count, then retract its oldest live rows. Oldest-first deletion keeps
+    // every multiplicity in {0, +1}.
+    size_t total_live = 0;
+    for (int v = 0; v < n; ++v) total_live += inserted[v].size() - deleted[v];
+    if (total_live == 0) continue;
+    uint64_t t = rng.Below(total_live);
+    int pick = 0;
+    for (int v = 0; v < n; ++v) {
+      size_t live = inserted[v].size() - deleted[v];
+      if (t < live) {
+        pick = v;
+        break;
+      }
+      t -= live;
+    }
+    UpdateBatch del;
+    del.node = pick;
+    del.sign = -1.0;
+    size_t take = std::min(options.insert.batch_size,
+                           inserted[pick].size() - deleted[pick]);
+    del.rows.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      del.rows.push_back(*inserted[pick][deleted[pick]++]);
+    }
+    stream.push_back(std::move(del));
+  }
+  return stream;
+}
+
 size_t StreamRowCount(const std::vector<UpdateBatch>& stream) {
   size_t n = 0;
   for (const UpdateBatch& b : stream) n += b.rows.size();

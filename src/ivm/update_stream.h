@@ -1,7 +1,9 @@
 // Builds insert streams for the IVM experiments: the rows of a source
 // dataset are dealt out in per-relation batches, interleaved proportionally
 // to relation sizes (so the database grows uniformly from empty, as in the
-// Fig. 4 right experiment).
+// Fig. 4 right experiment). Mixed streams additionally re-emit previously
+// inserted rows as delete batches (multiplicity -1 — the ring's additive
+// inverse), so relations can shrink mid-stream.
 #ifndef RELBORG_IVM_UPDATE_STREAM_H_
 #define RELBORG_IVM_UPDATE_STREAM_H_
 
@@ -13,7 +15,8 @@
 namespace relborg {
 
 struct UpdateBatch {
-  int node = -1;  // join-tree node receiving the inserts
+  int node = -1;       // join-tree node receiving the rows
+  double sign = 1.0;   // +1 insert batch, -1 delete batch
   std::vector<std::vector<double>> rows;
 };
 
@@ -38,7 +41,24 @@ struct UpdateStreamOptions {
 std::vector<UpdateBatch> BuildInsertStream(
     const JoinQuery& query, const UpdateStreamOptions& options = {});
 
-// Total rows across a stream.
+struct MixedStreamOptions {
+  UpdateStreamOptions insert;
+  // After each insert batch, a delete batch follows with this probability
+  // (drawn deterministically from `insert.seed`). Each delete batch
+  // re-emits up to `insert.batch_size` of the oldest not-yet-deleted rows
+  // of a random relation with sign -1.
+  double delete_probability = 0.25;
+};
+
+// Insert stream interleaved with delete batches that retract previously
+// inserted rows. A pure function of (query, options): the batch sequence,
+// row contents and signs never depend on timing or thread count. Every
+// delete targets rows some earlier batch of the same stream inserted, so
+// replaying the stream in order keeps multiplicities in {0, +1}.
+std::vector<UpdateBatch> BuildMixedStream(const JoinQuery& query,
+                                          const MixedStreamOptions& options);
+
+// Total rows across a stream (inserts and deletes both count).
 size_t StreamRowCount(const std::vector<UpdateBatch>& stream);
 
 }  // namespace relborg

@@ -54,6 +54,15 @@
 
 namespace relborg {
 
+// A contiguous run of rows appended to one node's shadow relation. The
+// stream scheduler hands groups of these (same view-tree depth, ascending
+// node id) to strategies that can maintain them concurrently.
+struct NodeRowRange {
+  int node = -1;
+  size_t first = 0;
+  size_t count = 0;
+};
+
 template <typename Ops>
 class ViewTreeMaintainer {
  public:
@@ -67,13 +76,23 @@ class ViewTreeMaintainer {
   }
 
   // Processes rows [first, first + count) previously appended to node v's
-  // shadow relation (all with the same multiplicity sign, already recorded
-  // in the ShadowDb). With a context, the per-row delta computation is
-  // domain-parallel over deterministic partitions of the batch (partials
-  // merged in ascending partition order — bit-identical for any thread
-  // count); upward propagation is work-proportional and stays serial.
+  // shadow relation (signs already recorded in the ShadowDb). With a
+  // context, the per-row delta computation is domain-parallel over
+  // deterministic partitions of the batch (partials merged in ascending
+  // partition order — bit-identical for any thread count); upward
+  // propagation is work-proportional and stays serial.
   void ApplyBatch(int v, size_t first, size_t count,
                   const ExecContext* ctx = nullptr) {
+    ApplyDelta(v, ComputeDelta(v, first, count, ctx));
+  }
+
+  // First half of ApplyBatch: the per-key payload delta at v for rows
+  // [first, first + count), against the CURRENT child views. Reads only
+  // const state (ShadowDb, child views), so deltas of nodes at the same
+  // tree depth may be computed concurrently — no node reads a view another
+  // same-depth node writes.
+  View ComputeDelta(int v, size_t first, size_t count,
+                    const ExecContext* ctx = nullptr) {
     View delta = ops_.MakeView();
     if (ctx == nullptr || ctx->NumPartitions(count) <= 1) {
       ScanDelta(v, first, count, &delta);
@@ -89,8 +108,12 @@ class ViewTreeMaintainer {
       });
       for (size_t p = 0; p < parts; ++p) ops_.Merge(&delta, partials[p]);
     }
-    Propagate(v, std::move(delta));
+    return delta;
   }
+
+  // Second half: folds the delta into v's view and propagates it up the
+  // root path. Serial; writes views on the path only.
+  void ApplyDelta(int v, View delta) { Propagate(v, std::move(delta)); }
 
   // Handle of the root payload (the maintained aggregate batch); nullptr
   // while the join is still empty.

@@ -20,6 +20,14 @@ void Relation::AppendRow(const std::vector<double>& values) {
   ++num_rows_;
 }
 
+void Relation::CommitAppendedRows(size_t n) {
+  for (const Column& c : columns_) {
+    RELBORG_CHECK_MSG(c.size() == num_rows_ + n,
+                      "bulk append out of step with the row count");
+  }
+  num_rows_ += n;
+}
+
 void Relation::Reserve(size_t n) {
   for (Column& c : columns_) c.Reserve(n);
 }

@@ -61,6 +61,18 @@ class Column {
     }
   }
 
+  // Bulk appends of pre-typed columnar chunks (the staged-ingestion path:
+  // rows are transposed and typed off the hot thread, commits reduce to
+  // one splice per column).
+  void AppendChunk(const std::vector<double>& values) {
+    RELBORG_DCHECK(type_ == AttrType::kDouble);
+    doubles_.insert(doubles_.end(), values.begin(), values.end());
+  }
+  void AppendChunk(const std::vector<int32_t>& values) {
+    RELBORG_DCHECK(type_ == AttrType::kCategorical);
+    cats_.insert(cats_.end(), values.begin(), values.end());
+  }
+
   void Reserve(size_t n) {
     if (type_ == AttrType::kDouble) {
       doubles_.reserve(n);
@@ -101,6 +113,11 @@ class Relation {
   // Appends one row given per-attribute values as doubles (categorical
   // attributes are cast). Aborts if the arity does not match.
   void AppendRow(const std::vector<double>& values);
+
+  // Completes a bulk append: after `n` values were added to EVERY column
+  // via mutable_column().AppendChunk, registers the n new rows. Aborts if
+  // any column is out of step.
+  void CommitAppendedRows(size_t n);
 
   void Reserve(size_t n);
 

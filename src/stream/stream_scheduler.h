@@ -1,0 +1,406 @@
+// Asynchronous, pipelined maintenance of IVM update streams with
+// epoch-coalesced deltas.
+//
+// The classic IVM driver loop interleaves three jobs on one thread:
+// ingestion (appending rows and maintaining the ShadowDb's join indexes),
+// delta computation, and view propagation. The StreamScheduler splits them
+// into a three-stage pipeline:
+//
+//   caller ──Push──▶ [ingress queue] ──▶ assembler ──▶ [epoch queue] ──▶ applier
+//            (bounded, blocks:            thread          (bounded)        thread
+//             backpressure)
+//
+//   * The INGRESS QUEUE is bounded by rows; Push blocks while it is full,
+//     so a fast producer is throttled to the maintenance rate instead of
+//     buffering the whole stream.
+//   * The ASSEMBLER coalesces batches into EPOCHS: all of an epoch's
+//     batches for one node merge into a single contiguous row range (the
+//     shadow relations are per-node, so interleaved arrivals still land
+//     contiguously), carrying per-row multiplicity signs so insert and
+//     delete batches coalesce into the same range. It also STAGES the
+//     ingestion work off the maintenance thread: packed child-edge keys
+//     are grouped into per-key index fragments with precomputed absolute
+//     row ids (ShadowDb::StageRows), leaving only bulk splices for the
+//     applier. An epoch seals once it holds epoch_rows rows or
+//     epoch_batches batches — a pure function of the batch sequence,
+//     never of timing.
+//   * The APPLIER commits and maintains epochs strictly in order. Within
+//     an epoch, ranges run in canonical order — deepest view group first
+//     (IndependentViewGroups), ascending node id within a group. Because
+//     same-group nodes are never ancestor/descendant, strategies exposing
+//     ApplyGroup (CovarFivm) compute the group's deltas concurrently over
+//     the ExecContext and only serialize the propagations; strategies
+//     without it (HigherOrderIvm, FirstOrderIvm) get commit/apply in
+//     lockstep per range, each free to parallelize internally.
+//
+// DETERMINISM: epoch composition and application order are pure functions
+// of (stream, options), and every delta is folded with the thread-count-
+// independent partitioning of core/exec_policy.h, so the scheduler's
+// result is BIT-IDENTICAL to ReplayStream (the same epochs applied
+// serially on the caller's thread) for any ExecPolicy thread count — the
+// queues and threads change when work happens, never what is summed in
+// which order. With epoch_batches == 1 every batch is its own epoch and
+// both are in turn bit-identical to the classic append-then-ApplyBatch
+// loop over the original stream. Epoch coalescing folds same-key rows of
+// an epoch into one delta payload before propagation; ring addition makes
+// that exact (deletions cancel inserts inside the epoch), though the
+// coalesced fold is a different floating-point summation order than
+// per-batch replay, equal to it only up to rounding.
+//
+// Timing-dependent values (queue high-water marks, per-epoch latency) are
+// surfaced in StreamStats for observability; the structural counters
+// (epochs, ranges, rows) are deterministic.
+//
+// While a scheduler is live, the ShadowDb and the strategy belong to the
+// pipeline: the caller must not touch either until Finish() returns.
+#ifndef RELBORG_STREAM_STREAM_SCHEDULER_H_
+#define RELBORG_STREAM_STREAM_SCHEDULER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ivm/shadow_db.h"
+#include "ivm/update_stream.h"
+#include "ivm/view_tree.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace relborg {
+
+struct StreamOptions {
+  // Epoch sealing bounds: an epoch seals once it holds >= epoch_rows rows
+  // or >= epoch_batches batches, whichever comes first. Pure functions of
+  // the batch sequence, so epoch composition never depends on timing.
+  // epoch_batches == 1 disables coalescing (one batch per epoch).
+  size_t epoch_rows = 8192;
+  size_t epoch_batches = 64;
+  // Backpressure bounds: Push blocks while the ingress queue holds
+  // >= max_queued_rows rows; the assembler blocks while
+  // >= max_queued_epochs sealed epochs await application.
+  size_t max_queued_rows = 1 << 16;
+  size_t max_queued_epochs = 4;
+};
+
+struct StreamStats {
+  // Deterministic structural counters.
+  size_t batches = 0;  // source batches consumed
+  size_t rows = 0;     // rows across those batches
+  size_t epochs = 0;   // sealed epochs applied
+  size_t ranges = 0;   // coalesced per-node ranges applied
+  // Timing (observability only; never affects results).
+  double apply_seconds = 0;  // wall time committing + maintaining epochs
+  double epoch_latency_mean_seconds = 0;  // epoch sealed -> applied
+  double epoch_latency_max_seconds = 0;
+  size_t ingress_high_water_rows = 0;
+  size_t epoch_queue_high_water = 0;
+};
+
+// One coalesced node-range of an epoch: the staged ingestion chunk plus
+// the node's view-group index (0 = deepest group; the root group is last).
+struct StreamRange {
+  int group = 0;
+  IngestChunk chunk;
+};
+
+struct StreamEpoch {
+  uint64_t id = 0;
+  size_t rows = 0;
+  size_t batches = 0;
+  // Canonical application order: ascending (group, node).
+  std::vector<StreamRange> ranges;
+  std::chrono::steady_clock::time_point sealed_at;
+};
+
+// Coalesces a batch sequence into epochs and stages their ingestion.
+// Single-threaded (the scheduler drives it from the assembler thread;
+// ReplayStream from the caller's); reads only the ShadowDb's immutable
+// topology after construction.
+class EpochAssembler {
+ public:
+  EpochAssembler(const ShadowDb* db, const StreamOptions& options);
+
+  // Feeds one batch. Returns true when this batch sealed an epoch into
+  // *out (the batch itself is part of that epoch; batches never split).
+  bool Add(UpdateBatch batch, StreamEpoch* out);
+
+  // Seals the in-progress partial epoch into *out; false if empty.
+  bool Flush(StreamEpoch* out);
+
+ private:
+  struct Pending {
+    int node = -1;
+    std::vector<std::vector<double>> rows;
+    std::vector<double> signs;
+  };
+
+  void Seal(StreamEpoch* out);
+
+  const ShadowDb* db_;
+  StreamOptions options_;
+  std::vector<int> group_of_;     // node -> view-group index, deepest = 0
+  std::vector<size_t> next_row_;  // node -> next absolute row id
+  std::vector<int> pending_of_;   // node -> index into pending_, or -1
+  std::vector<Pending> pending_;
+  size_t cur_rows_ = 0;
+  size_t cur_batches_ = 0;
+  uint64_t next_epoch_id_ = 0;
+};
+
+namespace stream_internal {
+
+// Detects `void Strategy::ApplyGroup(const NodeRowRange*, size_t)` — the
+// hook for concurrent maintenance of same-depth ranges.
+template <typename Strategy, typename = void>
+struct HasApplyGroup : std::false_type {};
+template <typename Strategy>
+struct HasApplyGroup<Strategy,
+                     std::void_t<decltype(std::declval<Strategy&>().ApplyGroup(
+                         std::declval<const NodeRowRange*>(), size_t{0}))>>
+    : std::true_type {};
+
+// Minimal bounded MPSC channel: Push blocks while `capacity` worth of
+// weight is queued (backpressure), Pop blocks until an item arrives or the
+// channel closes empty.
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(size_t capacity)
+      : capacity_(std::max<size_t>(1, capacity)) {}
+
+  // Returns false (item dropped) iff the channel is closed.
+  bool Push(T item, size_t weight = 1) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_push_.wait(lock, [&] {
+      return closed_ || items_.empty() || weight_ + weight <= capacity_;
+    });
+    if (closed_) return false;
+    weight_ += weight;
+    high_water_ = std::max(high_water_, weight_);
+    items_.emplace_back(std::move(item), weight);
+    can_pop_.notify_one();
+    return true;
+  }
+
+  // Returns false iff the channel is closed and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_pop_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front().first);
+    weight_ -= items_.front().second;
+    items_.pop_front();
+    can_push_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    can_push_.notify_all();
+    can_pop_.notify_all();
+  }
+
+  // Only meaningful once the producing/consuming threads have joined.
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<std::pair<T, size_t>> items_;
+  size_t capacity_;
+  size_t weight_ = 0;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+// Commits and maintains one epoch, in canonical range order. Shared by the
+// scheduler's applier thread and by ReplayStream, so both paths execute
+// the exact same sequence of floating-point operations.
+template <typename Strategy>
+void ApplyEpoch(ShadowDb* shadow, Strategy* strategy, StreamEpoch* epoch) {
+  std::vector<StreamRange>& ranges = epoch->ranges;
+  size_t i = 0;
+  while (i < ranges.size()) {
+    size_t j = i + 1;
+    if constexpr (HasApplyGroup<Strategy>::value) {
+      // Commit the whole same-depth group up front (group maintenance
+      // reads only child VIEWS plus the group's own rows, and propagation
+      // reads strictly shallower — not yet committed — relations), then
+      // let the strategy maintain the group's ranges concurrently.
+      while (j < ranges.size() && ranges[j].group == ranges[i].group) ++j;
+      std::vector<NodeRowRange> group;
+      group.reserve(j - i);
+      for (size_t k = i; k < j; ++k) {
+        IngestChunk& chunk = ranges[k].chunk;
+        group.push_back({chunk.node, chunk.first, chunk.num_rows()});
+        shadow->CommitChunk(std::move(chunk));
+      }
+      strategy->ApplyGroup(group.data(), group.size());
+    } else {
+      // Commit/apply in lockstep: a strategy without the group hook may
+      // read ANY relation while applying (first-order IVM's delta join
+      // re-enumerates the whole database), so no row may become visible
+      // before its own range applies.
+      IngestChunk& chunk = ranges[i].chunk;
+      const NodeRowRange r{chunk.node, chunk.first, chunk.num_rows()};
+      shadow->CommitChunk(std::move(chunk));
+      strategy->ApplyBatch(r.node, r.first, r.count);
+    }
+    i = j;
+  }
+}
+
+}  // namespace stream_internal
+
+// The pipeline. Construct over a ShadowDb + strategy, Push batches (blocks
+// on backpressure), then Finish() to flush, drain and join. The strategy's
+// result state (e.g. CovarFivm::Current) is valid after Finish.
+template <typename Strategy>
+class StreamScheduler {
+ public:
+  StreamScheduler(ShadowDb* shadow, Strategy* strategy,
+                  const StreamOptions& options = {})
+      : shadow_(shadow),
+        strategy_(strategy),
+        assembler_(shadow, options),
+        ingress_(options.max_queued_rows),
+        epochs_(options.max_queued_epochs) {
+    assemble_thread_ = std::thread([this] { AssembleLoop(); });
+    apply_thread_ = std::thread([this] { ApplyLoop(); });
+  }
+
+  ~StreamScheduler() {
+    if (!finished_) Finish();
+  }
+
+  StreamScheduler(const StreamScheduler&) = delete;
+  StreamScheduler& operator=(const StreamScheduler&) = delete;
+
+  // Enqueues one batch; blocks while the ingress queue is full. Empty
+  // batches are dropped.
+  void Push(UpdateBatch batch) {
+    RELBORG_CHECK_MSG(!finished_, "Push after Finish");
+    if (batch.rows.empty()) return;
+    const size_t weight = batch.rows.size();
+    ingress_.Push(std::move(batch), weight);
+  }
+
+  // Flushes the partial epoch, drains the pipeline, joins the worker
+  // threads and returns the run's stats. Idempotent.
+  StreamStats Finish() {
+    if (finished_) return stats_;
+    finished_ = true;
+    ingress_.Close();
+    assemble_thread_.join();
+    apply_thread_.join();
+    stats_.ingress_high_water_rows = ingress_.high_water();
+    stats_.epoch_queue_high_water = epochs_.high_water();
+    if (stats_.epochs > 0) {
+      stats_.epoch_latency_mean_seconds = latency_sum_ / stats_.epochs;
+    }
+    return stats_;
+  }
+
+ private:
+  void AssembleLoop() {
+    UpdateBatch batch;
+    StreamEpoch epoch;
+    while (ingress_.Pop(&batch)) {
+      stats_.batches++;
+      stats_.rows += batch.rows.size();
+      if (assembler_.Add(std::move(batch), &epoch)) {
+        epochs_.Push(std::move(epoch));
+        epoch = StreamEpoch();
+      }
+    }
+    if (assembler_.Flush(&epoch)) epochs_.Push(std::move(epoch));
+    epochs_.Close();
+  }
+
+  void ApplyLoop() {
+    StreamEpoch epoch;
+    while (epochs_.Pop(&epoch)) {
+      WallTimer timer;
+      stats_.epochs++;
+      stats_.ranges += epoch.ranges.size();
+      stream_internal::ApplyEpoch(shadow_, strategy_, &epoch);
+      stats_.apply_seconds += timer.Seconds();
+      const double latency =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        epoch.sealed_at)
+              .count();
+      latency_sum_ += latency;
+      stats_.epoch_latency_max_seconds =
+          std::max(stats_.epoch_latency_max_seconds, latency);
+    }
+  }
+
+  ShadowDb* shadow_;
+  Strategy* strategy_;
+  EpochAssembler assembler_;  // assemble thread only (after construction)
+  stream_internal::BoundedChannel<UpdateBatch> ingress_;
+  stream_internal::BoundedChannel<StreamEpoch> epochs_;
+  // batches/rows are written by the assemble thread, the rest by the apply
+  // thread; Finish reads them after joining both, so no field is ever
+  // accessed from two live threads.
+  StreamStats stats_;
+  double latency_sum_ = 0;
+  std::thread assemble_thread_;
+  std::thread apply_thread_;
+  bool finished_ = false;
+};
+
+// Streams `stream` through an async scheduler and finishes. The common
+// entry point the IVM strategies share.
+template <typename Strategy>
+StreamStats ApplyStream(ShadowDb* shadow, Strategy* strategy,
+                        const std::vector<UpdateBatch>& stream,
+                        const StreamOptions& options = {}) {
+  StreamScheduler<Strategy> scheduler(shadow, strategy, options);
+  for (const UpdateBatch& batch : stream) scheduler.Push(batch);
+  return scheduler.Finish();
+}
+
+// Serial reference: the same epochs applied on the caller's thread with no
+// queues or worker threads. StreamScheduler results are bit-identical to
+// this for any thread count; with options.epoch_batches == 1 this is in
+// turn bit-identical to the classic append-then-ApplyBatch loop.
+template <typename Strategy>
+StreamStats ReplayStream(ShadowDb* shadow, Strategy* strategy,
+                         const std::vector<UpdateBatch>& stream,
+                         const StreamOptions& options = {}) {
+  EpochAssembler assembler(shadow, options);
+  StreamStats stats;
+  StreamEpoch epoch;
+  auto apply = [&] {
+    WallTimer timer;
+    stats.epochs++;
+    stats.ranges += epoch.ranges.size();
+    stream_internal::ApplyEpoch(shadow, strategy, &epoch);
+    stats.apply_seconds += timer.Seconds();
+    epoch = StreamEpoch();
+  };
+  for (const UpdateBatch& batch : stream) {
+    if (batch.rows.empty()) continue;
+    stats.batches++;
+    stats.rows += batch.rows.size();
+    if (assembler.Add(batch, &epoch)) apply();
+  }
+  if (assembler.Flush(&epoch)) apply();
+  return stats;
+}
+
+}  // namespace relborg
+
+#endif  // RELBORG_STREAM_STREAM_SCHEDULER_H_

@@ -163,5 +163,100 @@ TEST(UpdateStreamTest, CoversAllRows) {
   }
 }
 
+TEST(UpdateStreamTest, ProportionalIsDeterministicUnderFixedSeed) {
+  RandomDb db = MakeRandomDb(11, Topology::kBushy);
+  UpdateStreamOptions opts;
+  opts.batch_size = 7;
+  opts.seed = 11;
+  opts.order = StreamOrder::kProportional;
+  std::vector<UpdateBatch> a = BuildInsertStream(db.query, opts);
+  std::vector<UpdateBatch> b = BuildInsertStream(db.query, opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node) << "batch " << i;
+    EXPECT_EQ(a[i].sign, b[i].sign);
+    ASSERT_EQ(a[i].rows.size(), b[i].rows.size()) << "batch " << i;
+    for (size_t r = 0; r < a[i].rows.size(); ++r) {
+      EXPECT_EQ(a[i].rows[r], b[i].rows[r]) << "batch " << i << " row " << r;
+    }
+  }
+}
+
+TEST(UpdateStreamTest, ProportionalExhaustsEveryRelation) {
+  RandomDb db = MakeRandomDb(13, Topology::kStar);
+  UpdateStreamOptions opts;
+  opts.batch_size = 9;
+  opts.seed = 13;
+  opts.order = StreamOrder::kProportional;
+  std::vector<UpdateBatch> stream = BuildInsertStream(db.query, opts);
+  // StreamRowCount round-trip: the deal covers every source row exactly
+  // once, per relation.
+  std::vector<size_t> dealt(db.query.num_relations(), 0);
+  for (const UpdateBatch& b : stream) {
+    ASSERT_GE(b.node, 0);
+    ASSERT_LT(b.node, db.query.num_relations());
+    EXPECT_FALSE(b.rows.empty());
+    EXPECT_LE(b.rows.size(), opts.batch_size);
+    dealt[b.node] += b.rows.size();
+  }
+  size_t total = 0;
+  for (int v = 0; v < db.query.num_relations(); ++v) {
+    EXPECT_EQ(dealt[v], db.query.relation(v)->num_rows()) << "node " << v;
+    total += dealt[v];
+  }
+  EXPECT_EQ(StreamRowCount(stream), total);
+}
+
+TEST(UpdateStreamTest, MixedStreamDeletesOnlyInsertedRows) {
+  RandomDb db = MakeRandomDb(21, Topology::kChain);
+  MixedStreamOptions opts;
+  opts.insert.batch_size = 8;
+  opts.insert.seed = 21;
+  opts.delete_probability = 0.5;
+  std::vector<UpdateBatch> stream = BuildMixedStream(db.query, opts);
+  // Replaying the stream in order, every deleted row must currently be
+  // live (inserted earlier, not deleted yet): multiplicities stay in
+  // {0, +1}. Deletion is oldest-first, so a per-node FIFO suffices.
+  std::vector<std::vector<std::vector<double>>> live(db.query.num_relations());
+  std::vector<size_t> consumed(db.query.num_relations(), 0);
+  bool saw_delete = false;
+  size_t inserted_rows = 0;
+  for (const UpdateBatch& b : stream) {
+    if (b.sign > 0) {
+      inserted_rows += b.rows.size();
+      for (const auto& row : b.rows) live[b.node].push_back(row);
+      continue;
+    }
+    saw_delete = true;
+    for (const auto& row : b.rows) {
+      ASSERT_LT(consumed[b.node], live[b.node].size());
+      EXPECT_EQ(row, live[b.node][consumed[b.node]++]);
+    }
+  }
+  EXPECT_TRUE(saw_delete);
+  // The insert deal itself is unchanged by the interleaved deletes.
+  size_t total = 0;
+  for (int v = 0; v < db.query.num_relations(); ++v) {
+    total += db.query.relation(v)->num_rows();
+  }
+  EXPECT_EQ(inserted_rows, total);
+}
+
+TEST(UpdateStreamTest, MixedStreamWithZeroProbabilityIsInsertStream) {
+  RandomDb db = MakeRandomDb(5, Topology::kStar);
+  MixedStreamOptions opts;
+  opts.insert.batch_size = 10;
+  opts.insert.seed = 5;
+  opts.delete_probability = 0.0;
+  std::vector<UpdateBatch> mixed = BuildMixedStream(db.query, opts);
+  std::vector<UpdateBatch> inserts = BuildInsertStream(db.query, opts.insert);
+  ASSERT_EQ(mixed.size(), inserts.size());
+  for (size_t i = 0; i < mixed.size(); ++i) {
+    EXPECT_EQ(mixed[i].node, inserts[i].node);
+    EXPECT_EQ(mixed[i].sign, 1.0);
+    EXPECT_EQ(mixed[i].rows, inserts[i].rows);
+  }
+}
+
 }  // namespace
 }  // namespace relborg

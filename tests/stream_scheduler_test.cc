@@ -1,0 +1,311 @@
+// Tests for the async stream scheduler (src/stream/): the pipelined,
+// epoch-coalesced path must be BIT-IDENTICAL to its serial replay for any
+// ExecPolicy thread count across all three IVM strategies, for insert-only
+// and mixed insert/delete streams; with single-batch epochs both must be
+// bit-identical to the classic append-then-ApplyBatch loop. Staged
+// ingestion (StageRows/CommitChunk) must reproduce AppendRows state
+// exactly.
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ivm/ivm.h"
+#include "ivm/update_stream.h"
+#include "stream/stream_scheduler.h"
+#include "tests/test_util.h"
+
+namespace relborg {
+namespace {
+
+using testing::MakeRandomDb;
+using testing::RandomDb;
+using testing::Topology;
+
+// Exact (bitwise) agreement: the scheduler's determinism contract.
+void ExpectCovarExact(const CovarMatrix& got, const CovarMatrix& want) {
+  ASSERT_EQ(got.num_features(), want.num_features());
+  const int n = want.num_features();
+  for (int i = 0; i <= n; ++i) {
+    for (int j = i; j <= n; ++j) {
+      EXPECT_EQ(got.Moment(i, j), want.Moment(i, j)) << "(" << i << "," << j
+                                                     << ")";
+    }
+  }
+}
+
+void ExpectCovarNear(const CovarMatrix& got, const CovarMatrix& want,
+                     double tol = 1e-6) {
+  ASSERT_EQ(got.num_features(), want.num_features());
+  const int n = want.num_features();
+  for (int i = 0; i <= n; ++i) {
+    for (int j = i; j <= n; ++j) {
+      EXPECT_NEAR(got.Moment(i, j), want.Moment(i, j),
+                  tol * (1 + std::abs(want.Moment(i, j))))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+ExecPolicy MakePolicy(int threads) {
+  ExecPolicy policy;
+  policy.threads = threads;
+  // Small grain so the 17-row test batches still split into multiple
+  // partitions and the partitioned delta path is actually exercised.
+  policy.partition_grain = 16;
+  return policy;
+}
+
+enum class Mode { kClassic, kReplay, kAsync };
+
+// Runs `stream` through one strategy with the given mode and returns the
+// maintained covariance batch.
+template <typename Strategy>
+CovarMatrix RunStream(const RandomDb& db,
+                      const std::vector<UpdateBatch>& stream, Mode mode,
+                      int threads, const StreamOptions& options,
+                      StreamStats* stats = nullptr) {
+  ShadowDb shadow(db.query, 0);
+  FeatureMap fm(shadow.query(), db.features);
+  Strategy strategy(&shadow, &fm, MakePolicy(threads));
+  StreamStats local;
+  switch (mode) {
+    case Mode::kClassic:
+      for (const UpdateBatch& batch : stream) {
+        size_t first = shadow.AppendRows(batch.node, batch.rows, batch.sign);
+        strategy.ApplyBatch(batch.node, first, batch.rows.size());
+      }
+      break;
+    case Mode::kReplay:
+      local = ReplayStream(&shadow, &strategy, stream, options);
+      break;
+    case Mode::kAsync:
+      local = ApplyStream(&shadow, &strategy, stream, options);
+      break;
+  }
+  if (stats != nullptr) *stats = local;
+  return strategy.Current();
+}
+
+StreamOptions CoalescingOptions() {
+  StreamOptions options;
+  // Several batches per epoch at the tests' 17-row batches, so epochs
+  // really coalesce multiple nodes and multiple same-node batches.
+  options.epoch_rows = 96;
+  options.epoch_batches = 5;
+  return options;
+}
+
+class StreamSchedulerProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, Topology>> {
+ protected:
+  std::vector<UpdateBatch> MakeInsertStream(const RandomDb& db,
+                                            uint64_t seed) const {
+    UpdateStreamOptions opts;
+    opts.batch_size = 17;
+    opts.seed = seed;
+    return BuildInsertStream(db.query, opts);
+  }
+
+  std::vector<UpdateBatch> MakeMixed(const RandomDb& db,
+                                     uint64_t seed) const {
+    MixedStreamOptions opts;
+    opts.insert.batch_size = 17;
+    opts.insert.seed = seed;
+    opts.delete_probability = 0.35;
+    return BuildMixedStream(db.query, opts);
+  }
+
+  template <typename Strategy>
+  void CheckBitIdentical(const RandomDb& db,
+                         const std::vector<UpdateBatch>& stream) {
+    const StreamOptions options = CoalescingOptions();
+    CovarMatrix reference =
+        RunStream<Strategy>(db, stream, Mode::kReplay, /*threads=*/1, options);
+    for (int threads : {1, 2, 4}) {
+      CovarMatrix async = RunStream<Strategy>(db, stream, Mode::kAsync,
+                                              threads, options);
+      ExpectCovarExact(async, reference);
+    }
+  }
+};
+
+TEST_P(StreamSchedulerProperty, AsyncBitIdenticalToSerialReplay) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology, /*fact_rows=*/50);
+  std::vector<UpdateBatch> stream = MakeInsertStream(db, seed);
+  ASSERT_FALSE(stream.empty());
+  CheckBitIdentical<CovarFivm>(db, stream);
+  CheckBitIdentical<HigherOrderIvm>(db, stream);
+  CheckBitIdentical<FirstOrderIvm>(db, stream);
+}
+
+TEST_P(StreamSchedulerProperty, AsyncBitIdenticalOnMixedStreams) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology, /*fact_rows=*/40);
+  std::vector<UpdateBatch> stream = MakeMixed(db, seed + 17);
+  bool has_delete = false;
+  for (const UpdateBatch& b : stream) has_delete |= b.sign < 0;
+  ASSERT_TRUE(has_delete) << "mixed stream contains no delete batches";
+  CheckBitIdentical<CovarFivm>(db, stream);
+  CheckBitIdentical<HigherOrderIvm>(db, stream);
+  CheckBitIdentical<FirstOrderIvm>(db, stream);
+}
+
+// With single-batch epochs the scheduler performs exactly the classic
+// append-then-ApplyBatch loop, so even the coalescing-free async path is
+// bit-identical to it.
+TEST_P(StreamSchedulerProperty, SingleBatchEpochsMatchClassicReplay) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology, /*fact_rows=*/40);
+  std::vector<UpdateBatch> stream = MakeMixed(db, seed + 5);
+  StreamOptions options;
+  options.epoch_batches = 1;
+  CovarMatrix classic = RunStream<CovarFivm>(db, stream, Mode::kClassic,
+                                             /*threads=*/1, options);
+  for (int threads : {1, 2, 4}) {
+    ExpectCovarExact(
+        RunStream<CovarFivm>(db, stream, Mode::kAsync, threads, options),
+        classic);
+  }
+  ExpectCovarExact(RunStream<HigherOrderIvm>(db, stream, Mode::kAsync,
+                                             /*threads=*/2, options),
+                   RunStream<HigherOrderIvm>(db, stream, Mode::kClassic,
+                                             /*threads=*/1, options));
+  ExpectCovarExact(RunStream<FirstOrderIvm>(db, stream, Mode::kAsync,
+                                            /*threads=*/2, options),
+                   RunStream<FirstOrderIvm>(db, stream, Mode::kClassic,
+                                            /*threads=*/1, options));
+}
+
+// Epoch coalescing re-associates floating-point sums, so against the
+// classic per-batch loop the coalesced result agrees to rounding (the
+// ring semantics are exact), and the three strategies agree with each
+// other.
+TEST_P(StreamSchedulerProperty, CoalescedAgreesWithClassicToRounding) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology, /*fact_rows=*/40);
+  std::vector<UpdateBatch> stream = MakeMixed(db, seed + 29);
+  const StreamOptions options = CoalescingOptions();
+  CovarMatrix classic = RunStream<CovarFivm>(db, stream, Mode::kClassic,
+                                             /*threads=*/1, options);
+  CovarMatrix fivm =
+      RunStream<CovarFivm>(db, stream, Mode::kAsync, /*threads=*/2, options);
+  ExpectCovarNear(fivm, classic);
+  ExpectCovarNear(RunStream<HigherOrderIvm>(db, stream, Mode::kAsync,
+                                            /*threads=*/2, options),
+                  fivm);
+  ExpectCovarNear(RunStream<FirstOrderIvm>(db, stream, Mode::kAsync,
+                                           /*threads=*/2, options),
+                  fivm);
+}
+
+// Tiny queue bounds force the backpressure paths (Push blocking on the
+// ingress queue, the assembler blocking on the epoch queue) without
+// changing any result.
+TEST_P(StreamSchedulerProperty, BackpressureDoesNotChangeResults) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology, /*fact_rows=*/40);
+  std::vector<UpdateBatch> stream = MakeInsertStream(db, seed + 3);
+  StreamOptions options = CoalescingOptions();
+  CovarMatrix reference =
+      RunStream<CovarFivm>(db, stream, Mode::kReplay, /*threads=*/1, options);
+  options.max_queued_rows = 1;  // every Push waits for the assembler
+  options.max_queued_epochs = 1;
+  StreamStats stats;
+  CovarMatrix squeezed = RunStream<CovarFivm>(db, stream, Mode::kAsync,
+                                              /*threads=*/2, options, &stats);
+  ExpectCovarExact(squeezed, reference);
+  EXPECT_EQ(stats.rows, StreamRowCount(stream));
+}
+
+// Structural stats are a pure function of (stream, options): the async
+// pipeline and the serial replay must report identical epoch structure.
+TEST_P(StreamSchedulerProperty, StructuralStatsAreDeterministic) {
+  auto [seed, topology] = GetParam();
+  RandomDb db = MakeRandomDb(seed, topology, /*fact_rows=*/40);
+  std::vector<UpdateBatch> stream = MakeMixed(db, seed + 11);
+  const StreamOptions options = CoalescingOptions();
+  StreamStats replay;
+  RunStream<CovarFivm>(db, stream, Mode::kReplay, /*threads=*/1, options,
+                       &replay);
+  for (int run = 0; run < 2; ++run) {
+    StreamStats async;
+    RunStream<CovarFivm>(db, stream, Mode::kAsync, /*threads=*/2, options,
+                         &async);
+    EXPECT_EQ(async.batches, replay.batches);
+    EXPECT_EQ(async.rows, replay.rows);
+    EXPECT_EQ(async.epochs, replay.epochs);
+    EXPECT_EQ(async.ranges, replay.ranges);
+  }
+  EXPECT_EQ(replay.rows, StreamRowCount(stream));
+  EXPECT_GT(replay.epochs, 1u);
+  // Coalescing must actually merge same-node batches somewhere.
+  EXPECT_LT(replay.ranges, replay.batches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDbs, StreamSchedulerProperty,
+    ::testing::Combine(::testing::ValuesIn(relborg::testing::kPropertySeeds),
+                       ::testing::Values(Topology::kStar, Topology::kChain,
+                                         Topology::kBushy)));
+
+// Staged two-phase ingestion must reproduce AppendRows state exactly:
+// relation contents, per-row signs, and the child-key indexes.
+TEST(StagedIngestTest, StageCommitMatchesAppendRows) {
+  RandomDb db = MakeRandomDb(7, Topology::kBushy, /*fact_rows=*/60);
+  UpdateStreamOptions opts;
+  opts.batch_size = 13;
+  opts.seed = 7;
+  std::vector<UpdateBatch> stream = BuildInsertStream(db.query, opts);
+
+  ShadowDb direct(db.query, 0);
+  ShadowDb staged(db.query, 0);
+  std::vector<size_t> next_row(db.query.num_relations(), 0);
+  double sign = 1.0;
+  for (const UpdateBatch& batch : stream) {
+    direct.AppendRows(batch.node, batch.rows, sign);
+    IngestChunk chunk = staged.StageRows(
+        batch.node, batch.rows,
+        std::vector<double>(batch.rows.size(), sign), next_row[batch.node]);
+    next_row[batch.node] += batch.rows.size();
+    staged.CommitChunk(std::move(chunk));
+    sign = -sign;  // exercise both multiplicities
+  }
+
+  for (int v = 0; v < db.query.num_relations(); ++v) {
+    const Relation& a = direct.relation(v);
+    const Relation& b = staged.relation(v);
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (size_t row = 0; row < a.num_rows(); ++row) {
+      EXPECT_EQ(direct.sign(v, row), staged.sign(v, row));
+      for (int attr = 0; attr < a.num_attrs(); ++attr) {
+        EXPECT_EQ(a.AsDouble(row, attr), b.AsDouble(row, attr));
+      }
+    }
+    for (int c : direct.tree().node(v).children) {
+      for (size_t row = 0; row < a.num_rows(); ++row) {
+        uint64_t key = direct.tree().RowKeyToChild(v, c, row);
+        const std::vector<uint32_t>* ra = direct.RowsByChildKey(v, c, key);
+        const std::vector<uint32_t>* rb = staged.RowsByChildKey(v, c, key);
+        ASSERT_NE(ra, nullptr);
+        ASSERT_NE(rb, nullptr);
+        EXPECT_EQ(*ra, *rb) << "node " << v << " child " << c;
+      }
+    }
+  }
+}
+
+// A scheduler finished without any Push must leave everything untouched.
+TEST(StreamSchedulerTest, EmptyStream) {
+  RandomDb db = MakeRandomDb(3, Topology::kStar, /*fact_rows=*/20);
+  ShadowDb shadow(db.query, 0);
+  FeatureMap fm(shadow.query(), db.features);
+  CovarFivm fivm(&shadow, &fm, MakePolicy(2));
+  StreamStats stats = ApplyStream(&shadow, &fivm, {});
+  EXPECT_EQ(stats.batches, 0u);
+  EXPECT_EQ(stats.epochs, 0u);
+  EXPECT_EQ(fivm.Current().count(), 0.0);
+}
+
+}  // namespace
+}  // namespace relborg

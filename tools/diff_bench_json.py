@@ -9,15 +9,32 @@ speedup-style units ('x') regress when it shrinks. Units that are neither
 
     python3 tools/diff_bench_json.py BENCH_PR2.json BENCH_ci.json
 
-Exit code is 0 even when regressions are found — the CI bench leg WARNS
-on regressions rather than failing, because single-shot harness timings
-on shared runners are noisy; pass --strict to fail (exit 1) instead.
---threshold sets the relative change that counts as a regression or an
-improvement (default 0.10, i.e. 10%).
+Thresholds (relative change):
+  --threshold T        change that counts as a regression or improvement
+                       (default 0.10, i.e. 10%); regressions at this level
+                       are WARNINGS only.
+  --fail-threshold F   regressions beyond F are FAILURES: the diff exits 1.
+                       Unset by default. The CI bench leg passes 0.25 so a
+                       >25% regression of a matching record fails the run
+                       while the 10% level stays a warning (single-shot
+                       timings on shared runners are too noisy for a tight
+                       hard gate).
+  --fail-exclude RE    metrics matching this regex are still diffed and
+                       WARN on regression, but never escalate to failures
+                       (observability metrics like single-shot worst-case
+                       latencies, where one scheduler preemption swings the
+                       value far past any sane threshold).
+  --strict             exit 1 on ANY regression (>= --threshold).
+
+Exit codes: 0 ok (possibly with warnings), 1 failing regressions
+(--fail-threshold breached, or --strict with any regression), 2 no
+matching records between the files (e.g. after a metric rename) — callers
+that only care about regressions should treat 2 as a warning.
 """
 
 import argparse
 import json
+import re
 import sys
 
 TIME_UNITS = {"s", "ms", "us", "ns"}
@@ -69,8 +86,12 @@ def main():
     ap.add_argument("current", help="fresh trajectory (e.g. BENCH_ci.json)")
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="relative change that counts (default 0.10)")
+    ap.add_argument("--fail-threshold", type=float, default=None,
+                    help="regressions beyond this exit 1 (default: never)")
+    ap.add_argument("--fail-exclude", type=str, default=None,
+                    help="metric regex that can warn but never fail")
     ap.add_argument("--strict", action="store_true",
-                    help="exit 1 when regressions are found")
+                    help="exit 1 when any regression is found")
     args = ap.parse_args()
 
     base = load_records(args.baseline)
@@ -80,9 +101,10 @@ def main():
     if not shared:
         print("diff_bench_json: no matching {harness, scale, metric, threads} "
               "records between the two files", file=sys.stderr)
-        return 1
+        return 2
 
-    regressions = []
+    warnings = []
+    failures = []
     improvements = []
     for key in shared:
         b = base[key]
@@ -93,21 +115,35 @@ def main():
                 f"{b['value']:.6g} -> {c['value']:.6g} {b.get('unit', '')} "
                 f"({rel:+.1%})")
         if kind == "regression":
-            regressions.append(line)
+            excluded = (args.fail_exclude is not None
+                        and re.search(args.fail_exclude, key[2] or ""))
+            if (args.fail_threshold is not None
+                    and abs(rel) > args.fail_threshold and not excluded):
+                failures.append(line)
+            else:
+                warnings.append(line)
         elif kind == "improvement":
             improvements.append(line)
 
     print(f"diff_bench_json: {len(shared)} matching records "
           f"({len(base)} baseline, {len(cur)} current), "
-          f"threshold {args.threshold:.0%}")
+          f"threshold {args.threshold:.0%}" +
+          (f", fail threshold {args.fail_threshold:.0%}"
+           if args.fail_threshold is not None else ""))
     for line in improvements:
         print(f"  IMPROVED   {line}")
-    for line in regressions:
+    for line in warnings:
         print(f"  WARNING: REGRESSION {line}")
-    if not regressions:
+    for line in failures:
+        print(f"  FAIL: REGRESSION {line}")
+    if not warnings and not failures:
         print("diff_bench_json: no regressions")
-    if regressions and args.strict:
-        print(f"diff_bench_json: {len(regressions)} regression(s) with "
+    if failures:
+        print(f"diff_bench_json: {len(failures)} regression(s) beyond the "
+              f"{args.fail_threshold:.0%} fail threshold", file=sys.stderr)
+        return 1
+    if warnings and args.strict:
+        print(f"diff_bench_json: {len(warnings)} regression(s) with "
               "--strict", file=sys.stderr)
         return 1
     return 0
