@@ -17,11 +17,20 @@
 // The ASYNC mode re-runs the faster strategies through the stream
 // scheduler (src/stream/): a bounded ingress queue feeds an epoch
 // assembler that coalesces and stages batches off the maintenance thread,
-// and an applier maintains the epochs over the same ExecPolicy. Results
-// are bit-identical to the serial epoch replay; the mode reports
-// whole-stream throughput, the async/serial ratio, and per-epoch latency.
+// a committer splices epoch N+1's chunks concurrently with epoch N's
+// propagation (watermark-overlapped commits), and an applier maintains
+// the epochs over the same ExecPolicy. Results are bit-identical to the
+// serial epoch replay; the mode reports whole-stream throughput, the
+// async/serial ratio, and per-epoch latency.
+//
+// With --epoch-rows-sweep the harness additionally sweeps the F-IVM async
+// path over epoch sizes (epoch_rows in multiples of the batch size),
+// reporting throughput, async/serial ratio and latency per size — the
+// epoch-size knob trades epoch latency against coalescing/overlap gain,
+// and the sweep records that whole tradeoff curve in the trajectory.
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -135,7 +144,7 @@ AsyncResult DriveAsync(const Dataset& ds,
   return result;
 }
 
-void Run() {
+void Run(bool epoch_sweep) {
   const double scale = 0.1 * bench::ScaleMultiplier();
   GenOptions gen;
   gen.scale = scale;
@@ -265,6 +274,44 @@ void Run() {
   report_async("F-IVM", "fivm", fivm_async, fivm);
   report_async("higher-ord", "higher_order", higher_async, higher);
 
+  // --- Epoch-size sweep (--epoch-rows-sweep) -----------------------------
+  // Small epochs minimize seal->applied latency but commit and propagate
+  // often; large epochs coalesce more rows per delta and give the
+  // committer more to overlap. The sweep records the curve for F-IVM.
+  if (epoch_sweep && !fivm.timed_out) {
+    std::printf("\nEpoch-size sweep (F-IVM async, epoch_rows x batch size):\n");
+    for (size_t mult : {1, 2, 8, 32}) {
+      StreamOptions sweep_options;
+      sweep_options.epoch_rows = mult * stream_opts.batch_size;
+      // mult == 8 is exactly the headline async configuration above —
+      // reuse its measurement instead of re-driving the whole stream.
+      AsyncResult swept =
+          sweep_options.epoch_rows == stream_options.epoch_rows
+              ? fivm_async
+              : DriveAsync<CovarFivm>(ds, stream, budget, policy,
+                                      sweep_options);
+      const std::string suffix =
+          "/epoch_rows=" + std::to_string(sweep_options.epoch_rows);
+      std::printf(
+          "  epoch_rows=%-6zu %11.0f tuples/s  (%zu epochs, latency mean "
+          "%.2f ms / max %.2f ms)%s\n",
+          sweep_options.epoch_rows, swept.tuples_per_sec(),
+          swept.stats.epochs, swept.stats.epoch_latency_mean_seconds * 1e3,
+          swept.stats.epoch_latency_max_seconds * 1e3,
+          swept.timed_out ? " [budget hit]" : "");
+      bench::Report("fivm_async_tuples_per_sec" + suffix,
+                    swept.tuples_per_sec(), "tuples/s", policy.threads);
+      bench::Report("fivm_async_epoch_latency_mean_ms" + suffix,
+                    swept.stats.epoch_latency_mean_seconds * 1e3, "ms",
+                    policy.threads);
+      if (!swept.timed_out) {
+        bench::Report("fivm_async_over_serial" + suffix,
+                      swept.tuples_per_sec() / fivm.tuples_per_sec(), "x",
+                      policy.threads);
+      }
+    }
+  }
+
   std::printf("Paper: F-IVM >1M tuples/s, 1-2 orders of magnitude above "
               "higher-order IVM and further above first-order IVM, whose "
               "throughput decays as the database grows.\n");
@@ -275,6 +322,10 @@ void Run() {
 
 int main(int argc, char** argv) {
   relborg::bench::InitReporting(&argc, argv, "fig4_right_ivm_throughput");
-  relborg::Run();
+  bool epoch_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--epoch-rows-sweep") == 0) epoch_sweep = true;
+  }
+  relborg::Run(epoch_sweep);
   return 0;
 }

@@ -90,13 +90,18 @@ if [[ "${MODE}" == "all" || "${MODE}" == "asan" ]]; then
   echo "==== [tsan] build"
   cmake --build build-ci-tsan -j "${JOBS}" \
     --target covar_arena_test exec_policy_test stream_scheduler_test \
-             thread_pool_test util_test
+             stream_stress_test thread_pool_test util_test
   echo "==== [tsan] test (parallel paths)"
   # --no-tests=error: a renamed suite or broken discovery must fail the
   # leg, not let it pass green having verified nothing.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-ci-tsan \
     --output-on-failure -j "${JOBS}" --no-tests=error \
     -R 'ExecPolicy|ThreadSweep|IndependentViewGroups|ThreadPool|CovarArena|StreamScheduler|StagedIngest'
+  echo "==== [tsan] test (stream stress suite)"
+  # The randomized differential stress suite: watermark-overlapped commits
+  # racing real maintenance under TSan, bit-identity checked per case.
+  TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-ci-tsan \
+    --output-on-failure -j "${JOBS}" --no-tests=error -L stream-stress
 fi
 
 if [[ "${MODE}" == "all" || "${MODE}" == "bench" ]]; then
@@ -127,9 +132,12 @@ if [[ "${MODE}" == "all" || "${MODE}" == "bench" ]]; then
   # RELBORG_THREADS is pinned to 4 so the records carry a host-independent
   # {threads} identity: the async gate below and the committed baselines
   # (recorded with the same pin) match it on any runner size.
+  # --epoch-rows-sweep additionally records the epoch-size tradeoff curve
+  # of the watermark-overlapped async path into the trajectory.
   RELBORG_SCALE=0.5 RELBORG_THREADS=4 \
     RELBORG_BENCH_JSON="${dir}/bench-json/fig4_right_scale05.jsonl" \
-    "${dir}/bench/fig4_right_ivm_throughput" > "${dir}/fig4_right_scale05.log"
+    "${dir}/bench/fig4_right_ivm_throughput" --epoch-rows-sweep \
+    > "${dir}/fig4_right_scale05.log"
   echo "==== [bench] merge trajectory"
   python3 tools/merge_bench_json.py "${dir}/bench-json" \
     -o "${dir}/BENCH_ci.json" \
@@ -181,9 +189,10 @@ if cpus < 4:
 elif best < 1.5:
     sys.exit(f"bench gate: best 4-thread speedup {best:.2f}x < 1.5x")
 # Async stream scheduler gate: the 0.5-scale fig4_right run must show the
-# pipelined F-IVM path >= 1.3x over the serial path at 4 threads (the
-# smoke-scale records are excluded — a few-thousand-tuple stream is all
-# pipeline startup).
+# watermark-overlapped F-IVM path >= 1.5x over the serial path at 4
+# threads (raised from 1.3x now that commits overlap the previous epoch's
+# propagation; the smoke-scale records are excluded — a few-thousand-tuple
+# stream is all pipeline startup).
 async_ratio = [r["value"] for r in d["records"]
                if r["metric"] == "fivm_async_over_serial"
                and r["threads"] == 4 and r.get("scale") == 0.5]
@@ -193,8 +202,8 @@ if async_ratio:
           f"{best_async:.2f}x at scale 0.5")
     if cpus < 4:
         print("bench gate: <4 CPUs, async bar not enforceable on this host")
-    elif best_async < 1.3:
-        sys.exit(f"bench gate: async/serial {best_async:.2f}x < 1.3x")
+    elif best_async < 1.5:
+        sys.exit(f"bench gate: async/serial {best_async:.2f}x < 1.5x")
 elif cpus >= 4:
     sys.exit("bench gate: no 4-thread fivm_async_over_serial record at "
              "scale 0.5")

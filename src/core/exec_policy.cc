@@ -115,4 +115,12 @@ std::vector<int> ViewGroupOf(const RootedTree& tree) {
   return group_of;
 }
 
+void MarkAncestorClosure(const RootedTree& tree, int node,
+                         std::vector<uint8_t>* mask) {
+  for (int v = node; v >= 0; v = tree.node(v).parent) {
+    if ((*mask)[v]) return;  // the rest of the path is already marked
+    (*mask)[v] = 1;
+  }
+}
+
 }  // namespace relborg

@@ -28,6 +28,7 @@
 #define RELBORG_CORE_EXEC_POLICY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -112,6 +113,16 @@ std::vector<std::vector<int>> IndependentViewGroups(const RootedTree& tree);
 // stream scheduler orders epoch ranges by this — same-group nodes are
 // never ancestor/descendant, so their deltas can be computed concurrently.
 std::vector<int> ViewGroupOf(const RootedTree& tree);
+
+// Sets mask[u] = 1 for `node` and every ancestor of `node` up to the root
+// (mask is indexed by node id and must already have num_nodes entries;
+// already-marked entries short-circuit the walk). The union over a set of
+// nodes is the read closure of view-tree maintenance for that set: a
+// range's delta scan reads its own node and upward propagation reads
+// strictly ancestors, so the stream scheduler may commit rows of any node
+// OUTSIDE the closure concurrently with the set's maintenance.
+void MarkAncestorClosure(const RootedTree& tree, int node,
+                         std::vector<uint8_t>* mask);
 
 // Deterministic partitioned reduction over [0, rows): `scan(begin, end,
 // &acc)` accumulates one partition serially in row order; `merge(out,

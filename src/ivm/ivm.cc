@@ -1,5 +1,7 @@
 #include "ivm/ivm.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 
 #include "util/check.h"
@@ -34,11 +36,12 @@ HigherOrderIvm::HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm,
   }
 }
 
-void HigherOrderIvm::ApplyBatch(int v, size_t first, size_t count) {
+void HigherOrderIvm::ApplyBatch(int v, size_t first, size_t count,
+                                const size_t* visible) {
   // The maintainers are mutually independent; each one applies the batch
   // serially, so the per-maintainer state is thread-count-invariant.
   ctx_.ParallelFor(maintainers_.size(), [&](size_t k) {
-    maintainers_[k].ApplyBatch(v, first, count);
+    maintainers_[k].ApplyBatch(v, first, count, /*ctx=*/nullptr, visible);
   });
 }
 
@@ -94,18 +97,26 @@ CovarMatrix FirstOrderIvm::Current() const {
   return CovarMatrix(n, std::move(payload));
 }
 
-void FirstOrderIvm::ApplyBatch(int v, size_t first, size_t count) {
+void FirstOrderIvm::ApplyBatch(int v, size_t first, size_t count,
+                               const size_t* visible) {
   const RootedTree& tree = db_->tree();
   // Bring the (base-relation) indexes up to date — a DBMS maintains these
-  // incrementally; what first-order IVM lacks is intermediate VIEWS.
+  // incrementally; what first-order IVM lacks is intermediate VIEWS. Under
+  // a watermark, only the visible prefix is indexed: the stream scheduler
+  // may have committed rows of FUTURE epochs already, and indexing them
+  // here would leak them into this batch's delta join. The clamp keeps
+  // indexed_rows_ monotone because epoch watermarks only ever grow.
   for (int u = 0; u < tree.num_nodes(); ++u) {
     if (u == tree.root()) continue;
     const Relation& rel = db_->relation(u);
-    for (size_t row = indexed_rows_[u]; row < rel.num_rows(); ++row) {
+    const size_t limit = visible == nullptr
+                             ? rel.num_rows()
+                             : std::min(rel.num_rows(), visible[u]);
+    for (size_t row = indexed_rows_[u]; row < limit; ++row) {
       parent_index_[u][tree.RowKeyToParent(u, row)].push_back(
           static_cast<uint32_t>(row));
     }
-    indexed_rows_[u] = rel.num_rows();
+    indexed_rows_[u] = std::max(indexed_rows_[u], limit);
   }
   // One delta query per aggregate: each re-enumerates the delta join. No
   // sharing across the batch — the defining cost of this strategy. The
@@ -114,7 +125,8 @@ void FirstOrderIvm::ApplyBatch(int v, size_t first, size_t count) {
   ctx_.ParallelFor(pairs_.size(), [&](size_t k) {
     double acc = 0;
     for (size_t row = first; row < first + count; ++row) {
-      Expand(v, row, /*from=*/-1, db_->sign(v, row), mults_[k], &acc);
+      Expand(v, row, /*from=*/-1, db_->sign(v, row), mults_[k], visible,
+             &acc);
     }
     values_[k] += acc;
   });
@@ -122,7 +134,7 @@ void FirstOrderIvm::ApplyBatch(int v, size_t first, size_t count) {
 
 void FirstOrderIvm::Expand(int v, size_t row, int from, double mult,
                            const std::vector<std::vector<int>>& mults,
-                           double* acc) {
+                           const size_t* visible, double* acc) {
   const RootedTree& tree = db_->tree();
   const Relation& rel = db_->relation(v);
   for (int attr : mults[v]) mult *= rel.Double(row, attr);
@@ -148,13 +160,18 @@ void FirstOrderIvm::Expand(int v, size_t row, int from, double mult,
       rows = parent_index_[u].Find(tree.RowKeyToChild(v, u, row));
     }
     if (rows == nullptr) return;
+    // parent_index_ holds visible rows only (built under the same
+    // watermark above); the ShadowDb child index may already hold spliced
+    // future rows, which sit past the visible prefix.
+    const size_t limit = visible == nullptr ? SIZE_MAX : visible[u];
     for (uint32_t urow : *rows) {
+      if (urow >= limit) break;
       // Expand returns the sum over u's side of per-assignment products;
       // distributivity lets the remaining neighbors multiply against that
       // sum (delta-query plans push aggregates too — the cost this
       // baseline cannot avoid is re-running the plan once per aggregate).
       double sub = 0;
-      Expand(u, urow, v, db_->sign(u, urow), mults, &sub);
+      Expand(u, urow, v, db_->sign(u, urow), mults, visible, &sub);
       if (sub != 0) helper(ni + 1, m * sub);
     }
   };

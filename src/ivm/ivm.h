@@ -160,9 +160,17 @@ class CovarFivm {
             const ExecPolicy& policy = {})
       : fm_(fm), ctx_(policy), maintainer_(db, CovarArenaIvmOps(fm)) {}
 
-  void ApplyBatch(int v, size_t first, size_t count) {
-    maintainer_.ApplyBatch(v, first, count,
-                           ctx_.enabled() ? &ctx_ : nullptr);
+  // Maintenance of a range reads only the range's node and its ancestors
+  // (ViewTreeMaintainer's delta scan + upward propagation), so the stream
+  // scheduler may overlap commits of nodes outside that closure.
+  static constexpr bool kMaintainReadsAncestorClosure = true;
+
+  // `visible` is the per-node row watermark of the caller's epoch (see
+  // ViewTreeMaintainer::ApplyBatch); nullptr reads everything committed.
+  void ApplyBatch(int v, size_t first, size_t count,
+                  const size_t* visible = nullptr) {
+    maintainer_.ApplyBatch(v, first, count, ctx_.enabled() ? &ctx_ : nullptr,
+                           visible);
   }
 
   // Applies a group of ranges at the SAME view-tree depth (the stream
@@ -172,19 +180,20 @@ class CovarFivm {
   // (each itself partition-parallel via the nested ParallelFor), then the
   // propagations run serially in range order. Bit-identical to calling
   // ApplyBatch per range in the same order, for any thread count.
-  void ApplyGroup(const NodeRowRange* ranges, size_t n) {
+  void ApplyGroup(const NodeRowRange* ranges, size_t n,
+                  const size_t* visible = nullptr) {
     if (n == 1) {
-      ApplyBatch(ranges[0].node, ranges[0].first, ranges[0].count);
+      ApplyBatch(ranges[0].node, ranges[0].first, ranges[0].count, visible);
       return;
     }
     const ExecContext* ctx = ctx_.enabled() ? &ctx_ : nullptr;
     std::vector<CovarArenaView> deltas(n);
     ctx_.ParallelFor(n, [&](size_t i) {
       deltas[i] = maintainer_.ComputeDelta(ranges[i].node, ranges[i].first,
-                                           ranges[i].count, ctx);
+                                           ranges[i].count, ctx, visible);
     });
     for (size_t i = 0; i < n; ++i) {
-      maintainer_.ApplyDelta(ranges[i].node, std::move(deltas[i]));
+      maintainer_.ApplyDelta(ranges[i].node, std::move(deltas[i]), visible);
     }
   }
 
@@ -209,7 +218,12 @@ class HigherOrderIvm {
   HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm,
                  const ExecPolicy& policy = {});
 
-  void ApplyBatch(int v, size_t first, size_t count);
+  // Every scalar maintainer shares ViewTreeMaintainer's read footprint:
+  // the range's node plus its ancestors.
+  static constexpr bool kMaintainReadsAncestorClosure = true;
+
+  void ApplyBatch(int v, size_t first, size_t count,
+                  const size_t* visible = nullptr);
 
   CovarMatrix Current() const;
 
@@ -240,7 +254,14 @@ class FirstOrderIvm {
   FirstOrderIvm(const ShadowDb* db, const FeatureMap* fm,
                 const ExecPolicy& policy = {});
 
-  void ApplyBatch(int v, size_t first, size_t count);
+  // No kMaintainReadsAncestorClosure: the delta join re-enumerates the
+  // WHOLE database, so the stream scheduler must not commit any node's
+  // rows while a batch applies — it falls back to the all-nodes read set.
+
+  // `visible` bounds every read (index build, delta-join enumeration) to
+  // rows [0, visible[u]) of each node u; nullptr reads all committed rows.
+  void ApplyBatch(int v, size_t first, size_t count,
+                  const size_t* visible = nullptr);
 
   CovarMatrix Current() const;
 
@@ -249,9 +270,10 @@ class FirstOrderIvm {
  private:
   // Recursively enumerates delta-join extensions over the undirected tree,
   // multiplying the current aggregate's per-node multipliers, and adds the
-  // total into *acc.
+  // total into *acc. Rows at or above visible[] stay out of the join.
   void Expand(int v, size_t row, int from, double mult,
-              const std::vector<std::vector<int>>& mults, double* acc);
+              const std::vector<std::vector<int>>& mults,
+              const size_t* visible, double* acc);
 
   const ShadowDb* db_;
   const FeatureMap* fm_;

@@ -24,8 +24,10 @@ ShadowDb::ShadowDb(const JoinQuery& source, int root) {
   tree_ = std::make_unique<RootedTree>(query_.Root(root));
   signs_.resize(n);
   child_index_.resize(n);
+  committed_ = std::make_unique<std::atomic<size_t>[]>(n);
   for (int v = 0; v < n; ++v) {
     child_index_[v].resize(tree_->node(v).children.size());
+    committed_[v].store(0, std::memory_order_relaxed);
   }
 }
 
@@ -44,6 +46,7 @@ size_t ShadowDb::AppendRows(int v,
       child_index_[v][ci][key].push_back(static_cast<uint32_t>(row));
     }
   }
+  committed_[v].store(rel->num_rows(), std::memory_order_release);
   return first;
 }
 
@@ -128,6 +131,16 @@ void ShadowDb::CommitChunk(IngestChunk&& chunk) {
           dst.insert(dst.end(), ids.begin(), ids.end());
         });
   }
+  // The visibility flip: everything above landed first, then one release
+  // store publishes the rows. Readers bound by an older watermark (or by
+  // an epoch horizon at or below it) never touch the spliced region.
+  committed_[v].store(chunk.first + chunk.rows, std::memory_order_release);
+  // The payload is consumed; keep the header (node/first/rows) valid and
+  // drop the buffers so an epoch retained for maintenance stays small.
+  chunk.double_cols.clear();
+  chunk.cat_cols.clear();
+  chunk.signs.clear();
+  chunk.child_groups.clear();
 }
 
 const std::vector<uint32_t>* ShadowDb::RowsByChildKey(int v, int c,

@@ -11,6 +11,8 @@
 #ifndef RELBORG_IVM_SHADOW_DB_H_
 #define RELBORG_IVM_SHADOW_DB_H_
 
+#include <algorithm>
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -44,6 +46,23 @@ struct IngestChunk {
   size_t num_rows() const { return rows; }
 };
 
+// Length of the visible prefix of `rows` under the row watermark `limit`:
+// the number of leading entries < limit. Per-key index vectors hold
+// absolute row ids in ascending (append) order, so the visible rows of a
+// key under any watermark are exactly a prefix — this helper STATES that
+// invariant for tests and tools; the maintenance hot loops apply the same
+// bound inline (`if (row >= limit) break;` in view_tree.h / ivm.cc)
+// rather than calling it. The common case — every row visible — is one
+// comparison against the last entry.
+inline size_t VisiblePrefix(const std::vector<uint32_t>& rows, size_t limit) {
+  if (rows.empty() || rows.back() < limit) return rows.size();
+  return static_cast<size_t>(
+      std::lower_bound(rows.begin(), rows.end(),
+                       static_cast<uint32_t>(std::min<size_t>(
+                           limit, UINT32_MAX))) -
+      rows.begin());
+}
+
 class ShadowDb {
  public:
   // Clones schemas and join topology from `source`, rooting the tree at
@@ -75,11 +94,34 @@ class ShadowDb {
                         std::vector<double> signs, size_t first) const;
 
   // Phase 2: appends the staged rows/signs and splices the fragments into
-  // the child indexes — one probe per distinct key instead of one per row.
+  // the child indexes — one probe per distinct key instead of one per row —
+  // then flips the node's committed-row watermark to cover the new rows
+  // (a single release-store: visibility is atomic at the watermark).
   // Aborts if the chunk was staged for a different row offset. The
   // resulting relation, sign and index state is identical to AppendRows of
-  // the same rows.
+  // the same rows. Consumes the chunk's payload (columns, signs,
+  // fragments); the node/first/rows header stays valid so callers can keep
+  // describing the committed range.
   void CommitChunk(IngestChunk&& chunk);
+
+  // Per-node committed-row watermark: rows [0, committed_rows(v)) of node
+  // v's shadow relation are fully committed (columns, signs and index
+  // fragments spliced). Advanced by AppendRows/CommitChunk with a release
+  // store and read here with an acquire load, so a reader that observes a
+  // watermark also observes every committed row below it. Monotonically
+  // non-decreasing, and always safe to POLL from any thread. Actually
+  // READING rows below the watermark while commits may run concurrently
+  // additionally requires exclusion against CommitChunk on that node —
+  // a splice can reallocate the node's column/sign vectors and rehash its
+  // index maps, moving the memory under a reader; the stream scheduler's
+  // CommitGate provides exactly that exclusion for its maintenance reads.
+  // The scheduler commits epoch N+1's chunks while epoch N still
+  // propagates, so maintenance code MUST also bound its reads by its
+  // epoch's visibility horizon (<= this watermark), never by
+  // relation(v).num_rows().
+  size_t committed_rows(int v) const {
+    return committed_[v].load(std::memory_order_acquire);
+  }
 
   // Rows of node v whose key on the edge to child c equals `key`
   // (nullptr if none). Used by upward delta propagation.
@@ -95,6 +137,8 @@ class ShadowDb {
   // child_index_[v][i] indexes node v's rows by the key of the edge to
   // children()[i].
   std::vector<std::vector<FlatHashMap<std::vector<uint32_t>>>> child_index_;
+  // Committed-row watermarks, one per node (see committed_rows()).
+  std::unique_ptr<std::atomic<size_t>[]> committed_;
 };
 
 }  // namespace relborg

@@ -107,8 +107,16 @@ std::vector<UpdateBatch> BuildMixedStream(const JoinQuery& query,
     UpdateBatch del;
     del.node = pick;
     del.sign = -1.0;
-    size_t take = std::min(options.insert.batch_size,
-                           inserted[pick].size() - deleted[pick]);
+    const size_t live = inserted[pick].size() - deleted[pick];
+    // Full retraction: the whole live multiset of the relation in ONE
+    // delete batch (entire prior insert batches retracted, the relation
+    // momentarily empty). Oldest-first either way, so multiplicities stay
+    // in {0, +1}. The draw only happens when the knob is on, keeping
+    // streams byte-identical to older builds at the default 0.
+    size_t take = options.full_retraction_probability > 0 &&
+                          rng.Uniform() < options.full_retraction_probability
+                      ? live
+                      : std::min(options.insert.batch_size, live);
     del.rows.reserve(take);
     for (size_t i = 0; i < take; ++i) {
       del.rows.push_back(*inserted[pick][deleted[pick]++]);

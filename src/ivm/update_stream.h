@@ -48,6 +48,14 @@ struct MixedStreamOptions {
   // re-emits up to `insert.batch_size` of the oldest not-yet-deleted rows
   // of a random relation with sign -1.
   double delete_probability = 0.25;
+  // When a delete batch fires, with this (conditional) probability it is a
+  // FULL RETRACTION instead: one delete batch re-emitting EVERY live row
+  // of the picked relation — entire prior insert batches retracted at
+  // once, and the relation's live multiset left momentarily empty. This is
+  // the empty-relation / empty-epoch edge case the stream scheduler must
+  // coalesce and apply correctly (the retraction can exceed
+  // insert.batch_size rows and can cancel an epoch's net delta to zero).
+  double full_retraction_probability = 0.0;
 };
 
 // Insert stream interleaved with delete batches that retract previously

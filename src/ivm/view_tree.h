@@ -44,6 +44,7 @@
 #ifndef RELBORG_IVM_VIEW_TREE_H_
 #define RELBORG_IVM_VIEW_TREE_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -81,18 +82,32 @@ class ViewTreeMaintainer {
   // deterministic partitions of the batch (partials merged in ascending
   // partition order — bit-identical for any thread count); upward
   // propagation is work-proportional and stays serial.
+  //
+  // `visible`, when non-null, is a per-node row watermark (indexed by node
+  // id): maintenance reads at node u are bounded to rows [0, visible[u]).
+  // The stream scheduler passes each epoch's visibility horizon here so
+  // rows that a later epoch's commit already spliced (at ids >= the
+  // horizon, always) stay invisible; nullptr reads everything committed —
+  // the classic serial behavior. Results are bit-identical either way
+  // whenever the rows above the horizon do not yet exist, which is exactly
+  // the serial replay.
   void ApplyBatch(int v, size_t first, size_t count,
-                  const ExecContext* ctx = nullptr) {
-    ApplyDelta(v, ComputeDelta(v, first, count, ctx));
+                  const ExecContext* ctx = nullptr,
+                  const size_t* visible = nullptr) {
+    ApplyDelta(v, ComputeDelta(v, first, count, ctx, visible), visible);
   }
 
   // First half of ApplyBatch: the per-key payload delta at v for rows
   // [first, first + count), against the CURRENT child views. Reads only
   // const state (ShadowDb, child views), so deltas of nodes at the same
   // tree depth may be computed concurrently — no node reads a view another
-  // same-depth node writes.
+  // same-depth node writes. The scan touches only the range's own rows,
+  // which must sit at or below the epoch's watermark.
   View ComputeDelta(int v, size_t first, size_t count,
-                    const ExecContext* ctx = nullptr) {
+                    const ExecContext* ctx = nullptr,
+                    const size_t* visible = nullptr) {
+    RELBORG_DCHECK(visible == nullptr || first + count <= visible[v]);
+    (void)visible;  // only asserted: the scan stays inside its own range
     View delta = ops_.MakeView();
     if (ctx == nullptr || ctx->NumPartitions(count) <= 1) {
       ScanDelta(v, first, count, &delta);
@@ -112,8 +127,11 @@ class ViewTreeMaintainer {
   }
 
   // Second half: folds the delta into v's view and propagates it up the
-  // root path. Serial; writes views on the path only.
-  void ApplyDelta(int v, View delta) { Propagate(v, std::move(delta)); }
+  // root path. Serial; writes views on the path only. Ancestor reads (rows
+  // matched through the ShadowDb indexes) honor the `visible` watermark.
+  void ApplyDelta(int v, View delta, const size_t* visible = nullptr) {
+    Propagate(v, std::move(delta), visible);
+  }
 
   // Handle of the root payload (the maintained aggregate batch); nullptr
   // while the join is still empty.
@@ -151,7 +169,7 @@ class ViewTreeMaintainer {
     }
   }
 
-  void Propagate(int v, View delta) {
+  void Propagate(int v, View delta, const size_t* visible) {
     const RootedTree& tree = db_->tree();
     while (true) {
       if (ops_.Empty(delta)) return;
@@ -159,7 +177,12 @@ class ViewTreeMaintainer {
       ops_.Merge(&views_[v], delta);
       int parent = tree.node(v).parent;
       if (parent < 0) return;
-      // Delta at the parent: only its rows matching the delta keys.
+      // Delta at the parent: only its rows matching the delta keys, and
+      // only those below the watermark — index entries at or above it
+      // belong to epochs this maintenance pass must not see yet (the ids
+      // in a per-key vector ascend, so the visible rows are a prefix).
+      const size_t parent_limit =
+          visible == nullptr ? SIZE_MAX : visible[parent];
       const Relation& prel = db_->relation(parent);
       const std::vector<int>& children = tree.node(parent).children;
       View parent_delta = ops_.MakeView();
@@ -170,6 +193,7 @@ class ViewTreeMaintainer {
             db_->RowsByChildKey(parent, v, key);
         if (rows == nullptr) return;
         for (uint32_t row : *rows) {
+          if (row >= parent_limit) break;
           bool dangling = false;
           for (size_t ci = 0; ci < children.size(); ++ci) {
             if (children[ci] == v) {

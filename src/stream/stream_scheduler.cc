@@ -20,21 +20,25 @@ EpochAssembler::EpochAssembler(const ShadowDb* db,
 }
 
 bool EpochAssembler::Add(UpdateBatch batch, StreamEpoch* out) {
-  RELBORG_CHECK(batch.node >= 0 &&
-                batch.node < static_cast<int>(group_of_.size()));
-  if (batch.rows.empty()) return false;
-  const size_t batch_rows = batch.rows.size();
-  int idx = pending_of_[batch.node];
-  if (idx < 0) {
-    idx = static_cast<int>(pending_.size());
-    pending_of_[batch.node] = idx;
-    pending_.emplace_back();
-    pending_[idx].node = batch.node;
+  if (!batch.rows.empty()) {
+    RELBORG_CHECK(batch.node >= 0 &&
+                  batch.node < static_cast<int>(group_of_.size()));
+    const size_t batch_rows = batch.rows.size();
+    int idx = pending_of_[batch.node];
+    if (idx < 0) {
+      idx = static_cast<int>(pending_.size());
+      pending_of_[batch.node] = idx;
+      pending_.emplace_back();
+      pending_[idx].node = batch.node;
+    }
+    Pending& pending = pending_[idx];
+    for (auto& row : batch.rows) pending.rows.push_back(std::move(row));
+    pending.signs.insert(pending.signs.end(), batch_rows, batch.sign);
+    cur_rows_ += batch_rows;
   }
-  Pending& pending = pending_[idx];
-  for (auto& row : batch.rows) pending.rows.push_back(std::move(row));
-  pending.signs.insert(pending.signs.end(), batch_rows, batch.sign);
-  cur_rows_ += batch_rows;
+  // Empty batches contribute no range but still count toward the batch
+  // bound, so a stream tail of retract-everything no-ops can seal (and the
+  // scheduler apply) zero-range epochs.
   cur_batches_ += 1;
   if (cur_rows_ >= options_.epoch_rows ||
       cur_batches_ >= options_.epoch_batches) {
@@ -45,7 +49,7 @@ bool EpochAssembler::Add(UpdateBatch batch, StreamEpoch* out) {
 }
 
 bool EpochAssembler::Flush(StreamEpoch* out) {
-  if (pending_.empty()) return false;
+  if (pending_.empty() && cur_batches_ == 0) return false;
   Seal(out);
   return true;
 }
@@ -55,6 +59,7 @@ void EpochAssembler::Seal(StreamEpoch* out) {
   out->id = next_epoch_id_++;
   out->rows = cur_rows_;
   out->batches = cur_batches_;
+  out->reads.assign(group_of_.size(), 0);
   // Canonical order: deepest view group first, ascending node id within a
   // group — one range per node, so the sort key is unique.
   std::sort(pending_.begin(), pending_.end(),
@@ -72,6 +77,14 @@ void EpochAssembler::Seal(StreamEpoch* out) {
         db_->StageRows(pending.node, std::move(pending.rows),
                        std::move(pending.signs), next_row_[pending.node]);
     next_row_[pending.node] += range.chunk.num_rows();
+    // The range's visibility horizon: per-node staged totals so far —
+    // bit-for-bit the committed watermarks of the serial replay right
+    // after this range's commit (epochs stage, commit and maintain
+    // strictly in order, and next_row_ never includes later epochs here).
+    range.visible.assign(next_row_.begin(), next_row_.end());
+    // Maintenance of this range reads its node and (through upward
+    // propagation) the node's ancestors.
+    MarkAncestorClosure(db_->tree(), pending.node, &out->reads);
     pending_of_[pending.node] = -1;
     out->ranges.push_back(std::move(range));
   }

@@ -1,14 +1,16 @@
 // Asynchronous, pipelined maintenance of IVM update streams with
-// epoch-coalesced deltas.
+// epoch-coalesced deltas and watermark-overlapped commits.
 //
 // The classic IVM driver loop interleaves three jobs on one thread:
 // ingestion (appending rows and maintaining the ShadowDb's join indexes),
 // delta computation, and view propagation. The StreamScheduler splits them
-// into a three-stage pipeline:
+// into a four-stage pipeline:
 //
-//   caller ──Push──▶ [ingress queue] ──▶ assembler ──▶ [epoch queue] ──▶ applier
-//            (bounded, blocks:            thread          (bounded)        thread
-//             backpressure)
+//   caller ──Push──▶ [ingress] ──▶ assembler ──▶ [sealed] ──▶ committer
+//            (bounded, blocks:       thread        (bounded)     thread
+//             backpressure)                                         │
+//        applier ◀── [committed] ◀────────────────────────────────┘
+//         thread       (bounded)
 //
 //   * The INGRESS QUEUE is bounded by rows; Push blocks while it is full,
 //     so a fast producer is throttled to the maintenance rate instead of
@@ -18,47 +20,74 @@
 //     shadow relations are per-node, so interleaved arrivals still land
 //     contiguously), carrying per-row multiplicity signs so insert and
 //     delete batches coalesce into the same range. It also STAGES the
-//     ingestion work off the maintenance thread: packed child-edge keys
-//     are grouped into per-key index fragments with precomputed absolute
-//     row ids (ShadowDb::StageRows), leaving only bulk splices for the
-//     applier. An epoch seals once it holds epoch_rows rows or
-//     epoch_batches batches — a pure function of the batch sequence,
-//     never of timing.
-//   * The APPLIER commits and maintains epochs strictly in order. Within
-//     an epoch, ranges run in canonical order — deepest view group first
+//     ingestion work off the maintenance thread (ShadowDb::StageRows) and
+//     attaches each range's VISIBILITY HORIZON — the per-node row
+//     watermark of the serial replay at that range's commit point — plus
+//     the epoch's maintenance READ SET (range nodes and their ancestors).
+//     An epoch seals once it holds epoch_rows rows or epoch_batches
+//     batches — a pure function of the batch sequence, never of timing.
+//     Batches with zero rows count toward the batch bound (an epoch whose
+//     batches were all empty seals with zero ranges and applies as a
+//     structural no-op).
+//   * The COMMITTER splices sealed epochs' chunks into the ShadowDb
+//     (ShadowDb::CommitChunk: column splices, one index probe per distinct
+//     key, then the atomic watermark flip) strictly in epoch order — and
+//     CONCURRENTLY with the applier's maintenance of EARLIER epochs.
+//     Overlap is safe on two independent grounds:
+//       - MEMORY: a per-node CommitGate excludes the committer from any
+//         node in the epoch read set the applier is currently maintaining
+//         (strategies declaring kMaintainReadsAncestorClosure lock only
+//         range nodes + ancestors; others — first-order IVM re-enumerates
+//         the whole database — lock every node, serializing commits with
+//         their maintenance but still overlapping queue/latency gaps).
+//       - VISIBILITY: maintenance bounds every ShadowDb read by its
+//         epoch's watermark (rows at ids >= the horizon are exactly the
+//         rows later epochs spliced early), so results never depend on how
+//         far commits ran ahead.
+//   * The APPLIER maintains committed epochs strictly in order. Within an
+//     epoch, ranges run in canonical order — deepest view group first
 //     (IndependentViewGroups), ascending node id within a group. Because
 //     same-group nodes are never ancestor/descendant, strategies exposing
 //     ApplyGroup (CovarFivm) compute the group's deltas concurrently over
 //     the ExecContext and only serialize the propagations; strategies
-//     without it (HigherOrderIvm, FirstOrderIvm) get commit/apply in
-//     lockstep per range, each free to parallelize internally.
+//     without it (HigherOrderIvm, FirstOrderIvm) get per-range maintenance
+//     under per-range watermarks, each free to parallelize internally.
 //
-// DETERMINISM: epoch composition and application order are pure functions
-// of (stream, options), and every delta is folded with the thread-count-
-// independent partitioning of core/exec_policy.h, so the scheduler's
-// result is BIT-IDENTICAL to ReplayStream (the same epochs applied
-// serially on the caller's thread) for any ExecPolicy thread count — the
-// queues and threads change when work happens, never what is summed in
-// which order. With epoch_batches == 1 every batch is its own epoch and
-// both are in turn bit-identical to the classic append-then-ApplyBatch
-// loop over the original stream. Epoch coalescing folds same-key rows of
-// an epoch into one delta payload before propagation; ring addition makes
-// that exact (deletions cancel inserts inside the epoch), though the
-// coalesced fold is a different floating-point summation order than
-// per-batch replay, equal to it only up to rounding.
+// DETERMINISM: epoch composition, application order and per-range
+// watermarks are pure functions of (stream, options); every delta is
+// folded with the thread-count-independent partitioning of
+// core/exec_policy.h; and every maintenance read is bounded by its epoch's
+// watermark, so the scheduler's result is BIT-IDENTICAL to ReplayStream
+// (the same epochs committed and maintained serially on the caller's
+// thread) for any ExecPolicy thread count and any commit run-ahead — the
+// queues, threads and the committer's lead change when work happens, never
+// what is read or summed in which order. With epoch_batches == 1 every
+// batch is its own epoch and both are in turn bit-identical to the classic
+// append-then-ApplyBatch loop over the original stream. Epoch coalescing
+// folds same-key rows of an epoch into one delta payload before
+// propagation; ring addition makes that exact (deletions cancel inserts
+// inside the epoch), though the coalesced fold is a different
+// floating-point summation order than per-batch replay, equal to it only
+// up to rounding.
 //
-// Timing-dependent values (queue high-water marks, per-epoch latency) are
-// surfaced in StreamStats for observability; the structural counters
-// (epochs, ranges, rows) are deterministic.
+// Timing-dependent values (queue high-water marks, per-epoch latency, gate
+// waits, the committer's maximum epoch lead) are surfaced in StreamStats
+// for observability; the structural counters (epochs, ranges, rows) are
+// deterministic.
 //
 // While a scheduler is live, the ShadowDb and the strategy belong to the
-// pipeline: the caller must not touch either until Finish() returns.
+// pipeline: the caller must not touch either until Finish() returns. The
+// one exception is ShadowDb::committed_rows(v) — an atomic gauge that may
+// be polled from any thread (the stress suite samples it live); reading
+// actual ROWS still requires waiting for Finish.
 #ifndef RELBORG_STREAM_STREAM_SCHEDULER_H_
 #define RELBORG_STREAM_STREAM_SCHEDULER_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -82,31 +111,45 @@ struct StreamOptions {
   size_t epoch_rows = 8192;
   size_t epoch_batches = 64;
   // Backpressure bounds: Push blocks while the ingress queue holds
-  // >= max_queued_rows rows; the assembler blocks while
-  // >= max_queued_epochs sealed epochs await application.
+  // >= max_queued_rows rows; each of the sealed and committed epoch queues
+  // holds at most max_queued_epochs epochs (so commits run at most
+  // ~max_queued_epochs epochs ahead of maintenance).
   size_t max_queued_rows = 1 << 16;
   size_t max_queued_epochs = 4;
+  // When false, the committer thread forwards epochs untouched and the
+  // applier commits each epoch right before maintaining it — the PR-4
+  // serialized schedule. Results are bit-identical either way; the toggle
+  // exists for differential stress tests and overlap A/B measurements.
+  bool overlap_commits = true;
 };
 
 struct StreamStats {
   // Deterministic structural counters.
-  size_t batches = 0;  // source batches consumed
+  size_t batches = 0;  // source batches consumed (empty batches included)
   size_t rows = 0;     // rows across those batches
   size_t epochs = 0;   // sealed epochs applied
   size_t ranges = 0;   // coalesced per-node ranges applied
   // Timing (observability only; never affects results).
-  double apply_seconds = 0;  // wall time committing + maintaining epochs
+  double apply_seconds = 0;   // wall time maintaining epochs (gate wait in)
+  double commit_seconds = 0;  // wall time splicing chunks, gate waits out
+                              // (booked here in either overlap mode)
+  double commit_gate_wait_seconds = 0;    // committer blocked on readers
+  double maintain_gate_wait_seconds = 0;  // applier blocked on commits
+  size_t commit_ahead_max_epochs = 0;  // committer's max lead over applier
   double epoch_latency_mean_seconds = 0;  // epoch sealed -> applied
   double epoch_latency_max_seconds = 0;
   size_t ingress_high_water_rows = 0;
   size_t epoch_queue_high_water = 0;
 };
 
-// One coalesced node-range of an epoch: the staged ingestion chunk plus
-// the node's view-group index (0 = deepest group; the root group is last).
+// One coalesced node-range of an epoch: the staged ingestion chunk, the
+// node's view-group index (0 = deepest group; the root group is last), and
+// the visibility horizon of the serial replay right after this range's
+// commit — maintenance of the range bounds every per-node read by it.
 struct StreamRange {
   int group = 0;
   IngestChunk chunk;
+  std::vector<size_t> visible;  // per node: rows visible after this commit
 };
 
 struct StreamEpoch {
@@ -115,6 +158,10 @@ struct StreamEpoch {
   size_t batches = 0;
   // Canonical application order: ascending (group, node).
   std::vector<StreamRange> ranges;
+  // Maintenance read set (per node): range nodes and their ancestors. The
+  // CommitGate keeps the committer out of these nodes while the epoch is
+  // being maintained by a strategy that reads only the ancestor closure.
+  std::vector<uint8_t> reads;
   std::chrono::steady_clock::time_point sealed_at;
 };
 
@@ -128,9 +175,11 @@ class EpochAssembler {
 
   // Feeds one batch. Returns true when this batch sealed an epoch into
   // *out (the batch itself is part of that epoch; batches never split).
+  // Zero-row batches carry no ranges but count toward the batch bound.
   bool Add(UpdateBatch batch, StreamEpoch* out);
 
-  // Seals the in-progress partial epoch into *out; false if empty.
+  // Seals the in-progress partial epoch into *out; false if no batch is
+  // pending (an all-empty-batch tail still seals a zero-range epoch).
   bool Flush(StreamEpoch* out);
 
  private:
@@ -155,15 +204,28 @@ class EpochAssembler {
 
 namespace stream_internal {
 
-// Detects `void Strategy::ApplyGroup(const NodeRowRange*, size_t)` — the
-// hook for concurrent maintenance of same-depth ranges.
+// Detects `void Strategy::ApplyGroup(const NodeRowRange*, size_t,
+// const size_t*)` — the hook for concurrent maintenance of same-depth
+// ranges under one visibility horizon.
 template <typename Strategy, typename = void>
 struct HasApplyGroup : std::false_type {};
 template <typename Strategy>
-struct HasApplyGroup<Strategy,
-                     std::void_t<decltype(std::declval<Strategy&>().ApplyGroup(
-                         std::declval<const NodeRowRange*>(), size_t{0}))>>
-    : std::true_type {};
+struct HasApplyGroup<
+    Strategy,
+    std::void_t<decltype(std::declval<Strategy&>().ApplyGroup(
+        std::declval<const NodeRowRange*>(), size_t{0},
+        std::declval<const size_t*>()))>> : std::true_type {};
+
+// Detects `Strategy::kMaintainReadsAncestorClosure == true`: maintenance
+// of a range reads only the range's node and its ancestors, so the gate
+// can lock just the epoch's read closure. Strategies without the marker
+// (first-order IVM reads the whole database) lock every node.
+template <typename Strategy, typename = void>
+struct ReadsAncestorClosure : std::false_type {};
+template <typename Strategy>
+struct ReadsAncestorClosure<
+    Strategy, std::void_t<decltype(Strategy::kMaintainReadsAncestorClosure)>>
+    : std::bool_constant<Strategy::kMaintainReadsAncestorClosure> {};
 
 // Minimal bounded MPSC channel: Push blocks while `capacity` worth of
 // weight is queued (backpressure), Pop blocks until an item arrives or the
@@ -224,38 +286,128 @@ class BoundedChannel {
   bool closed_ = false;
 };
 
-// Commits and maintains one epoch, in canonical range order. Shared by the
-// scheduler's applier thread and by ReplayStream, so both paths execute
-// the exact same sequence of floating-point operations.
+// Node-granular exclusion between the committer (splicing one chunk at a
+// time) and the applier (maintaining one epoch's read set at a time). The
+// flag flips run under one mutex, so every splice of a node
+// happens-before any maintenance read of it and vice versa — the only
+// cross-thread synchronization the overlapped ShadowDb needs. Deadlock-
+// free by construction: neither side ever waits while holding a flag the
+// other side's predicate tests (BeginMaintain waits BEFORE setting its
+// active flags; the committer holds busy only across one finite splice).
+class CommitGate {
+ public:
+  explicit CommitGate(size_t num_nodes)
+      : busy_(num_nodes, 0), active_(num_nodes, 0) {}
+
+  // Committer side: blocks while the applier is maintaining an epoch that
+  // reads `node`. Returns seconds spent blocked.
+  double BeginCommit(int node) {
+    WallTimer timer;
+    std::unique_lock<std::mutex> lock(mu_);
+    can_commit_.wait(lock, [&] { return !active_[node]; });
+    busy_[node] = 1;
+    return timer.Seconds();
+  }
+
+  void EndCommit(int node) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_[node] = 0;
+    }
+    can_maintain_.notify_all();
+  }
+
+  // Applier side: blocks while the committer is splicing any node of
+  // `reads` (1 = the epoch's maintenance may read that node), then locks
+  // those nodes against commits. Returns seconds spent blocked.
+  double BeginMaintain(const std::vector<uint8_t>& reads) {
+    WallTimer timer;
+    std::unique_lock<std::mutex> lock(mu_);
+    can_maintain_.wait(lock, [&] {
+      for (size_t v = 0; v < reads.size(); ++v) {
+        if (reads[v] && busy_[v]) return false;
+      }
+      return true;
+    });
+    for (size_t v = 0; v < reads.size(); ++v) {
+      if (reads[v]) active_[v] = 1;
+    }
+    return timer.Seconds();
+  }
+
+  void EndMaintain(const std::vector<uint8_t>& reads) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t v = 0; v < reads.size(); ++v) {
+        if (reads[v]) active_[v] = 0;
+      }
+    }
+    can_commit_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable can_commit_;
+  std::condition_variable can_maintain_;
+  std::vector<uint8_t> busy_;   // committer splicing this node
+  std::vector<uint8_t> active_;  // applier reading this node
+};
+
+// Commits every range of an epoch in canonical order: the chunk payloads
+// are consumed, the range headers (node/first/rows) and watermarks stay
+// for maintenance. With a gate, each splice excludes itself from nodes
+// under maintenance and adds its blocked time to *gate_wait_seconds.
+// Shared by the scheduler's committer thread and by ReplayStream, so both
+// paths commit in the exact same order.
+inline void CommitEpoch(ShadowDb* shadow, StreamEpoch* epoch,
+                        CommitGate* gate = nullptr,
+                        double* gate_wait_seconds = nullptr) {
+  for (StreamRange& range : epoch->ranges) {
+    const int node = range.chunk.node;
+    double waited = 0;
+    if (gate != nullptr) waited = gate->BeginCommit(node);
+    shadow->CommitChunk(std::move(range.chunk));
+    if (gate != nullptr) gate->EndCommit(node);
+    if (gate_wait_seconds != nullptr) *gate_wait_seconds += waited;
+  }
+}
+
+// Maintains one already-committed epoch, in canonical range order, each
+// read bounded by the range's (or group's) visibility horizon. Shared by
+// the scheduler's applier thread and by ReplayStream, so both paths
+// execute the exact same sequence of floating-point operations — the
+// horizons only ever exclude rows that do not exist yet in the serial
+// replay.
 template <typename Strategy>
-void ApplyEpoch(ShadowDb* shadow, Strategy* strategy, StreamEpoch* epoch) {
+void MaintainEpoch(Strategy* strategy, StreamEpoch* epoch) {
   std::vector<StreamRange>& ranges = epoch->ranges;
   size_t i = 0;
   while (i < ranges.size()) {
     size_t j = i + 1;
     if constexpr (HasApplyGroup<Strategy>::value) {
-      // Commit the whole same-depth group up front (group maintenance
+      // Maintain the whole same-depth group at once (group maintenance
       // reads only child VIEWS plus the group's own rows, and propagation
-      // reads strictly shallower — not yet committed — relations), then
-      // let the strategy maintain the group's ranges concurrently.
+      // reads strictly shallower relations) under the group's horizon:
+      // visibility after the group's LAST commit, which is exactly the
+      // committed state at this point of the serial replay.
       while (j < ranges.size() && ranges[j].group == ranges[i].group) ++j;
       std::vector<NodeRowRange> group;
       group.reserve(j - i);
       for (size_t k = i; k < j; ++k) {
-        IngestChunk& chunk = ranges[k].chunk;
+        const IngestChunk& chunk = ranges[k].chunk;
         group.push_back({chunk.node, chunk.first, chunk.num_rows()});
-        shadow->CommitChunk(std::move(chunk));
       }
-      strategy->ApplyGroup(group.data(), group.size());
+      strategy->ApplyGroup(group.data(), group.size(),
+                           ranges[j - 1].visible.data());
     } else {
-      // Commit/apply in lockstep: a strategy without the group hook may
-      // read ANY relation while applying (first-order IVM's delta join
-      // re-enumerates the whole database), so no row may become visible
-      // before its own range applies.
-      IngestChunk& chunk = ranges[i].chunk;
-      const NodeRowRange r{chunk.node, chunk.first, chunk.num_rows()};
-      shadow->CommitChunk(std::move(chunk));
-      strategy->ApplyBatch(r.node, r.first, r.count);
+      // Per-range horizons: a strategy without the group hook may read ANY
+      // relation while applying (first-order IVM's delta join re-
+      // enumerates the whole database), so no row may become VISIBLE
+      // before its own range applies — even though it may already be
+      // physically committed.
+      const IngestChunk& chunk = ranges[i].chunk;
+      strategy->ApplyBatch(chunk.node, chunk.first, chunk.num_rows(),
+                           ranges[i].visible.data());
     }
     i = j;
   }
@@ -273,10 +425,15 @@ class StreamScheduler {
                   const StreamOptions& options = {})
       : shadow_(shadow),
         strategy_(strategy),
+        options_(options),
         assembler_(shadow, options),
         ingress_(options.max_queued_rows),
-        epochs_(options.max_queued_epochs) {
+        sealed_(options.max_queued_epochs),
+        committed_(options.max_queued_epochs),
+        gate_(shadow->tree().num_nodes()),
+        all_reads_(shadow->tree().num_nodes(), 1) {
     assemble_thread_ = std::thread([this] { AssembleLoop(); });
+    commit_thread_ = std::thread([this] { CommitLoop(); });
     apply_thread_ = std::thread([this] { ApplyLoop(); });
   }
 
@@ -287,12 +444,13 @@ class StreamScheduler {
   StreamScheduler(const StreamScheduler&) = delete;
   StreamScheduler& operator=(const StreamScheduler&) = delete;
 
-  // Enqueues one batch; blocks while the ingress queue is full. Empty
-  // batches are dropped.
+  // Enqueues one batch; blocks while the ingress queue is full. Zero-row
+  // batches flow through (they count toward epoch sealing, like in
+  // ReplayStream) but still weigh one row, so a flood of empty batches
+  // hits backpressure instead of growing the queue without bound.
   void Push(UpdateBatch batch) {
     RELBORG_CHECK_MSG(!finished_, "Push after Finish");
-    if (batch.rows.empty()) return;
-    const size_t weight = batch.rows.size();
+    const size_t weight = std::max<size_t>(batch.rows.size(), 1);
     ingress_.Push(std::move(batch), weight);
   }
 
@@ -303,9 +461,11 @@ class StreamScheduler {
     finished_ = true;
     ingress_.Close();
     assemble_thread_.join();
+    commit_thread_.join();
     apply_thread_.join();
     stats_.ingress_high_water_rows = ingress_.high_water();
-    stats_.epoch_queue_high_water = epochs_.high_water();
+    stats_.epoch_queue_high_water =
+        std::max(sealed_.high_water(), committed_.high_water());
     if (stats_.epochs > 0) {
       stats_.epoch_latency_mean_seconds = latency_sum_ / stats_.epochs;
     }
@@ -320,21 +480,63 @@ class StreamScheduler {
       stats_.batches++;
       stats_.rows += batch.rows.size();
       if (assembler_.Add(std::move(batch), &epoch)) {
-        epochs_.Push(std::move(epoch));
+        sealed_.Push(std::move(epoch));
         epoch = StreamEpoch();
       }
     }
-    if (assembler_.Flush(&epoch)) epochs_.Push(std::move(epoch));
-    epochs_.Close();
+    if (assembler_.Flush(&epoch)) sealed_.Push(std::move(epoch));
+    sealed_.Close();
+  }
+
+  void CommitLoop() {
+    StreamEpoch epoch;
+    while (sealed_.Pop(&epoch)) {
+      if (options_.overlap_commits) {
+        WallTimer timer;
+        double waited = 0;
+        stream_internal::CommitEpoch(shadow_, &epoch, &gate_, &waited);
+        stats_.commit_gate_wait_seconds += waited;
+        stats_.commit_seconds += timer.Seconds() - waited;
+        // Observability: how far commits ran ahead of maintenance (the
+        // applier publishes the count of maintained epochs; relaxed reads
+        // are fine for a gauge).
+        const uint64_t maintained =
+            maintained_epochs_.load(std::memory_order_relaxed);
+        stats_.commit_ahead_max_epochs =
+            std::max<size_t>(stats_.commit_ahead_max_epochs,
+                             static_cast<size_t>(epoch.id + 1 - maintained));
+      }
+      committed_.Push(std::move(epoch));
+    }
+    committed_.Close();
   }
 
   void ApplyLoop() {
     StreamEpoch epoch;
-    while (epochs_.Pop(&epoch)) {
-      WallTimer timer;
+    while (committed_.Pop(&epoch)) {
       stats_.epochs++;
       stats_.ranges += epoch.ranges.size();
-      stream_internal::ApplyEpoch(shadow_, strategy_, &epoch);
+      if (!options_.overlap_commits) {
+        // Serialized schedule: the commit runs here, but is still booked
+        // as commit time so apply_seconds stays commensurate across the
+        // overlap A/B.
+        WallTimer commit_timer;
+        stream_internal::CommitEpoch(shadow_, &epoch);
+        stats_.commit_seconds += commit_timer.Seconds();
+      }
+      WallTimer timer;
+      if (options_.overlap_commits) {
+        const std::vector<uint8_t>& reads =
+            stream_internal::ReadsAncestorClosure<Strategy>::value
+                ? epoch.reads
+                : all_reads_;
+        stats_.maintain_gate_wait_seconds += gate_.BeginMaintain(reads);
+        stream_internal::MaintainEpoch(strategy_, &epoch);
+        gate_.EndMaintain(reads);
+      } else {
+        stream_internal::MaintainEpoch(strategy_, &epoch);
+      }
+      maintained_epochs_.store(epoch.id + 1, std::memory_order_relaxed);
       stats_.apply_seconds += timer.Seconds();
       const double latency =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -348,15 +550,24 @@ class StreamScheduler {
 
   ShadowDb* shadow_;
   Strategy* strategy_;
+  StreamOptions options_;
   EpochAssembler assembler_;  // assemble thread only (after construction)
   stream_internal::BoundedChannel<UpdateBatch> ingress_;
-  stream_internal::BoundedChannel<StreamEpoch> epochs_;
-  // batches/rows are written by the assemble thread, the rest by the apply
-  // thread; Finish reads them after joining both, so no field is ever
-  // accessed from two live threads.
+  stream_internal::BoundedChannel<StreamEpoch> sealed_;
+  stream_internal::BoundedChannel<StreamEpoch> committed_;
+  stream_internal::CommitGate gate_;
+  const std::vector<uint8_t> all_reads_;  // whole-db read set (all ones)
+  std::atomic<uint64_t> maintained_epochs_{0};
+  // Stats fields are partitioned by writer: batches/rows belong to the
+  // assemble thread, commit_* to whichever thread commits (the commit
+  // thread with overlap on, the apply thread with it off — never both in
+  // one run), the rest to the apply thread; Finish reads them after
+  // joining all three, so no field is ever accessed from two live
+  // threads.
   StreamStats stats_;
   double latency_sum_ = 0;
   std::thread assemble_thread_;
+  std::thread commit_thread_;
   std::thread apply_thread_;
   bool finished_ = false;
 };
@@ -372,10 +583,11 @@ StreamStats ApplyStream(ShadowDb* shadow, Strategy* strategy,
   return scheduler.Finish();
 }
 
-// Serial reference: the same epochs applied on the caller's thread with no
-// queues or worker threads. StreamScheduler results are bit-identical to
-// this for any thread count; with options.epoch_batches == 1 this is in
-// turn bit-identical to the classic append-then-ApplyBatch loop.
+// Serial reference: the same epochs committed and maintained on the
+// caller's thread with no queues or worker threads. StreamScheduler
+// results are bit-identical to this for any thread count and any commit
+// run-ahead; with options.epoch_batches == 1 this is in turn bit-identical
+// to the classic append-then-ApplyBatch loop.
 template <typename Strategy>
 StreamStats ReplayStream(ShadowDb* shadow, Strategy* strategy,
                          const std::vector<UpdateBatch>& stream,
@@ -387,12 +599,12 @@ StreamStats ReplayStream(ShadowDb* shadow, Strategy* strategy,
     WallTimer timer;
     stats.epochs++;
     stats.ranges += epoch.ranges.size();
-    stream_internal::ApplyEpoch(shadow, strategy, &epoch);
+    stream_internal::CommitEpoch(shadow, &epoch);
+    stream_internal::MaintainEpoch(strategy, &epoch);
     stats.apply_seconds += timer.Seconds();
     epoch = StreamEpoch();
   };
   for (const UpdateBatch& batch : stream) {
-    if (batch.rows.empty()) continue;
     stats.batches++;
     stats.rows += batch.rows.size();
     if (assembler.Add(batch, &epoch)) apply();

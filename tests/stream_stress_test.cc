@@ -1,0 +1,287 @@
+// Randomized differential stress suite for the watermark-overlapped
+// stream scheduler (src/stream/).
+//
+// Every case draws a full pipeline configuration from the case seed —
+// topology, stream shape (mixed insert/delete, incl. full retractions),
+// epoch sealing bounds, queue capacities, thread count, overlap on/off —
+// runs all three IVM strategies through the async scheduler, and demands
+// BIT-IDENTITY with the serial ReplayStream reference plus identical
+// structural stats. The point is adversarial coverage of the overlap
+// machinery: tiny queues force backpressure, tiny epochs force commit
+// churn, whole-stream epochs force one giant coalesced fold, and the
+// commit gate + per-range watermarks must keep every interleaving
+// invisible in the results. The suite runs in the TSan CI leg under the
+// `stream-stress` CTest label.
+//
+// Seeds follow the kPropertySeeds policy of tests/test_util.h: 6 seeds x
+// 9 drawn configurations = 54 randomized cases per property, each
+// replayed exactly from the test name.
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ivm/ivm.h"
+#include "ivm/update_stream.h"
+#include "stream/stream_scheduler.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace relborg {
+namespace {
+
+using testing::MakeRandomDb;
+using testing::RandomDb;
+using testing::Topology;
+
+void ExpectCovarExact(const CovarMatrix& got, const CovarMatrix& want) {
+  ASSERT_EQ(got.num_features(), want.num_features());
+  const int n = want.num_features();
+  for (int i = 0; i <= n; ++i) {
+    for (int j = i; j <= n; ++j) {
+      EXPECT_EQ(got.Moment(i, j), want.Moment(i, j))
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+struct StressConfig {
+  Topology topology = Topology::kStar;
+  int fact_rows = 30;
+  size_t batch_size = 7;
+  double delete_probability = 0.3;
+  double full_retraction_probability = 0.15;
+  StreamOptions options;
+  int threads = 1;
+};
+
+// Draws case `index` of `seed`'s configuration sequence. The first four
+// indices pin the acceptance grid's epoch sizes (1 row, 1 batch, the
+// defaults, whole-stream); the rest are free draws.
+StressConfig DrawConfig(uint64_t seed, int index) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(index) + 1);
+  StressConfig cfg;
+  const Topology topologies[] = {Topology::kStar, Topology::kChain,
+                                 Topology::kBushy};
+  cfg.topology = topologies[rng.Below(3)];
+  cfg.fact_rows = static_cast<int>(rng.Range(12, 40));
+  cfg.batch_size = static_cast<size_t>(rng.Range(3, 13));
+  cfg.delete_probability = rng.Uniform(0.1, 0.5);
+  cfg.full_retraction_probability = rng.Uniform(0.0, 0.4);
+  switch (index) {
+    case 0:  // 1-row epochs: maximal commit churn.
+      cfg.options.epoch_rows = 1;
+      break;
+    case 1:  // single-batch epochs: the classic per-batch schedule.
+      cfg.options.epoch_batches = 1;
+      break;
+    case 2:  // library defaults.
+      break;
+    case 3:  // whole-stream epoch: one giant coalesced fold.
+      cfg.options.epoch_rows = SIZE_MAX;
+      cfg.options.epoch_batches = SIZE_MAX;
+      break;
+    default:
+      cfg.options.epoch_rows = static_cast<size_t>(rng.Range(8, 96));
+      cfg.options.epoch_batches = static_cast<size_t>(rng.Range(2, 8));
+      break;
+  }
+  // Queue capacities from starved (1) to roomy; tiny values exercise every
+  // backpressure and gate path.
+  const size_t row_caps[] = {1, 16, 4096};
+  cfg.options.max_queued_rows = row_caps[rng.Below(3)];
+  cfg.options.max_queued_epochs = static_cast<size_t>(rng.Range(1, 4));
+  cfg.options.overlap_commits = rng.Below(4) != 0;  // mostly on
+  const int thread_choices[] = {1, 2, 4};
+  cfg.threads = thread_choices[rng.Below(3)];
+  return cfg;
+}
+
+std::vector<UpdateBatch> MakeStressStream(const RandomDb& db, uint64_t seed,
+                                          const StressConfig& cfg) {
+  MixedStreamOptions opts;
+  opts.insert.batch_size = cfg.batch_size;
+  opts.insert.seed = seed;
+  opts.insert.order =
+      seed % 2 == 0 ? StreamOrder::kRoundRobin : StreamOrder::kProportional;
+  opts.delete_probability = cfg.delete_probability;
+  opts.full_retraction_probability = cfg.full_retraction_probability;
+  return BuildMixedStream(db.query, opts);
+}
+
+ExecPolicy MakePolicy(int threads) {
+  ExecPolicy policy;
+  policy.threads = threads;
+  policy.partition_grain = 16;  // small batches must still partition
+  return policy;
+}
+
+// Runs `stream` through one strategy (async scheduler or serial replay)
+// and returns the maintained covariance batch.
+template <typename Strategy>
+CovarMatrix RunStream(const RandomDb& db,
+                      const std::vector<UpdateBatch>& stream, bool async,
+                      int threads, const StreamOptions& options,
+                      StreamStats* stats) {
+  ShadowDb shadow(db.query, 0);
+  FeatureMap fm(shadow.query(), db.features);
+  Strategy strategy(&shadow, &fm, MakePolicy(threads));
+  *stats = async ? ApplyStream(&shadow, &strategy, stream, options)
+                 : ReplayStream(&shadow, &strategy, stream, options);
+  return strategy.Current();
+}
+
+template <typename Strategy>
+void CheckDifferential(const RandomDb& db,
+                       const std::vector<UpdateBatch>& stream,
+                       const StressConfig& cfg) {
+  StreamStats replay_stats;
+  const CovarMatrix reference = RunStream<Strategy>(
+      db, stream, /*async=*/false, /*threads=*/1, cfg.options, &replay_stats);
+  StreamStats async_stats;
+  const CovarMatrix async = RunStream<Strategy>(
+      db, stream, /*async=*/true, cfg.threads, cfg.options, &async_stats);
+  ExpectCovarExact(async, reference);
+  // Structural stats are a pure function of (stream, options).
+  EXPECT_EQ(async_stats.batches, replay_stats.batches);
+  EXPECT_EQ(async_stats.rows, replay_stats.rows);
+  EXPECT_EQ(async_stats.epochs, replay_stats.epochs);
+  EXPECT_EQ(async_stats.ranges, replay_stats.ranges);
+  EXPECT_EQ(async_stats.rows, StreamRowCount(stream));
+}
+
+class StreamStressSuite : public ::testing::TestWithParam<uint64_t> {};
+
+// The headline property: for 9 drawn configurations per seed (54 cases
+// over the suite) and all three strategies, the watermark-overlapped
+// async pipeline is bit-identical to the serial replay.
+TEST_P(StreamStressSuite, AsyncBitIdenticalAcrossRandomConfigs) {
+  const uint64_t seed = GetParam();
+  for (int index = 0; index < 9; ++index) {
+    SCOPED_TRACE(::testing::Message() << "config index " << index);
+    const StressConfig cfg = DrawConfig(seed, index);
+    RandomDb db = MakeRandomDb(seed + index, cfg.topology, cfg.fact_rows);
+    const std::vector<UpdateBatch> stream =
+        MakeStressStream(db, seed + 31 * index, cfg);
+    ASSERT_FALSE(stream.empty());
+    CheckDifferential<CovarFivm>(db, stream, cfg);
+    CheckDifferential<HigherOrderIvm>(db, stream, cfg);
+    CheckDifferential<FirstOrderIvm>(db, stream, cfg);
+  }
+}
+
+// Watermark invariants observed live from the producer thread while the
+// pipeline runs: per-node committed-row watermarks only ever grow
+// (committed_rows is an acquire-published monotone counter), and after
+// Finish every watermark equals the relation's row count — nothing stays
+// staged-but-invisible.
+TEST_P(StreamStressSuite, WatermarksAreMonotoneUnderLoad) {
+  const uint64_t seed = GetParam();
+  const StressConfig cfg = DrawConfig(seed, /*index=*/4);
+  RandomDb db = MakeRandomDb(seed, cfg.topology, cfg.fact_rows);
+  const std::vector<UpdateBatch> stream = MakeStressStream(db, seed + 7, cfg);
+  ShadowDb shadow(db.query, 0);
+  FeatureMap fm(shadow.query(), db.features);
+  CovarFivm fivm(&shadow, &fm, MakePolicy(cfg.threads));
+  const int num_nodes = shadow.tree().num_nodes();
+  std::vector<size_t> last(num_nodes, 0);
+  StreamOptions options = cfg.options;
+  options.overlap_commits = true;
+  StreamScheduler<CovarFivm> scheduler(&shadow, &fivm, options);
+  for (const UpdateBatch& batch : stream) {
+    scheduler.Push(batch);
+    for (int v = 0; v < num_nodes; ++v) {
+      const size_t w = shadow.committed_rows(v);
+      EXPECT_GE(w, last[v]) << "watermark of node " << v << " regressed";
+      last[v] = w;
+    }
+  }
+  const StreamStats stats = scheduler.Finish();
+  for (int v = 0; v < num_nodes; ++v) {
+    EXPECT_EQ(shadow.committed_rows(v), shadow.relation(v).num_rows());
+  }
+  EXPECT_EQ(stats.rows, StreamRowCount(stream));
+  // With overlap on, the committer always finishes an epoch before the
+  // applier maintains it, so its lead is at least one epoch.
+  if (stats.epochs > 0) {
+    EXPECT_GE(stats.commit_ahead_max_epochs, 1u);
+  }
+}
+
+// Overlap on and off must agree bitwise: the commit gate and the
+// watermarks make the committer's lead unobservable in the results.
+TEST_P(StreamStressSuite, OverlapToggleIsUnobservable) {
+  const uint64_t seed = GetParam();
+  const StressConfig cfg = DrawConfig(seed, /*index=*/5);
+  RandomDb db = MakeRandomDb(seed + 3, cfg.topology, cfg.fact_rows);
+  const std::vector<UpdateBatch> stream =
+      MakeStressStream(db, seed + 13, cfg);
+  StreamOptions on = cfg.options;
+  on.overlap_commits = true;
+  StreamOptions off = cfg.options;
+  off.overlap_commits = false;
+  StreamStats stats_on, stats_off;
+  const CovarMatrix with_overlap = RunStream<CovarFivm>(
+      db, stream, /*async=*/true, cfg.threads, on, &stats_on);
+  const CovarMatrix without_overlap = RunStream<CovarFivm>(
+      db, stream, /*async=*/true, cfg.threads, off, &stats_off);
+  ExpectCovarExact(with_overlap, without_overlap);
+  EXPECT_EQ(stats_on.epochs, stats_off.epochs);
+  EXPECT_EQ(stats_on.ranges, stats_off.ranges);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, StreamStressSuite,
+                         ::testing::ValuesIn(relborg::testing::kPropertySeeds));
+
+// The acceptance grid, pinned deterministically: epoch sizes {1 row,
+// 1 batch, defaults, whole-stream} x ExecPolicy{1,2,4} x all three
+// strategies on a mixed stream — the async path must reproduce the serial
+// replay bit for bit in every cell.
+class StreamEpochGrid : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamEpochGrid, BitIdenticalInEveryCell) {
+  const uint64_t seed = GetParam();
+  RandomDb db = MakeRandomDb(seed, Topology::kBushy, /*fact_rows=*/25);
+  MixedStreamOptions mixed;
+  mixed.insert.batch_size = 9;
+  mixed.insert.seed = seed;
+  mixed.delete_probability = 0.3;
+  mixed.full_retraction_probability = 0.2;
+  const std::vector<UpdateBatch> stream = BuildMixedStream(db.query, mixed);
+  StreamOptions sizes[4];
+  sizes[0].epoch_rows = 1;
+  sizes[1].epoch_batches = 1;
+  // sizes[2]: library defaults.
+  sizes[3].epoch_rows = SIZE_MAX;
+  sizes[3].epoch_batches = SIZE_MAX;
+  for (int s = 0; s < 4; ++s) {
+    SCOPED_TRACE(::testing::Message() << "epoch size cell " << s);
+    StressConfig cfg;
+    cfg.options = sizes[s];
+    StreamStats stats;
+    const CovarMatrix fivm_ref = RunStream<CovarFivm>(
+        db, stream, /*async=*/false, /*threads=*/1, cfg.options, &stats);
+    const CovarMatrix higher_ref = RunStream<HigherOrderIvm>(
+        db, stream, /*async=*/false, /*threads=*/1, cfg.options, &stats);
+    const CovarMatrix first_ref = RunStream<FirstOrderIvm>(
+        db, stream, /*async=*/false, /*threads=*/1, cfg.options, &stats);
+    for (int threads : {1, 2, 4}) {
+      SCOPED_TRACE(::testing::Message() << "threads " << threads);
+      ExpectCovarExact(RunStream<CovarFivm>(db, stream, /*async=*/true,
+                                            threads, cfg.options, &stats),
+                       fivm_ref);
+      ExpectCovarExact(RunStream<HigherOrderIvm>(db, stream, /*async=*/true,
+                                                 threads, cfg.options, &stats),
+                       higher_ref);
+      ExpectCovarExact(RunStream<FirstOrderIvm>(db, stream, /*async=*/true,
+                                                threads, cfg.options, &stats),
+                       first_ref);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDbs, StreamEpochGrid,
+    ::testing::ValuesIn(relborg::testing::kPropertySeedsSmall));
+
+}  // namespace
+}  // namespace relborg
