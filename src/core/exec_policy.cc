@@ -123,4 +123,18 @@ void MarkAncestorClosure(const RootedTree& tree, int node,
   }
 }
 
+void MarkChildren(const RootedTree& tree, int node,
+                  std::vector<uint8_t>* mask) {
+  for (int c : tree.node(node).children) (*mask)[c] = 1;
+}
+
+bool MasksIntersect(const std::vector<uint8_t>& a,
+                    const std::vector<uint8_t>& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t v = 0; v < n; ++v) {
+    if (a[v] && b[v]) return true;
+  }
+  return false;
+}
+
 }  // namespace relborg

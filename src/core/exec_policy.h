@@ -124,6 +124,19 @@ std::vector<int> ViewGroupOf(const RootedTree& tree);
 void MarkAncestorClosure(const RootedTree& tree, int node,
                          std::vector<uint8_t>* mask);
 
+// Sets mask[c] = 1 for every child of `node` (same indexing contract as
+// MarkAncestorClosure). The children of a node are the READ set of its
+// delta scan — what a speculative ComputeDelta probes — while the ancestor
+// closure is the read set of the full maintenance pass.
+void MarkChildren(const RootedTree& tree, int node,
+                  std::vector<uint8_t>* mask);
+
+// True iff the two node masks share a marked node. The stream scheduler's
+// compute stage uses this to test a range's probe set against the write
+// closures of epochs still in flight.
+bool MasksIntersect(const std::vector<uint8_t>& a,
+                    const std::vector<uint8_t>& b);
+
 // Deterministic partitioned reduction over [0, rows): `scan(begin, end,
 // &acc)` accumulates one partition serially in row order; `merge(out,
 // &partial)` folds partials into *out serially in ascending partition

@@ -24,7 +24,7 @@ std::vector<std::vector<int>> MultipliersFor(const FeatureMap& fm,
 
 HigherOrderIvm::HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm,
                                const ExecPolicy& policy)
-    : fm_(fm), ctx_(policy) {
+    : db_(db), fm_(fm), ctx_(policy) {
   const int n = fm->num_features();
   const int num_nodes = db->tree().num_nodes();
   for (int i = 0; i <= n; ++i) {
@@ -34,15 +34,85 @@ HigherOrderIvm::HigherOrderIvm(const ShadowDb* db, const FeatureMap* fm,
           db, ScalarIvmOps(MultipliersFor(*fm, num_nodes, i, j)));
     }
   }
+  versions_ = std::make_unique<std::atomic<uint64_t>[]>(num_nodes);
+  for (int v = 0; v < num_nodes; ++v) {
+    versions_[v].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<int> HigherOrderIvm::RootPath(int v) const {
+  std::vector<int> path;
+  for (int u = v; u >= 0; u = db_->tree().node(u).parent) path.push_back(u);
+  return path;
+}
+
+void HigherOrderIvm::BumpVersions(const std::vector<int>& path) {
+  // Release: the bump publishes the folds the ParallelFor join just made
+  // visible to this thread, so a compute-thread acquire load that still
+  // sees the OLD version is guaranteed the old view contents too.
+  for (int u : path) versions_[u].fetch_add(1, std::memory_order_release);
 }
 
 void HigherOrderIvm::ApplyBatch(int v, size_t first, size_t count,
-                                const size_t* visible) {
+                                const size_t* visible, ViewWriteGate* gate) {
   // The maintainers are mutually independent; each one applies the batch
-  // serially, so the per-maintainer state is thread-count-invariant.
+  // serially, so the per-maintainer state is thread-count-invariant. The
+  // root path is write-locked coarsely, once around the parallel fan-out
+  // (see the RangeDelta comment in ivm.h).
+  const std::vector<int> path = RootPath(v);
+  if (gate != nullptr) {
+    for (int u : path) gate->LockView(u);
+  }
   ctx_.ParallelFor(maintainers_.size(), [&](size_t k) {
     maintainers_[k].ApplyBatch(v, first, count, /*ctx=*/nullptr, visible);
   });
+  BumpVersions(path);
+  if (gate != nullptr) {
+    for (int u : path) gate->UnlockView(u);
+  }
+}
+
+HigherOrderIvm::RangeDelta HigherOrderIvm::ComputeRangeDelta(
+    const NodeRowRange& r, std::vector<std::pair<int, uint64_t>>* observed,
+    const StagedChildKeys* staged) {
+  for (int c : db_->tree().node(r.node).children) {
+    observed->push_back({c, versions_[c].load(std::memory_order_acquire)});
+  }
+  RangeDelta delta(maintainers_.size());
+  ctx_.ParallelFor(maintainers_.size(), [&](size_t k) {
+    delta[k] = maintainers_[k].ComputeDelta(r.node, r.first, r.count,
+                                            /*ctx=*/nullptr,
+                                            /*visible=*/nullptr,
+                                            /*child_snaps=*/nullptr, staged);
+  });
+  return delta;
+}
+
+bool HigherOrderIvm::RangeDeltaValid(
+    const std::vector<std::pair<int, uint64_t>>& observed) const {
+  for (const auto& [node, version] : observed) {
+    if (versions_[node].load(std::memory_order_acquire) != version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void HigherOrderIvm::ApplyRangeDelta(const NodeRowRange& r, RangeDelta delta,
+                                     const size_t* visible,
+                                     ViewWriteGate* gate) {
+  const std::vector<int> path = RootPath(r.node);
+  if (gate != nullptr) {
+    for (int u : path) gate->LockView(u);
+  }
+  ctx_.ParallelFor(maintainers_.size(), [&](size_t k) {
+    maintainers_[k].ApplyDelta(r.node, std::move(delta[k]), visible,
+                               /*gate=*/nullptr);
+  });
+  BumpVersions(path);
+  if (gate != nullptr) {
+    for (int u : path) gate->UnlockView(u);
+  }
 }
 
 CovarMatrix HigherOrderIvm::Current() const {

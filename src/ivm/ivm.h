@@ -17,6 +17,8 @@
 #ifndef RELBORG_IVM_IVM_H_
 #define RELBORG_IVM_IVM_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -62,6 +64,16 @@ class CovarArenaIvmOps {
     return view.Find(key);
   }
 
+  // Snapshot protocol: CovarArenaView's (slot_count, version) watermark
+  // pair (see ring/covar_arena.h).
+  using Snapshot = CovarViewSnapshot;
+  const double* FindAt(const View& view, uint64_t key,
+                       const Snapshot& snap) const {
+    return view.FindAt(key, snap);
+  }
+  Snapshot TakeSnapshot(const View& view) const { return view.Snapshot(); }
+  uint64_t ViewVersion(const View& view) const { return view.version(); }
+
   void RowDelta(int v, const Relation& rel, size_t row, double sign,
                 const double* const* children, size_t num_children,
                 uint64_t key, View* out, Scratch* scratch) const {
@@ -98,6 +110,17 @@ class CovarArenaIvmOps {
     });
   }
 
+  // Merge for MAINTAINED views: ring additions go through BeginMergeKey
+  // (copy-on-write under active pins), and one release-publish at the end
+  // moves the view's snapshot watermark past all of them at once.
+  void FoldPublished(View* dst, const View& src) const {
+    const size_t stride = CovarStride(fm_->num_features());
+    src.ForEach([&](uint64_t key, const double* span) {
+      CovarSpanAdd(stride, dst->BeginMergeKey(key), span);
+    });
+    dst->PublishMerge();
+  }
+
   template <typename Fn>
   void ForEach(const View& view, Fn&& fn) const {
     view.ForEach(fn);
@@ -126,6 +149,19 @@ class ScalarIvmOps {
     return view.Find(key);
   }
 
+  // FlatHashMap views carry no per-view watermark; HigherOrderIvm versions
+  // its 91 view trees at the STRATEGY level instead (one atomic counter per
+  // join-tree node), so the ops-level snapshot is empty and FindAt degrades
+  // to Find — sound because the stream scheduler only calls it while
+  // holding the child's view gate (no concurrent fold can intervene).
+  struct Snapshot {};
+  const double* FindAt(const View& view, uint64_t key,
+                       const Snapshot&) const {
+    return view.Find(key);
+  }
+  Snapshot TakeSnapshot(const View&) const { return {}; }
+  uint64_t ViewVersion(const View&) const { return 0; }
+
   void RowDelta(int v, const Relation& rel, size_t row, double sign,
                 const double* const* children, size_t num_children,
                 uint64_t key, View* out, Scratch*) const {
@@ -138,6 +174,8 @@ class ScalarIvmOps {
   void Merge(View* dst, const View& src) const {
     src.ForEach([&](uint64_t key, const double& v) { (*dst)[key] += v; });
   }
+  // No view-level watermark to publish (see Snapshot above).
+  void FoldPublished(View* dst, const View& src) const { Merge(dst, src); }
 
   template <typename Fn>
   void ForEach(const View& view, Fn&& fn) const {
@@ -158,7 +196,7 @@ class CovarFivm {
   // count >= 1.
   CovarFivm(const ShadowDb* db, const FeatureMap* fm,
             const ExecPolicy& policy = {})
-      : fm_(fm), ctx_(policy), maintainer_(db, CovarArenaIvmOps(fm)) {}
+      : db_(db), fm_(fm), ctx_(policy), maintainer_(db, CovarArenaIvmOps(fm)) {}
 
   // Maintenance of a range reads only the range's node and its ancestors
   // (ViewTreeMaintainer's delta scan + upward propagation), so the stream
@@ -167,10 +205,52 @@ class CovarFivm {
 
   // `visible` is the per-node row watermark of the caller's epoch (see
   // ViewTreeMaintainer::ApplyBatch); nullptr reads everything committed.
+  // `gate`, when non-null, write-locks each view around the fold into it.
   void ApplyBatch(int v, size_t first, size_t count,
-                  const size_t* visible = nullptr) {
+                  const size_t* visible = nullptr,
+                  ViewWriteGate* gate = nullptr) {
     maintainer_.ApplyBatch(v, first, count, ctx_.enabled() ? &ctx_ : nullptr,
-                           visible);
+                           visible, gate);
+  }
+
+  // --- Speculative per-range compute (stream_scheduler's compute stage) --
+  //
+  // ComputeRangeDelta evaluates a range's delta against the CURRENT child
+  // views, bounded by snapshots taken at entry, and records each child's
+  // (node, version) in *observed. The caller holds the children's view
+  // gates, so no fold intervenes mid-scan; RangeDeltaValid later re-reads
+  // the versions at the serial application point — equality means the
+  // child views never changed in between, so the precomputed delta is
+  // BIT-IDENTICAL to what a fresh serial ComputeDelta would produce (the
+  // partitioned fold order is deterministic). ApplyRangeDelta then
+  // propagates it exactly like ApplyBatch's second half.
+  using RangeDelta = CovarArenaView;
+
+  RangeDelta ComputeRangeDelta(const NodeRowRange& r,
+                               std::vector<std::pair<int, uint64_t>>* observed,
+                               const StagedChildKeys* staged = nullptr) {
+    const std::vector<int>& children = db_->tree().node(r.node).children;
+    std::vector<CovarViewSnapshot> snaps(db_->tree().num_nodes());
+    for (int c : children) {
+      snaps[c] = maintainer_.SnapshotView(c);
+      observed->push_back({c, snaps[c].version});
+    }
+    return maintainer_.ComputeDelta(r.node, r.first, r.count,
+                                    ctx_.enabled() ? &ctx_ : nullptr,
+                                    /*visible=*/nullptr, snaps.data(), staged);
+  }
+
+  bool RangeDeltaValid(
+      const std::vector<std::pair<int, uint64_t>>& observed) const {
+    for (const auto& [node, version] : observed) {
+      if (maintainer_.ViewVersion(node) != version) return false;
+    }
+    return true;
+  }
+
+  void ApplyRangeDelta(const NodeRowRange& r, RangeDelta delta,
+                       const size_t* visible, ViewWriteGate* gate) {
+    maintainer_.ApplyDelta(r.node, std::move(delta), visible, gate);
   }
 
   // Applies a group of ranges at the SAME view-tree depth (the stream
@@ -181,9 +261,11 @@ class CovarFivm {
   // propagations run serially in range order. Bit-identical to calling
   // ApplyBatch per range in the same order, for any thread count.
   void ApplyGroup(const NodeRowRange* ranges, size_t n,
-                  const size_t* visible = nullptr) {
+                  const size_t* visible = nullptr,
+                  ViewWriteGate* gate = nullptr) {
     if (n == 1) {
-      ApplyBatch(ranges[0].node, ranges[0].first, ranges[0].count, visible);
+      ApplyBatch(ranges[0].node, ranges[0].first, ranges[0].count, visible,
+                 gate);
       return;
     }
     const ExecContext* ctx = ctx_.enabled() ? &ctx_ : nullptr;
@@ -193,7 +275,8 @@ class CovarFivm {
                                            ranges[i].count, ctx, visible);
     });
     for (size_t i = 0; i < n; ++i) {
-      maintainer_.ApplyDelta(ranges[i].node, std::move(deltas[i]), visible);
+      maintainer_.ApplyDelta(ranges[i].node, std::move(deltas[i]), visible,
+                             gate);
     }
   }
 
@@ -205,6 +288,7 @@ class CovarFivm {
   }
 
  private:
+  const ShadowDb* db_;
   const FeatureMap* fm_;
   ExecContext ctx_;
   ViewTreeMaintainer<CovarArenaIvmOps> maintainer_;
@@ -223,19 +307,46 @@ class HigherOrderIvm {
   static constexpr bool kMaintainReadsAncestorClosure = true;
 
   void ApplyBatch(int v, size_t first, size_t count,
-                  const size_t* visible = nullptr);
+                  const size_t* visible = nullptr,
+                  ViewWriteGate* gate = nullptr);
+
+  // Speculative per-range compute, mirroring CovarFivm's contract. The
+  // FlatHashMap views carry no watermark, so validity is tracked at the
+  // strategy level: one atomic version counter per join-tree node, bumped
+  // (release) along the root path after every application. Gate locking is
+  // COARSE — the whole root path is locked once around the parallel
+  // per-maintainer propagation — because per-merge locking from 91
+  // concurrent maintainers would serialize on the gate mutex.
+  using RangeDelta = std::vector<FlatHashMap<double>>;  // per maintainer
+
+  RangeDelta ComputeRangeDelta(const NodeRowRange& r,
+                               std::vector<std::pair<int, uint64_t>>* observed,
+                               const StagedChildKeys* staged = nullptr);
+  bool RangeDeltaValid(
+      const std::vector<std::pair<int, uint64_t>>& observed) const;
+  void ApplyRangeDelta(const NodeRowRange& r, RangeDelta delta,
+                       const size_t* visible, ViewWriteGate* gate);
 
   CovarMatrix Current() const;
 
   size_t num_aggregates() const { return maintainers_.size(); }
 
  private:
+  // v, parent(v), ..., root — the write set of an application at v.
+  std::vector<int> RootPath(int v) const;
+  void BumpVersions(const std::vector<int>& path);
+
+  const ShadowDb* db_;
   const FeatureMap* fm_;
   ExecContext ctx_;
   // Maintainer k tracks the aggregate for feature pair pairs_[k]; index n
   // denotes the constant feature (counts / sums).
   std::vector<std::pair<int, int>> pairs_;
   std::vector<ViewTreeMaintainer<ScalarIvmOps>> maintainers_;
+  // Per-node view version counters (see RangeDelta above). Over-bumping
+  // (e.g. when a propagation stops early on an empty delta) is safe: a
+  // version mismatch only ever forces a spurious serial recompute.
+  std::unique_ptr<std::atomic<uint64_t>[]> versions_;
 };
 
 // Classical first-order IVM for the covariance batch: the maintained state
@@ -257,6 +368,10 @@ class FirstOrderIvm {
   // No kMaintainReadsAncestorClosure: the delta join re-enumerates the
   // WHOLE database, so the stream scheduler must not commit any node's
   // rows while a batch applies — it falls back to the all-nodes read set.
+  // For the same reason there is no speculative-compute API (no
+  // RangeDelta): every epoch's write set intersects every other epoch's
+  // read set, so compute overlap is unsound here and the scheduler's
+  // compute stage forwards epochs untouched (the serial PR-5 schedule).
 
   // `visible` bounds every read (index build, delta-join enumeration) to
   // rows [0, visible[u]) of each node u; nullptr reads all committed rows.

@@ -85,8 +85,17 @@ std::vector<UpdateBatch> BuildMixedStream(const JoinQuery& query,
   std::vector<UpdateBatch> stream;
   stream.reserve(inserts.size());
   for (const UpdateBatch& batch : inserts) {
+    const int batch_node = batch.node;
     for (const auto& row : batch.rows) inserted[batch.node].push_back(&row);
     stream.push_back(batch);
+    // Empty batch: zero rows at the same node. The guarded draw keeps
+    // streams byte-identical to older builds at the default 0.
+    if (options.empty_batch_probability > 0 &&
+        rng.Uniform() < options.empty_batch_probability) {
+      UpdateBatch empty;
+      empty.node = batch_node;
+      stream.push_back(std::move(empty));
+    }
     if (rng.Uniform() >= options.delete_probability) continue;
     // Pick a relation weighted by its live (inserted, not yet deleted) row
     // count, then retract its oldest live rows. Oldest-first deletion keeps

@@ -56,6 +56,14 @@ struct MixedStreamOptions {
   // coalesce and apply correctly (the retraction can exceed
   // insert.batch_size rows and can cancel an epoch's net delta to zero).
   double full_retraction_probability = 0.0;
+  // After each insert batch (independently of the delete draw), an EMPTY
+  // batch — zero rows, insert sign — follows with this probability. Empty
+  // batches produce zero-range epochs once the scheduler coalesces them:
+  // the epoch has batches but no rows, so its compute stage has nothing to
+  // speculate and its application is a no-op that must still retire in
+  // order. Default 0 keeps streams byte-identical to older builds (the
+  // draw is skipped entirely, like full_retraction_probability).
+  double empty_batch_probability = 0.0;
 };
 
 // Insert stream interleaved with delete batches that retract previously

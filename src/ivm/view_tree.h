@@ -25,12 +25,21 @@
 //   struct Ops {
 //     using View = ...;     // keyed payload container, movable
 //     using Scratch = ...;  // per-scan scratch, one instance per partition
+//     // Version snapshot of a View (see ring/covar_arena.h's protocol);
+//     // may be an empty struct for layouts without one.
+//     using Snapshot = ...;
 //     View MakeView() const;
 //     Scratch MakeScratch() const;
 //     bool Empty(const View&) const;
 //     // Opaque payload handle of `key`, nullptr when absent. Handles stay
 //     // valid while their owning view is not written to.
 //     const double* Find(const View&, uint64_t key) const;
+//     // Handle of `key` as of `snap` (== Find whenever the view has not
+//     // been folded into since the snapshot was taken).
+//     const double* FindAt(const View&, uint64_t key, const Snapshot&) const;
+//     // One-acquire version snapshot / publication counter of the view.
+//     Snapshot TakeSnapshot(const View&) const;
+//     uint64_t ViewVersion(const View&) const;
 //     // (*out)[key] += sign * lift(node, row) * prod(children handles).
 //     void RowDelta(int node, const Relation&, size_t row, double sign,
 //                   const double* const* children, size_t num_children,
@@ -38,6 +47,12 @@
 //     // dst[key] += payload for every entry of src, in src's iteration
 //     // order (a pure function of src's key set).
 //     void Merge(View* dst, const View& src) const;
+//     // Merge + version publication: same ring addition, but payload
+//     // writes are ordered before a release-store of dst's version
+//     // watermark so concurrent snapshot readers never see a torn
+//     // payload. Used for MAINTAINED views (propagation); plain Merge
+//     // stays for scratch views (partial folds).
+//     void FoldPublished(View* dst, const View& src) const;
 //     // fn(uint64_t key, const double* handle) over all entries.
 //     template <typename Fn> void ForEach(const View&, Fn&& fn) const;
 //   };
@@ -62,6 +77,28 @@ struct NodeRowRange {
   int node = -1;
   size_t first = 0;
   size_t count = 0;
+};
+
+// Write-side hook for view propagation: when non-null, ApplyDelta locks a
+// node's view around the fold into it, so a concurrent speculative reader
+// (the stream scheduler's compute stage) is excluded from exactly the view
+// being written — never from the (read-only) upward scan between folds.
+// Implementations must allow nested/overlapping locks from one writer.
+class ViewWriteGate {
+ public:
+  virtual ~ViewWriteGate() = default;
+  virtual void LockView(int v) = 0;
+  virtual void UnlockView(int v) = 0;
+};
+
+// Precomputed child join keys for rows [first, first + count) of one
+// range: keys[ci][row - first] == tree.RowKeyToChild(node, children[ci],
+// row). The stream scheduler stages these off the maintenance thread while
+// a conflicting earlier epoch makes full speculation pointless; a
+// ComputeDelta consuming them skips the per-row key packing.
+struct StagedChildKeys {
+  size_t first = 0;
+  std::vector<std::vector<uint64_t>> keys;  // per child, per row
 };
 
 template <typename Ops>
@@ -93,8 +130,9 @@ class ViewTreeMaintainer {
   // the serial replay.
   void ApplyBatch(int v, size_t first, size_t count,
                   const ExecContext* ctx = nullptr,
-                  const size_t* visible = nullptr) {
-    ApplyDelta(v, ComputeDelta(v, first, count, ctx, visible), visible);
+                  const size_t* visible = nullptr,
+                  ViewWriteGate* gate = nullptr) {
+    ApplyDelta(v, ComputeDelta(v, first, count, ctx, visible), visible, gate);
   }
 
   // First half of ApplyBatch: the per-key payload delta at v for rows
@@ -103,14 +141,28 @@ class ViewTreeMaintainer {
   // tree depth may be computed concurrently — no node reads a view another
   // same-depth node writes. The scan touches only the range's own rows,
   // which must sit at or below the epoch's watermark.
+  //
+  // `child_snaps`, when non-null, is a per-NODE array of view snapshots:
+  // every child-view probe goes through Ops::FindAt bounded by the child's
+  // snapshot, so payloads published after the snapshots stay invisible (the
+  // SNAPSHOT HORIZON — the view-level analogue of the row watermark). The
+  // stream scheduler's speculative compute stage passes the snapshots it
+  // validates against; whenever validation succeeds the children never
+  // changed, so the bounded and unbounded scans are bit-identical.
+  // `staged`, when non-null, supplies precomputed child join keys for the
+  // full [first, first + count) range (identical to what the scan would
+  // pack itself).
   View ComputeDelta(int v, size_t first, size_t count,
                     const ExecContext* ctx = nullptr,
-                    const size_t* visible = nullptr) {
+                    const size_t* visible = nullptr,
+                    const typename Ops::Snapshot* child_snaps = nullptr,
+                    const StagedChildKeys* staged = nullptr) {
     RELBORG_DCHECK(visible == nullptr || first + count <= visible[v]);
     (void)visible;  // only asserted: the scan stays inside its own range
+    RELBORG_DCHECK(staged == nullptr || staged->first == first);
     View delta = ops_.MakeView();
     if (ctx == nullptr || ctx->NumPartitions(count) <= 1) {
-      ScanDelta(v, first, count, &delta);
+      ScanDelta(v, first, count, &delta, child_snaps, staged, first);
     } else {
       const size_t parts = ctx->NumPartitions(count);
       std::vector<View> partials;
@@ -119,7 +171,8 @@ class ViewTreeMaintainer {
       ctx->ParallelFor(parts, [&](size_t p) {
         const std::pair<size_t, size_t> b =
             ExecContext::PartitionBounds(count, parts, p);
-        ScanDelta(v, first + b.first, b.second - b.first, &partials[p]);
+        ScanDelta(v, first + b.first, b.second - b.first, &partials[p],
+                  child_snaps, staged, first);
       });
       for (size_t p = 0; p < parts; ++p) ops_.Merge(&delta, partials[p]);
     }
@@ -129,9 +182,22 @@ class ViewTreeMaintainer {
   // Second half: folds the delta into v's view and propagates it up the
   // root path. Serial; writes views on the path only. Ancestor reads (rows
   // matched through the ShadowDb indexes) honor the `visible` watermark.
-  void ApplyDelta(int v, View delta, const size_t* visible = nullptr) {
-    Propagate(v, std::move(delta), visible);
+  // Each fold into a maintained view is a PUBLISHED merge (payload writes
+  // before the release-store of the view's version watermark) and, with a
+  // gate, runs under that view's write lock — the scan producing the next
+  // ancestor delta holds no lock, so concurrent snapshot readers of other
+  // views overlap the expensive part of propagation.
+  void ApplyDelta(int v, View delta, const size_t* visible = nullptr,
+                  ViewWriteGate* gate = nullptr) {
+    Propagate(v, std::move(delta), visible, gate);
   }
+
+  // Version snapshot / publication counter of node v's view (acquire
+  // loads; safe concurrently with maintenance on another thread).
+  typename Ops::Snapshot SnapshotView(int v) const {
+    return ops_.TakeSnapshot(views_[v]);
+  }
+  uint64_t ViewVersion(int v) const { return ops_.ViewVersion(views_[v]); }
 
   // Handle of the root payload (the maintained aggregate batch); nullptr
   // while the join is still empty.
@@ -142,11 +208,17 @@ class ViewTreeMaintainer {
   // Read access for tests.
   const View& view(int v) const { return views_[v]; }
   const Ops& ops() const { return ops_; }
+  // Mutable view access for tests that drive the snapshot protocol by hand.
+  View& mutable_view(int v) { return views_[v]; }
 
  private:
   // Computes the delta at v for rows [first, first + count) into *delta,
-  // serially in row order.
-  void ScanDelta(int v, size_t first, size_t count, View* delta) {
+  // serially in row order. `range_first` is the first row of the FULL range
+  // (== `first` except for the inner partitions of a parallel scan) — the
+  // base that `staged` keys are indexed from.
+  void ScanDelta(int v, size_t first, size_t count, View* delta,
+                 const typename Ops::Snapshot* child_snaps,
+                 const StagedChildKeys* staged, size_t range_first) {
     const RootedTree& tree = db_->tree();
     const Relation& rel = db_->relation(v);
     const std::vector<int>& children = tree.node(v).children;
@@ -155,8 +227,13 @@ class ViewTreeMaintainer {
     for (size_t row = first; row < first + count; ++row) {
       bool dangling = false;
       for (size_t ci = 0; ci < children.size(); ++ci) {
-        spans[ci] = ops_.Find(views_[children[ci]],
-                              tree.RowKeyToChild(v, children[ci], row));
+        const uint64_t key =
+            staged != nullptr ? staged->keys[ci][row - range_first]
+                              : tree.RowKeyToChild(v, children[ci], row);
+        const View& child = views_[children[ci]];
+        spans[ci] = child_snaps != nullptr
+                        ? ops_.FindAt(child, key, child_snaps[children[ci]])
+                        : ops_.Find(child, key);
         if (spans[ci] == nullptr) {
           dangling = true;
           break;
@@ -169,12 +246,16 @@ class ViewTreeMaintainer {
     }
   }
 
-  void Propagate(int v, View delta, const size_t* visible) {
+  void Propagate(int v, View delta, const size_t* visible,
+                 ViewWriteGate* gate) {
     const RootedTree& tree = db_->tree();
     while (true) {
       if (ops_.Empty(delta)) return;
-      // Fold the delta into v's own view.
-      ops_.Merge(&views_[v], delta);
+      // Fold the delta into v's own view — a published merge, under v's
+      // write lock when gated. The upward scan below runs unlocked.
+      if (gate != nullptr) gate->LockView(v);
+      ops_.FoldPublished(&views_[v], delta);
+      if (gate != nullptr) gate->UnlockView(v);
       int parent = tree.node(v).parent;
       if (parent < 0) return;
       // Delta at the parent: only its rows matching the delta keys, and

@@ -26,6 +26,8 @@
 #ifndef RELBORG_RING_COVAR_ARENA_H_
 #define RELBORG_RING_COVAR_ARENA_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -374,14 +376,59 @@ class CovarArena {
   std::vector<double> data_;
 };
 
+// A version snapshot of a CovarArenaView: the pair (published slot count,
+// publication counter) read in one atomic acquire. Because slots are
+// allocated append-only and ids ascend by allocation time, `slots` is a
+// watermark: exactly the slots with id < slots existed when the snapshot
+// was taken. `version` counts published merges and backs the stream
+// scheduler's speculation validity check — equal versions imply an
+// unchanged view, hence bit-identical reads.
+struct CovarViewSnapshot {
+  uint32_t slots = 0;
+  uint32_t version = 0;
+};
+
 // A factorized view over arena storage: FlatHashMap from packed join key to
 // arena slot id (stored as id + 1 so the map's zero-initialized default
 // means "no slot yet"). Drop-in replacement for FlatHashMap<CovarPayload>
 // in the engines, with payload access via raw spans.
+//
+// SNAPSHOT PROTOCOL (the per-view analogue of ShadowDb's row watermarks).
+// A maintained view is written only through published merges: the writer
+// folds a delta via BeginMergeKey per key, then calls PublishMerge, which
+// release-stores the packed (version + 1, slot count) pair AFTER every
+// payload write of the merge. Snapshot() is one acquire load, so a reader
+// that observes a snapshot also observes every payload write of every
+// merge published at or before it — snapshot readers never see a torn
+// payload. Two read modes build on this:
+//
+//  * VERSION VALIDATION (lock-free, the production path): a speculative
+//    reader records Snapshot().version before reading and revalidates it
+//    at the serial point; equality proves the view never changed in
+//    between, so whatever was read is exactly what a serial reader would
+//    have read. Map probes and payload reads still require that no merge
+//    runs CONCURRENTLY with the reads themselves (a merge can rehash the
+//    map and reallocate the arena) — the stream scheduler's ViewGate
+//    provides that exclusion.
+//  * PINNED SNAPSHOT READS (copy-on-write): Pin() returns a snapshot and
+//    switches subsequent merges to copy-on-write for every slot at an id
+//    below the pin point — the old payload stays untouched, the new slot
+//    chains to it — so FindAt(key, snap) keeps reading the exact pre-merge
+//    bytes (stable slot ids included) until Unpin. COW only runs while
+//    pins are active, so the maintenance hot path never pays for it.
 class CovarArenaView {
  public:
   CovarArenaView() = default;
   explicit CovarArenaView(int n) : arena_(n) {}
+
+  // Movable, not copyable (the published watermark is an atomic). Moves
+  // may not race with readers of the moved-from view; relaxed transfer of
+  // the watermark is therefore enough.
+  CovarArenaView(CovarArenaView&& other) noexcept { MoveFrom(&other); }
+  CovarArenaView& operator=(CovarArenaView&& other) noexcept {
+    if (this != &other) MoveFrom(&other);
+    return *this;
+  }
 
   void Init(int n) { arena_.Init(n); }
   bool initialized() const { return arena_.initialized(); }
@@ -392,10 +439,15 @@ class CovarArenaView {
   const CovarArena& arena() const { return arena_; }
 
   // Span of `key`, allocating a zeroed slot on first access. The returned
-  // pointer is valid until the next GetOrAdd of a NEW key.
+  // pointer is valid until the next GetOrAdd of a NEW key. Delta-building
+  // path: writes through GetOrAdd are NOT published (snapshots never cover
+  // them); maintained views use BeginMergeKey + PublishMerge instead.
   double* GetOrAdd(uint64_t key) {
     uint32_t& slot = map_[key];
-    if (slot == 0) slot = arena_.Allocate() + 1;
+    if (slot == 0) {
+      slot = arena_.Allocate() + 1;
+      prev_.push_back(0);
+    }
     return arena_.Slot(slot - 1);
   }
 
@@ -404,6 +456,80 @@ class CovarArenaView {
     const uint32_t* slot = map_.Find(key);
     return slot == nullptr ? nullptr : arena_.Slot(*slot - 1);
   }
+
+  // --- Published merges (writer side of the snapshot protocol) -----------
+
+  // Writable span of `key` for one merge: in place normally; a fresh slot
+  // carrying a copy of the old payload (chained for FindAt) when a pin
+  // protects the existing slot. Call PublishMerge once after all of the
+  // merge's keys are folded.
+  double* BeginMergeKey(uint64_t key) {
+    uint32_t& slot = map_[key];
+    if (slot == 0) {
+      slot = arena_.Allocate() + 1;
+      prev_.push_back(0);
+      return arena_.Slot(slot - 1);
+    }
+    if (pins_ > 0 && slot - 1 < cow_floor_) {
+      const uint32_t fresh = arena_.Allocate();
+      prev_.push_back(slot);  // chain to the pinned payload
+      double* dst = arena_.Slot(fresh);
+      const double* src = arena_.Slot(slot - 1);  // after Allocate: may move
+      std::copy(src, src + arena_.stride(), dst);
+      slot = fresh + 1;
+      return dst;
+    }
+    return arena_.Slot(slot - 1);
+  }
+
+  // Publishes every payload write since the previous publish: one release
+  // store of the packed (version, slot count) watermark pair.
+  void PublishMerge() {
+    ++next_version_;
+    published_.store((static_cast<uint64_t>(next_version_) << 32) |
+                         static_cast<uint64_t>(arena_.num_slots()),
+                     std::memory_order_release);
+  }
+
+  // --- Snapshot readers --------------------------------------------------
+
+  // The current published watermark; one atomic acquire, safe to call
+  // concurrently with merges.
+  CovarViewSnapshot Snapshot() const {
+    const uint64_t p = published_.load(std::memory_order_acquire);
+    return {static_cast<uint32_t>(p), static_cast<uint32_t>(p >> 32)};
+  }
+
+  // Publication counter alone (speculation validity checks).
+  uint32_t version() const { return Snapshot().version; }
+
+  // Span of `key` as of `snap`: the newest chained slot the snapshot
+  // covers, nullptr if the key did not exist yet. Reads the exact
+  // pre-merge bytes for any merge published after the snapshot, provided a
+  // pin covering the snapshot was active across those merges.
+  const double* FindAt(uint64_t key, const CovarViewSnapshot& snap) const {
+    const uint32_t* s = map_.Find(key);
+    uint32_t id1 = s == nullptr ? 0 : *s;
+    while (id1 != 0 && id1 - 1 >= snap.slots) id1 = prev_[id1 - 1];
+    return id1 == 0 ? nullptr : arena_.Slot(id1 - 1);
+  }
+
+  // Protects every currently published slot from in-place modification
+  // (merges copy-on-write instead) and returns the snapshot the pin
+  // covers. Pins nest; each Pin must be matched by one Unpin. Pin/Unpin
+  // are writer-side calls: they must not race with merges.
+  CovarViewSnapshot Pin() {
+    ++pins_;
+    cow_floor_ = std::max(cow_floor_, static_cast<uint32_t>(arena_.num_slots()));
+    return Snapshot();
+  }
+
+  void Unpin() {
+    RELBORG_DCHECK(pins_ > 0);
+    if (--pins_ == 0) cow_floor_ = 0;
+  }
+
+  bool pinned() const { return pins_ > 0; }
 
   // fn(key, const double* span) over all entries; iteration order depends
   // only on the inserted key set, never on the thread count.
@@ -414,8 +540,28 @@ class CovarArenaView {
   }
 
  private:
+  void MoveFrom(CovarArenaView* other) {
+    map_ = std::move(other->map_);
+    arena_ = std::move(other->arena_);
+    prev_ = std::move(other->prev_);
+    published_.store(other->published_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    next_version_ = other->next_version_;
+    pins_ = other->pins_;
+    cow_floor_ = other->cow_floor_;
+  }
+
   FlatHashMap<uint32_t> map_;
   CovarArena arena_;
+  // Per slot: previous chained slot id + 1 (0 = chain end). A COW merge
+  // chains the fresh slot to the payload it superseded; ids descend
+  // strictly along a chain, so FindAt's walk terminates.
+  std::vector<uint32_t> prev_;
+  // Packed (version << 32 | published slot count); see Snapshot().
+  std::atomic<uint64_t> published_{0};
+  uint32_t next_version_ = 0;  // writer-side shadow of the version half
+  int pins_ = 0;
+  uint32_t cow_floor_ = 0;  // slots below this are COW-protected while pinned
 };
 
 }  // namespace relborg

@@ -1,16 +1,17 @@
 // Asynchronous, pipelined maintenance of IVM update streams with
-// epoch-coalesced deltas and watermark-overlapped commits.
+// epoch-coalesced deltas, watermark-overlapped commits and snapshot-
+// validated multi-epoch delta computation.
 //
 // The classic IVM driver loop interleaves three jobs on one thread:
 // ingestion (appending rows and maintaining the ShadowDb's join indexes),
 // delta computation, and view propagation. The StreamScheduler splits them
-// into a four-stage pipeline:
+// into a five-stage pipeline:
 //
 //   caller ──Push──▶ [ingress] ──▶ assembler ──▶ [sealed] ──▶ committer
 //            (bounded, blocks:       thread        (bounded)     thread
 //             backpressure)                                         │
-//        applier ◀── [committed] ◀────────────────────────────────┘
-//         thread       (bounded)
+//   applier ◀── [computed] ◀── compute ◀── [committed] ◀──────────┘
+//    thread       (bounded)     thread       (bounded)
 //
 //   * The INGRESS QUEUE is bounded by rows; Push blocks while it is full,
 //     so a fast producer is throttled to the maintenance rate instead of
@@ -44,7 +45,48 @@
 //         epoch's watermark (rows at ids >= the horizon are exactly the
 //         rows later epochs spliced early), so results never depend on how
 //         far commits ran ahead.
-//   * The APPLIER maintains committed epochs strictly in order. Within an
+//   * The COMPUTE stage starts epoch N+1's DELTA COMPUTATION while epoch N
+//     (or several earlier epochs) is still propagating — the speculative
+//     half of the applier's work, pulled off the serial path. For each
+//     range of a committed epoch it either:
+//       - SPECULATES: computes the range's delta against the CURRENT child
+//         views, bounded by per-view version snapshots taken at entry, and
+//         records the observed (node, version) pairs. The applier
+//         revalidates the versions at the range's serial point; equality
+//         means the child views never changed in between, so the
+//         precomputed delta is bit-identical to a fresh serial compute
+//         (deterministic partitioned folds) and propagation proceeds from
+//         it directly — a SPECULATION HIT. On a mismatch the applier
+//         recomputes serially (a MISS; correctness never depends on the
+//         speculation, only latency does).
+//       - STAGES PROBES: when the range's probe set (its node's children)
+//         intersects the write closure of an epoch still in flight — an
+//         earlier epoch handed downstream but not yet maintained, or an
+//         earlier range of the same epoch — a speculated delta would be
+//         invalidated with certainty, so the stage packs the range's
+//         child-view hash keys instead (the other half of the scan's
+//         per-row work) and the serial recompute consumes them.
+//     Safety mirrors the committer's two-mechanism design:
+//       - MEMORY: the compute thread holds the per-node CommitGate (as a
+//         second maintain-side holder) while reading the range's relation
+//         rows, and a per-view ViewGate read lock on the range's children
+//         while probing their views; the applier write-locks exactly the
+//         view being folded into (never the read-only upward scan between
+//         folds). Acquisition is CommitGate before ViewGate everywhere,
+//         readers acquire all-or-nothing and never wait while holding, and
+//         each side is a single thread — deadlock-free.
+//       - VISIBILITY: every speculative probe is bounded by the child's
+//         snapshot, and the applier accepts a speculated delta only when
+//         the child versions are unchanged — version equality implies
+//         state identity, which implies bit-identity.
+//     StreamOptions.overlap_compute = false (or overlap_commits = false,
+//     whose serialized schedule commits rows too late for the compute
+//     stage to read them) turns the stage into a pure forwarder — the PR-5
+//     schedule. Strategies without the speculative API (FirstOrderIvm's
+//     delta join reads the whole database, so every epoch's write set
+//     intersects every probe set) are forwarded untouched as well and keep
+//     the serial schedule; stats report speculated_ranges == 0 for them.
+//   * The APPLIER maintains computed epochs strictly in order. Within an
 //     epoch, ranges run in canonical order — deepest view group first
 //     (IndependentViewGroups), ascending node id within a group. Because
 //     same-group nodes are never ancestor/descendant, strategies exposing
@@ -52,6 +94,9 @@
 //     the ExecContext and only serialize the propagations; strategies
 //     without it (HigherOrderIvm, FirstOrderIvm) get per-range maintenance
 //     under per-range watermarks, each free to parallelize internally.
+//     Speculated group ranges are validated (and misses recomputed) for
+//     the WHOLE group before any of the group propagates, matching
+//     ApplyGroup's compute-all-then-apply-all shape exactly.
 //
 // DETERMINISM: epoch composition, application order and per-range
 // watermarks are pure functions of (stream, options); every delta is
@@ -59,10 +104,11 @@
 // core/exec_policy.h; and every maintenance read is bounded by its epoch's
 // watermark, so the scheduler's result is BIT-IDENTICAL to ReplayStream
 // (the same epochs committed and maintained serially on the caller's
-// thread) for any ExecPolicy thread count and any commit run-ahead — the
-// queues, threads and the committer's lead change when work happens, never
-// what is read or summed in which order. With epoch_batches == 1 every
-// batch is its own epoch and both are in turn bit-identical to the classic
+// thread) for any ExecPolicy thread count, any commit run-ahead and any
+// compute run-ahead — the queues, threads, the committer's lead and the
+// speculation hit rate change when work happens, never what is read or
+// summed in which order. With epoch_batches == 1 every batch is its own
+// epoch and both are in turn bit-identical to the classic
 // append-then-ApplyBatch loop over the original stream. Epoch coalescing
 // folds same-key rows of an epoch into one delta payload before
 // propagation; ring addition makes that exact (deletions cancel inserts
@@ -90,11 +136,13 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "core/exec_policy.h"
 #include "ivm/shadow_db.h"
 #include "ivm/update_stream.h"
 #include "ivm/view_tree.h"
@@ -121,6 +169,21 @@ struct StreamOptions {
   // serialized schedule. Results are bit-identical either way; the toggle
   // exists for differential stress tests and overlap A/B measurements.
   bool overlap_commits = true;
+  // When false, the compute thread forwards epochs untouched and every
+  // delta is computed at its serial point on the applier thread — the PR-5
+  // schedule. Speculation also requires overlap_commits (its rows must be
+  // committed before the compute stage can read them) and a strategy with
+  // the speculative per-range API. Results are bit-identical either way.
+  bool overlap_compute = true;
+  // The computed queue's capacity: the compute stage runs at most this
+  // many epochs ahead of maintenance.
+  size_t max_compute_ahead_epochs = 4;
+  // TEST KNOB: speculate even for ranges whose probe set intersects an
+  // in-flight epoch's write closure (normally those stage probes instead,
+  // since validation would miss with certainty). Forces the
+  // validation-miss / serial-recompute / write-gate contention paths that
+  // conflict avoidance makes rare. Results are bit-identical either way.
+  bool speculate_past_conflicts = false;
 };
 
 struct StreamStats {
@@ -129,13 +192,26 @@ struct StreamStats {
   size_t rows = 0;     // rows across those batches
   size_t epochs = 0;   // sealed epochs applied
   size_t ranges = 0;   // coalesced per-node ranges applied
+  // Speculative compute counters. speculated/probe-staged are decided on
+  // the compute thread; hits/misses are decided on the applier thread at
+  // each range's serial point (hits + misses == speculated_ranges after
+  // Finish). All are timing-dependent — only their SUMS per range are
+  // structural: every range is exactly one of speculated, probe-staged or
+  // plain.
+  size_t speculated_ranges = 0;   // ranges with a precomputed delta
+  size_t speculation_hits = 0;    // ...accepted at the serial point
+  size_t speculation_misses = 0;  // ...invalidated and recomputed
+  size_t probe_staged_ranges = 0;  // conflicted ranges with staged keys
   // Timing (observability only; never affects results).
   double apply_seconds = 0;   // wall time maintaining epochs (gate wait in)
   double commit_seconds = 0;  // wall time splicing chunks, gate waits out
                               // (booked here in either overlap mode)
+  double compute_seconds = 0;  // wall time speculating, gate waits out
   double commit_gate_wait_seconds = 0;    // committer blocked on readers
   double maintain_gate_wait_seconds = 0;  // applier blocked on commits
+  double compute_gate_wait_seconds = 0;   // compute blocked on gates
   size_t commit_ahead_max_epochs = 0;  // committer's max lead over applier
+  size_t compute_overlap_epochs_max = 0;  // compute's max lead over applier
   double epoch_latency_mean_seconds = 0;  // epoch sealed -> applied
   double epoch_latency_max_seconds = 0;
   size_t ingress_high_water_rows = 0;
@@ -227,6 +303,62 @@ struct ReadsAncestorClosure<
     Strategy, std::void_t<decltype(Strategy::kMaintainReadsAncestorClosure)>>
     : std::bool_constant<Strategy::kMaintainReadsAncestorClosure> {};
 
+// Detects the speculative per-range compute API (`Strategy::RangeDelta`
+// plus ComputeRangeDelta / RangeDeltaValid / ApplyRangeDelta): the hook
+// that lets the compute stage evaluate a range's delta ahead of its serial
+// point. Strategies without it (FirstOrderIvm) keep the serial schedule.
+template <typename Strategy, typename = void>
+struct HasSpeculativeCompute : std::false_type {};
+template <typename Strategy>
+struct HasSpeculativeCompute<Strategy,
+                             std::void_t<typename Strategy::RangeDelta>>
+    : std::true_type {};
+
+// A committed epoch plus the compute stage's per-range output. The
+// non-speculative specialization is a plain wrapper, so one channel type
+// serves every strategy.
+template <typename Strategy,
+          bool kSpec = HasSpeculativeCompute<Strategy>::value>
+struct ComputedEpoch {
+  StreamEpoch epoch;
+};
+
+template <typename Strategy>
+struct ComputedEpoch<Strategy, true> {
+  struct Range {
+    // Exactly one of `speculated` / `probes_staged` is set for a range the
+    // compute stage touched; both false means the range passed through
+    // (overlap off) and the applier computes it serially from scratch.
+    bool speculated = false;
+    typename Strategy::RangeDelta delta{};
+    // (node, version) of every child view the delta was computed against.
+    std::vector<std::pair<int, uint64_t>> observed;
+    bool probes_staged = false;
+    StagedChildKeys probes;
+  };
+  StreamEpoch epoch;
+  std::vector<Range> ranges;  // parallel to epoch.ranges (empty if untouched)
+};
+
+// Packs the child-view hash keys of rows [first, first + count) at `node`
+// — bit-identical to what ViewTreeMaintainer's delta scan would compute
+// row by row. The rows must already be committed.
+inline StagedChildKeys StageChildKeys(const ShadowDb& db, int node,
+                                      size_t first, size_t count) {
+  const RootedTree& tree = db.tree();
+  const std::vector<int>& children = tree.node(node).children;
+  StagedChildKeys out;
+  out.first = first;
+  out.keys.resize(children.size());
+  for (size_t ci = 0; ci < children.size(); ++ci) {
+    out.keys[ci].reserve(count);
+    for (size_t row = first; row < first + count; ++row) {
+      out.keys[ci].push_back(tree.RowKeyToChild(node, children[ci], row));
+    }
+  }
+  return out;
+}
+
 // Minimal bounded MPSC channel: Push blocks while `capacity` worth of
 // weight is queued (backpressure), Pop blocks until an item arrives or the
 // channel closes empty.
@@ -287,24 +419,28 @@ class BoundedChannel {
 };
 
 // Node-granular exclusion between the committer (splicing one chunk at a
-// time) and the applier (maintaining one epoch's read set at a time). The
-// flag flips run under one mutex, so every splice of a node
-// happens-before any maintenance read of it and vice versa — the only
-// cross-thread synchronization the overlapped ShadowDb needs. Deadlock-
-// free by construction: neither side ever waits while holding a flag the
-// other side's predicate tests (BeginMaintain waits BEFORE setting its
-// active flags; the committer holds busy only across one finite splice).
+// time) and the maintain side — the applier (maintaining one epoch's read
+// set at a time) AND the compute thread (reading one range's relation rows
+// at a time), which may hold overlapping node sets concurrently, so the
+// maintain side is COUNTED per node rather than flagged. The flips run
+// under one mutex, so every splice of a node happens-before any
+// maintenance read of it and vice versa — the only cross-thread
+// synchronization the overlapped ShadowDb needs. Deadlock-free by
+// construction: neither side ever waits while holding a count the other
+// side's predicate tests (the maintain side waits BEFORE raising its
+// counts and never blocks other maintain-side holders; the committer holds
+// busy only across one finite splice).
 class CommitGate {
  public:
   explicit CommitGate(size_t num_nodes)
       : busy_(num_nodes, 0), active_(num_nodes, 0) {}
 
-  // Committer side: blocks while the applier is maintaining an epoch that
-  // reads `node`. Returns seconds spent blocked.
+  // Committer side: blocks while any maintain-side holder is reading
+  // `node`. Returns seconds spent blocked.
   double BeginCommit(int node) {
     WallTimer timer;
     std::unique_lock<std::mutex> lock(mu_);
-    can_commit_.wait(lock, [&] { return !active_[node]; });
+    can_commit_.wait(lock, [&] { return active_[node] == 0; });
     busy_[node] = 1;
     return timer.Seconds();
   }
@@ -330,7 +466,7 @@ class CommitGate {
       return true;
     });
     for (size_t v = 0; v < reads.size(); ++v) {
-      if (reads[v]) active_[v] = 1;
+      if (reads[v]) ++active_[v];
     }
     return timer.Seconds();
   }
@@ -339,8 +475,27 @@ class CommitGate {
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t v = 0; v < reads.size(); ++v) {
-        if (reads[v]) active_[v] = 0;
+        if (reads[v]) --active_[v];
       }
+    }
+    can_commit_.notify_all();
+  }
+
+  // Compute side: same contract for a single node (the compute stage only
+  // ever reads the range's own relation rows; child VIEWS are strategy
+  // state guarded by the ViewGate, not ShadowDb state).
+  double BeginMaintainNode(int node) {
+    WallTimer timer;
+    std::unique_lock<std::mutex> lock(mu_);
+    can_maintain_.wait(lock, [&] { return !busy_[node]; });
+    ++active_[node];
+    return timer.Seconds();
+  }
+
+  void EndMaintainNode(int node) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_[node];
     }
     can_commit_.notify_all();
   }
@@ -349,8 +504,71 @@ class CommitGate {
   std::mutex mu_;
   std::condition_variable can_commit_;
   std::condition_variable can_maintain_;
-  std::vector<uint8_t> busy_;   // committer splicing this node
-  std::vector<uint8_t> active_;  // applier reading this node
+  std::vector<uint8_t> busy_;     // committer splicing this node
+  std::vector<uint32_t> active_;  // maintain-side holders reading this node
+};
+
+// Per-view reader/writer exclusion between the compute thread (probing
+// child views speculatively) and the applier (folding deltas into views
+// during propagation). The reader acquires its whole probe set atomically
+// and never waits while holding; the writer marks intent first (blocking
+// new readers) and waits for that one view's readers to drain — with one
+// reader party and one writer party, no cycle can form. Writer counts
+// allow the coarse path-locking pattern (HigherOrderIvm locks a whole root
+// path around its parallel per-maintainer propagation).
+class ViewGate : public ViewWriteGate {
+ public:
+  explicit ViewGate(size_t num_nodes)
+      : readers_(num_nodes, 0), writers_(num_nodes, 0) {}
+
+  // Reader side: blocks until NO view of `mask` is write-locked, then
+  // read-locks all of them at once. Returns seconds spent blocked.
+  double BeginRead(const std::vector<uint8_t>& mask) {
+    WallTimer timer;
+    std::unique_lock<std::mutex> lock(mu_);
+    can_read_.wait(lock, [&] {
+      for (size_t v = 0; v < mask.size(); ++v) {
+        if (mask[v] && writers_[v] > 0) return false;
+      }
+      return true;
+    });
+    for (size_t v = 0; v < mask.size(); ++v) {
+      if (mask[v]) ++readers_[v];
+    }
+    return timer.Seconds();
+  }
+
+  void EndRead(const std::vector<uint8_t>& mask) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t v = 0; v < mask.size(); ++v) {
+        if (mask[v]) --readers_[v];
+      }
+    }
+    can_write_.notify_all();
+  }
+
+  // Writer side (the applier, through the ViewWriteGate interface).
+  void LockView(int v) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++writers_[v];  // intent first: new readers of v wait from here on
+    can_write_.wait(lock, [&] { return readers_[v] == 0; });
+  }
+
+  void UnlockView(int v) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --writers_[v];
+    }
+    can_read_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable can_read_;
+  std::condition_variable can_write_;
+  std::vector<uint32_t> readers_;
+  std::vector<uint32_t> writers_;
 };
 
 // Commits every range of an epoch in canonical order: the chunk payloads
@@ -413,6 +631,118 @@ void MaintainEpoch(Strategy* strategy, StreamEpoch* epoch) {
   }
 }
 
+// The compute stage's work on one committed epoch: per range, either
+// speculate a delta (recording observed child versions) or stage child-key
+// probes when the range's probe set intersects `pending_writes` (the union
+// of the write closures of epochs handed downstream but not yet
+// maintained) or an earlier range's closure of this same epoch. Gates are
+// nullable — the threaded scheduler passes both, the single-threaded
+// stepper neither. Decision and output are deterministic given
+// (epoch, pending_writes, speculate_past_conflicts); only the HIT RATE at
+// the serial point is timing-dependent.
+template <typename Strategy>
+void SpeculateEpoch(Strategy* strategy, const ShadowDb& db,
+                    ComputedEpoch<Strategy, true>* ce,
+                    const std::vector<uint8_t>* pending_writes,
+                    bool speculate_past_conflicts, CommitGate* commit_gate,
+                    ViewGate* view_gate, StreamStats* stats) {
+  const RootedTree& tree = db.tree();
+  const size_t num_nodes = static_cast<size_t>(tree.num_nodes());
+  std::vector<StreamRange>& ranges = ce->epoch.ranges;
+  ce->ranges.clear();
+  ce->ranges.resize(ranges.size());
+  // Nodes some not-yet-applied fold will write before this epoch's own
+  // serial point: the in-flight epochs' write closures plus, incrementally
+  // below, the closures of this epoch's earlier ranges. (A write closure
+  // IS the epoch's `reads` mask — propagation writes each range node and
+  // its ancestors, exactly the maintenance read set.)
+  std::vector<uint8_t> conflict(num_nodes, 0);
+  if (pending_writes != nullptr) conflict = *pending_writes;
+  std::vector<uint8_t> probe_set(num_nodes, 0);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    typename ComputedEpoch<Strategy, true>::Range& cr = ce->ranges[i];
+    const IngestChunk& chunk = ranges[i].chunk;
+    const NodeRowRange r{chunk.node, chunk.first, chunk.num_rows()};
+    std::fill(probe_set.begin(), probe_set.end(), 0);
+    MarkChildren(tree, r.node, &probe_set);
+    double waited = 0;
+    if (MasksIntersect(probe_set, conflict) && !speculate_past_conflicts) {
+      // Validation would miss with certainty — don't burn the compute on a
+      // delta that gets thrown away; pack the scan's hash keys instead.
+      if (commit_gate != nullptr) waited = commit_gate->BeginMaintainNode(r.node);
+      cr.probes = StageChildKeys(db, r.node, r.first, r.count);
+      if (commit_gate != nullptr) commit_gate->EndMaintainNode(r.node);
+      cr.probes_staged = true;
+      if (stats != nullptr) stats->probe_staged_ranges++;
+    } else {
+      if (commit_gate != nullptr) waited = commit_gate->BeginMaintainNode(r.node);
+      if (view_gate != nullptr) waited += view_gate->BeginRead(probe_set);
+      cr.delta = strategy->ComputeRangeDelta(r, &cr.observed, nullptr);
+      if (view_gate != nullptr) view_gate->EndRead(probe_set);
+      if (commit_gate != nullptr) commit_gate->EndMaintainNode(r.node);
+      cr.speculated = true;
+      if (stats != nullptr) stats->speculated_ranges++;
+    }
+    if (stats != nullptr) stats->compute_gate_wait_seconds += waited;
+    MarkAncestorClosure(tree, r.node, &conflict);
+  }
+}
+
+// MaintainEpoch's speculative sibling: per range, accept the precomputed
+// delta when its observed child versions still hold at the serial point
+// (version equality implies the child views are unchanged, so the delta is
+// bit-identical to a fresh compute), else recompute serially — consuming
+// staged probes when the compute stage packed them. Group strategies
+// validate/recompute ALL of a group's ranges against the pre-group state
+// before any of the group propagates, matching ApplyGroup's
+// compute-all-then-apply-all shape; per-range strategies validate
+// immediately before each range's propagation. Horizons are identical to
+// MaintainEpoch's (the group's LAST range / the range itself).
+template <typename Strategy>
+void MaintainEpochSpeculative(Strategy* strategy,
+                              ComputedEpoch<Strategy, true>* ce,
+                              ViewWriteGate* gate, StreamStats* stats) {
+  std::vector<StreamRange>& ranges = ce->epoch.ranges;
+  RELBORG_DCHECK(ce->ranges.size() == ranges.size());
+  auto range_of = [&](size_t k) {
+    const IngestChunk& chunk = ranges[k].chunk;
+    return NodeRowRange{chunk.node, chunk.first, chunk.num_rows()};
+  };
+  // Validates cr against the current views; recomputes on a miss (or when
+  // the range was never speculated). After this call cr.delta is exactly
+  // what a serial compute at this point produces.
+  auto settle = [&](typename ComputedEpoch<Strategy, true>::Range* cr,
+                    size_t k) {
+    if (cr->speculated && strategy->RangeDeltaValid(cr->observed)) {
+      if (stats != nullptr) stats->speculation_hits++;
+      return;
+    }
+    if (cr->speculated && stats != nullptr) stats->speculation_misses++;
+    cr->observed.clear();
+    cr->delta = strategy->ComputeRangeDelta(
+        range_of(k), &cr->observed,
+        cr->probes_staged ? &cr->probes : nullptr);
+  };
+  size_t i = 0;
+  while (i < ranges.size()) {
+    size_t j = i + 1;
+    if constexpr (HasApplyGroup<Strategy>::value) {
+      while (j < ranges.size() && ranges[j].group == ranges[i].group) ++j;
+      const size_t* horizon = ranges[j - 1].visible.data();
+      for (size_t k = i; k < j; ++k) settle(&ce->ranges[k], k);
+      for (size_t k = i; k < j; ++k) {
+        strategy->ApplyRangeDelta(range_of(k), std::move(ce->ranges[k].delta),
+                                  horizon, gate);
+      }
+    } else {
+      settle(&ce->ranges[i], i);
+      strategy->ApplyRangeDelta(range_of(i), std::move(ce->ranges[i].delta),
+                                ranges[i].visible.data(), gate);
+    }
+    i = j;
+  }
+}
+
 }  // namespace stream_internal
 
 // The pipeline. Construct over a ShadowDb + strategy, Push batches (blocks
@@ -430,10 +760,13 @@ class StreamScheduler {
         ingress_(options.max_queued_rows),
         sealed_(options.max_queued_epochs),
         committed_(options.max_queued_epochs),
+        computed_(options.max_compute_ahead_epochs),
         gate_(shadow->tree().num_nodes()),
+        view_gate_(shadow->tree().num_nodes()),
         all_reads_(shadow->tree().num_nodes(), 1) {
     assemble_thread_ = std::thread([this] { AssembleLoop(); });
     commit_thread_ = std::thread([this] { CommitLoop(); });
+    compute_thread_ = std::thread([this] { ComputeLoop(); });
     apply_thread_ = std::thread([this] { ApplyLoop(); });
   }
 
@@ -462,10 +795,12 @@ class StreamScheduler {
     ingress_.Close();
     assemble_thread_.join();
     commit_thread_.join();
+    compute_thread_.join();
     apply_thread_.join();
     stats_.ingress_high_water_rows = ingress_.high_water();
     stats_.epoch_queue_high_water =
-        std::max(sealed_.high_water(), committed_.high_water());
+        std::max({sealed_.high_water(), committed_.high_water(),
+                  computed_.high_water()});
     if (stats_.epochs > 0) {
       stats_.epoch_latency_mean_seconds = latency_sum_ / stats_.epochs;
     }
@@ -511,9 +846,80 @@ class StreamScheduler {
     committed_.Close();
   }
 
-  void ApplyLoop() {
+  using ComputedEpoch = stream_internal::ComputedEpoch<Strategy>;
+
+  // True when this run speculates: the strategy has the per-range API, the
+  // compute overlap is on, and commits run ahead (with overlap_commits off
+  // an epoch's rows are not committed yet when the compute stage sees it).
+  static constexpr bool kSpec =
+      stream_internal::HasSpeculativeCompute<Strategy>::value;
+  bool SpeculationOn() const {
+    return kSpec && options_.overlap_commits && options_.overlap_compute;
+  }
+
+  void ComputeLoop() {
+    // Epochs handed downstream but not yet maintained — their write
+    // closures are the conflict set for new speculations. Pruned by the
+    // applier's published epoch count: the acquire load pairs with the
+    // release store in ApplyLoop, so once an epoch counts as maintained,
+    // its folds (and version bumps) are visible here too.
+    std::deque<std::pair<uint64_t, std::vector<uint8_t>>> pending;
+    std::vector<uint8_t> pending_mask;
     StreamEpoch epoch;
     while (committed_.Pop(&epoch)) {
+      ComputedEpoch ce;
+      ce.epoch = std::move(epoch);
+      if constexpr (kSpec) {
+        if (SpeculationOn()) {
+          WallTimer timer;
+          const uint64_t maintained =
+              maintained_epochs_.load(std::memory_order_acquire);
+          while (!pending.empty() && pending.front().first < maintained) {
+            pending.pop_front();
+          }
+          stats_.compute_overlap_epochs_max = std::max<size_t>(
+              stats_.compute_overlap_epochs_max,
+              static_cast<size_t>(ce.epoch.id + 1 - maintained));
+          pending_mask.assign(all_reads_.size(), 0);
+          for (const auto& [id, reads] : pending) {
+            for (size_t v = 0; v < reads.size(); ++v) {
+              pending_mask[v] |= reads[v];
+            }
+          }
+          const double waited_before = stats_.compute_gate_wait_seconds;
+          stream_internal::SpeculateEpoch(
+              strategy_, *shadow_, &ce, &pending_mask,
+              options_.speculate_past_conflicts, &gate_, &view_gate_,
+              &stats_);
+          pending.emplace_back(ce.epoch.id, ce.epoch.reads);
+          stats_.compute_seconds +=
+              timer.Seconds() -
+              (stats_.compute_gate_wait_seconds - waited_before);
+        }
+      }
+      computed_.Push(std::move(ce));
+    }
+    computed_.Close();
+  }
+
+  // Maintains one computed epoch: through the speculative path (validate /
+  // recompute / propagate under the view gate) when this run speculates,
+  // else the plain serial path.
+  void Maintain(ComputedEpoch* ce) {
+    if constexpr (kSpec) {
+      if (SpeculationOn()) {
+        stream_internal::MaintainEpochSpeculative(strategy_, ce, &view_gate_,
+                                                  &stats_);
+        return;
+      }
+    }
+    stream_internal::MaintainEpoch(strategy_, &ce->epoch);
+  }
+
+  void ApplyLoop() {
+    ComputedEpoch ce;
+    while (computed_.Pop(&ce)) {
+      StreamEpoch& epoch = ce.epoch;
       stats_.epochs++;
       stats_.ranges += epoch.ranges.size();
       if (!options_.overlap_commits) {
@@ -531,12 +937,14 @@ class StreamScheduler {
                 ? epoch.reads
                 : all_reads_;
         stats_.maintain_gate_wait_seconds += gate_.BeginMaintain(reads);
-        stream_internal::MaintainEpoch(strategy_, &epoch);
+        Maintain(&ce);
         gate_.EndMaintain(reads);
       } else {
-        stream_internal::MaintainEpoch(strategy_, &epoch);
+        Maintain(&ce);
       }
-      maintained_epochs_.store(epoch.id + 1, std::memory_order_relaxed);
+      // Release pairs with ComputeLoop's acquire: an epoch observed as
+      // maintained has all its folds and version bumps visible.
+      maintained_epochs_.store(epoch.id + 1, std::memory_order_release);
       stats_.apply_seconds += timer.Seconds();
       const double latency =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -555,19 +963,25 @@ class StreamScheduler {
   stream_internal::BoundedChannel<UpdateBatch> ingress_;
   stream_internal::BoundedChannel<StreamEpoch> sealed_;
   stream_internal::BoundedChannel<StreamEpoch> committed_;
+  stream_internal::BoundedChannel<ComputedEpoch> computed_;
   stream_internal::CommitGate gate_;
+  stream_internal::ViewGate view_gate_;
   const std::vector<uint8_t> all_reads_;  // whole-db read set (all ones)
   std::atomic<uint64_t> maintained_epochs_{0};
   // Stats fields are partitioned by writer: batches/rows belong to the
-  // assemble thread, commit_* to whichever thread commits (the commit
+  // assemble thread; commit_* to whichever thread commits (the commit
   // thread with overlap on, the apply thread with it off — never both in
-  // one run), the rest to the apply thread; Finish reads them after
-  // joining all three, so no field is ever accessed from two live
+  // one run); compute_seconds, compute_gate_wait_seconds,
+  // compute_overlap_epochs_max, speculated_ranges and probe_staged_ranges
+  // to the compute thread; the rest (including speculation_hits/misses,
+  // decided at the serial point) to the apply thread. Finish reads them
+  // after joining all four, so no field is ever accessed from two live
   // threads.
   StreamStats stats_;
   double latency_sum_ = 0;
   std::thread assemble_thread_;
   std::thread commit_thread_;
+  std::thread compute_thread_;
   std::thread apply_thread_;
   bool finished_ = false;
 };
@@ -612,6 +1026,198 @@ StreamStats ReplayStream(ShadowDb* shadow, Strategy* strategy,
   if (assembler.Flush(&epoch)) apply();
   return stats;
 }
+
+// One stage advancement of the step-driven pipeline below.
+enum class PipelineStep { kAssemble, kCommit, kCompute, kApply };
+
+// Single-threaded, step-driven twin of StreamScheduler: the same stages,
+// queues, caps and maintenance code paths, advanced one explicit stage
+// step at a time with no threads and no gates. A successful step appends
+// one letter to the trace (A = feed batches until an epoch seals, C =
+// commit one epoch, X = compute/speculate one epoch, M = maintain one
+// epoch); a step that cannot make progress (empty input or full output
+// queue) returns false and changes nothing. Step is a deterministic
+// function of the current state, so replaying a recorded trace against a
+// fresh pipeline with the same (stream, options) reproduces the schedule
+// EXACTLY — the stress suite drives random traces, dumps the trace on
+// failure, and any interleaving the threaded scheduler can produce
+// (modulo gate timing, which never affects what is computed) corresponds
+// to some trace here. Results are bit-identical to ReplayStream for every
+// valid trace.
+template <typename Strategy>
+class SteppedStreamPipeline {
+  using Computed = stream_internal::ComputedEpoch<Strategy>;
+  static constexpr bool kSpec =
+      stream_internal::HasSpeculativeCompute<Strategy>::value;
+
+ public:
+  SteppedStreamPipeline(ShadowDb* shadow, Strategy* strategy,
+                        std::vector<UpdateBatch> stream,
+                        const StreamOptions& options = {})
+      : shadow_(shadow),
+        strategy_(strategy),
+        options_(options),
+        assembler_(shadow, options),
+        stream_(std::move(stream)) {}
+
+  // Attempts one step; true iff the stage made progress.
+  bool Step(PipelineStep step) {
+    bool progressed = false;
+    switch (step) {
+      case PipelineStep::kAssemble:
+        progressed = StepAssemble();
+        break;
+      case PipelineStep::kCommit:
+        progressed = StepCommit();
+        break;
+      case PipelineStep::kCompute:
+        progressed = StepCompute();
+        break;
+      case PipelineStep::kApply:
+        progressed = StepApply();
+        break;
+    }
+    if (progressed) trace_.push_back(StepLetter(step));
+    return progressed;
+  }
+
+  // Round-robins the stages until everything is drained. Always
+  // terminates: whenever the pipeline is not drained, at least one stage
+  // can progress (a full queue always has a non-full consumer downstream).
+  void Drain() {
+    static constexpr PipelineStep kAll[] = {
+        PipelineStep::kAssemble, PipelineStep::kCommit, PipelineStep::kCompute,
+        PipelineStep::kApply};
+    bool any = true;
+    while (any) {
+      any = false;
+      for (PipelineStep s : kAll) any = Step(s) || any;
+    }
+    RELBORG_CHECK(drained());
+  }
+
+  bool drained() const {
+    return next_batch_ >= stream_.size() && flushed_ && sealed_.empty() &&
+           committed_.empty() && computed_.empty();
+  }
+
+  static char StepLetter(PipelineStep step) {
+    switch (step) {
+      case PipelineStep::kAssemble:
+        return 'A';
+      case PipelineStep::kCommit:
+        return 'C';
+      case PipelineStep::kCompute:
+        return 'X';
+      case PipelineStep::kApply:
+        return 'M';
+    }
+    return '?';
+  }
+
+  // The successful steps taken so far, in order.
+  const std::string& trace() const { return trace_; }
+  const StreamStats& stats() const { return stats_; }
+
+ private:
+  bool StepAssemble() {
+    if (sealed_.size() >= options_.max_queued_epochs) return false;
+    if (next_batch_ >= stream_.size() && flushed_) return false;
+    StreamEpoch epoch;
+    while (next_batch_ < stream_.size()) {
+      UpdateBatch batch = stream_[next_batch_++];
+      stats_.batches++;
+      stats_.rows += batch.rows.size();
+      if (assembler_.Add(std::move(batch), &epoch)) {
+        sealed_.push_back(std::move(epoch));
+        return true;
+      }
+    }
+    flushed_ = true;
+    if (assembler_.Flush(&epoch)) sealed_.push_back(std::move(epoch));
+    return true;  // consumed the tail (and possibly sealed the flush epoch)
+  }
+
+  bool StepCommit() {
+    if (sealed_.empty() || committed_.size() >= options_.max_queued_epochs) {
+      return false;
+    }
+    StreamEpoch epoch = std::move(sealed_.front());
+    sealed_.pop_front();
+    if (options_.overlap_commits) {
+      stream_internal::CommitEpoch(shadow_, &epoch);
+    }
+    committed_.push_back(std::move(epoch));
+    return true;
+  }
+
+  bool StepCompute() {
+    if (committed_.empty() ||
+        computed_.size() >= options_.max_compute_ahead_epochs) {
+      return false;
+    }
+    Computed ce;
+    ce.epoch = std::move(committed_.front());
+    committed_.pop_front();
+    if constexpr (kSpec) {
+      if (options_.overlap_commits && options_.overlap_compute) {
+        // In-flight here is precisely the computed queue: epochs past the
+        // compute stage, not yet maintained.
+        std::vector<uint8_t> pending(ce.epoch.reads.size(), 0);
+        for (const Computed& p : computed_) {
+          for (size_t v = 0; v < p.epoch.reads.size(); ++v) {
+            pending[v] |= p.epoch.reads[v];
+          }
+        }
+        stats_.compute_overlap_epochs_max = std::max<size_t>(
+            stats_.compute_overlap_epochs_max,
+            static_cast<size_t>(ce.epoch.id + 1 - applied_epochs_));
+        stream_internal::SpeculateEpoch(strategy_, *shadow_, &ce, &pending,
+                                        options_.speculate_past_conflicts,
+                                        /*commit_gate=*/nullptr,
+                                        /*view_gate=*/nullptr, &stats_);
+      }
+    }
+    computed_.push_back(std::move(ce));
+    return true;
+  }
+
+  bool StepApply() {
+    if (computed_.empty()) return false;
+    Computed ce = std::move(computed_.front());
+    computed_.pop_front();
+    stats_.epochs++;
+    stats_.ranges += ce.epoch.ranges.size();
+    if (!options_.overlap_commits) {
+      stream_internal::CommitEpoch(shadow_, &ce.epoch);
+    }
+    if constexpr (kSpec) {
+      if (options_.overlap_commits && options_.overlap_compute) {
+        stream_internal::MaintainEpochSpeculative(strategy_, &ce,
+                                                  /*gate=*/nullptr, &stats_);
+        applied_epochs_ = ce.epoch.id + 1;
+        return true;
+      }
+    }
+    stream_internal::MaintainEpoch(strategy_, &ce.epoch);
+    applied_epochs_ = ce.epoch.id + 1;
+    return true;
+  }
+
+  ShadowDb* shadow_;
+  Strategy* strategy_;
+  StreamOptions options_;
+  EpochAssembler assembler_;
+  std::vector<UpdateBatch> stream_;
+  size_t next_batch_ = 0;
+  bool flushed_ = false;
+  std::deque<StreamEpoch> sealed_;
+  std::deque<StreamEpoch> committed_;
+  std::deque<Computed> computed_;
+  uint64_t applied_epochs_ = 0;
+  StreamStats stats_;
+  std::string trace_;
+};
 
 }  // namespace relborg
 

@@ -1,0 +1,326 @@
+// Property tests for the CovarArenaView snapshot protocol
+// (ring/covar_arena.h): pinned snapshots taken at arbitrary points of an
+// interleaved merge sequence must keep reading EXACTLY the pre-merge
+// state — byte-identical payloads, stable slot ids, no reads of keys that
+// did not exist yet — while the view keeps absorbing published merges;
+// and the (version, slots) watermark must behave as a monotone
+// publication counter, including under a concurrent lock-free poller
+// (the TSan leg exercises that case via the `stream-stress` label).
+//
+// Seeds follow the kPropertySeeds policy of tests/test_util.h.
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ivm/ivm.h"
+#include "ivm/view_tree.h"
+#include "ring/covar_arena.h"
+#include "tests/test_util.h"
+#include "util/rng.h"
+
+namespace relborg {
+namespace {
+
+using testing::MakeRandomDb;
+using testing::RandomDb;
+using testing::Topology;
+
+constexpr int kFeatures = 4;
+constexpr uint64_t kKeySpace = 32;
+
+// One published merge of `keys_per_merge` random keys: every touched span
+// entry accumulates a random increment, mirrored into `mirror` (the
+// plain-map ground truth the snapshots are checked against).
+void ApplyRandomMerge(CovarArenaView* view,
+                      std::map<uint64_t, std::vector<double>>* mirror,
+                      Rng* rng, int keys_per_merge) {
+  const size_t stride = view->stride();
+  for (int k = 0; k < keys_per_merge; ++k) {
+    const uint64_t key = rng->Below(kKeySpace);
+    double* span = view->BeginMergeKey(key);
+    std::vector<double>& shadow = (*mirror)[key];
+    shadow.resize(stride, 0.0);
+    for (size_t i = 0; i < stride; ++i) {
+      const double inc = rng->Uniform(-2.0, 2.0);
+      span[i] += inc;
+      shadow[i] += inc;
+    }
+  }
+  view->PublishMerge();
+}
+
+// Every key of `expected` must read back byte-identical through
+// FindAt(snap); keys the view acquired after the snapshot must be
+// invisible at it.
+void ExpectSnapshotReadsExactly(
+    const CovarArenaView& view, const CovarViewSnapshot& snap,
+    const std::map<uint64_t, std::vector<double>>& expected,
+    const std::map<uint64_t, std::vector<double>>& current) {
+  for (const auto& [key, want] : expected) {
+    const double* got = view.FindAt(key, snap);
+    ASSERT_NE(got, nullptr) << "key " << key << " lost at snapshot";
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "key " << key << " entry " << i;
+    }
+  }
+  for (const auto& [key, unused] : current) {
+    if (expected.count(key) == 0) {
+      EXPECT_EQ(view.FindAt(key, snap), nullptr)
+          << "key " << key << " visible before it existed";
+    }
+  }
+}
+
+class CovarArenaSnapshotSuite : public ::testing::TestWithParam<uint64_t> {};
+
+// The headline property: a pin taken mid-sequence freezes exactly the
+// pre-pin state. Every later published merge is invisible at the pinned
+// snapshot (COW keeps the old bytes addressable), the live view tracks
+// the mirror bit for bit throughout, and after Unpin the view is
+// indistinguishable from one that never pinned.
+TEST_P(CovarArenaSnapshotSuite, PinnedSnapshotReadsExactPreMergeState) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  CovarArenaView view(kFeatures);
+  std::map<uint64_t, std::vector<double>> mirror;
+  const int merges = 24;
+  const int pin_at = static_cast<int>(rng.Below(merges - 4));
+
+  std::map<uint64_t, std::vector<double>> at_pin;
+  CovarViewSnapshot snap;
+  uint32_t version_at_pin = 0;
+  for (int m = 0; m < merges; ++m) {
+    if (m == pin_at) {
+      snap = view.Pin();
+      at_pin = mirror;  // ground truth frozen with the pin
+      version_at_pin = snap.version;
+      EXPECT_TRUE(view.pinned());
+    }
+    ApplyRandomMerge(&view, &mirror, &rng,
+                     /*keys_per_merge=*/1 + static_cast<int>(rng.Below(5)));
+    if (m >= pin_at) {
+      ExpectSnapshotReadsExactly(view, snap, at_pin, mirror);
+      // The watermark keeps advancing past the pin — pins freeze reads,
+      // not publication.
+      EXPECT_GT(view.version(), version_at_pin);
+    }
+    // The live view always reads the full mirror, pinned or not.
+    for (const auto& [key, want] : mirror) {
+      const double* got = view.Find(key);
+      ASSERT_NE(got, nullptr);
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i], want[i]);
+      }
+    }
+  }
+  view.Unpin();
+  EXPECT_FALSE(view.pinned());
+  EXPECT_EQ(view.size(), mirror.size());
+}
+
+// Nested pins: an outer and an inner pin each freeze their own point of
+// the sequence, and both read exactly their own states until released.
+TEST_P(CovarArenaSnapshotSuite, NestedPinsFreezeIndependentStates) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 2);
+  CovarArenaView view(kFeatures);
+  std::map<uint64_t, std::vector<double>> mirror;
+  for (int m = 0; m < 6; ++m) ApplyRandomMerge(&view, &mirror, &rng, 3);
+
+  const CovarViewSnapshot outer = view.Pin();
+  const std::map<uint64_t, std::vector<double>> at_outer = mirror;
+  for (int m = 0; m < 6; ++m) ApplyRandomMerge(&view, &mirror, &rng, 3);
+
+  const CovarViewSnapshot inner = view.Pin();
+  const std::map<uint64_t, std::vector<double>> at_inner = mirror;
+  for (int m = 0; m < 6; ++m) ApplyRandomMerge(&view, &mirror, &rng, 3);
+
+  ExpectSnapshotReadsExactly(view, outer, at_outer, mirror);
+  ExpectSnapshotReadsExactly(view, inner, at_inner, mirror);
+  view.Unpin();
+  // The outer pin alone still protects its slots.
+  ApplyRandomMerge(&view, &mirror, &rng, 3);
+  ExpectSnapshotReadsExactly(view, outer, at_outer, mirror);
+  view.Unpin();
+  EXPECT_FALSE(view.pinned());
+}
+
+// Without a pin, a snapshot still bounds KEY visibility by its slot
+// watermark: merges that only add NEW keys leave every pre-snapshot
+// payload untouched in place, so FindAt reads exact pre-merge bytes and
+// the new keys stay invisible — while the version bump records that a
+// validation against this snapshot must now fail.
+TEST_P(CovarArenaSnapshotSuite, UnpinnedSnapshotBoundsKeyVisibility) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 3);
+  CovarArenaView view(kFeatures);
+  std::map<uint64_t, std::vector<double>> mirror;
+  for (int m = 0; m < 8; ++m) ApplyRandomMerge(&view, &mirror, &rng, 3);
+
+  const CovarViewSnapshot snap = view.Snapshot();
+  const std::map<uint64_t, std::vector<double>> at_snap = mirror;
+  // Merge strictly-new keys (beyond kKeySpace, so no collision with the
+  // existing key set).
+  const size_t stride = view.stride();
+  for (int m = 0; m < 4; ++m) {
+    for (int k = 0; k < 3; ++k) {
+      const uint64_t key = kKeySpace + rng.Below(kKeySpace);
+      double* span = view.BeginMergeKey(key);
+      std::vector<double>& shadow = mirror[key];
+      shadow.resize(stride, 0.0);
+      for (size_t i = 0; i < stride; ++i) {
+        const double inc = rng.Uniform(-1.0, 1.0);
+        span[i] += inc;
+        shadow[i] += inc;
+      }
+    }
+    view.PublishMerge();
+  }
+  ExpectSnapshotReadsExactly(view, snap, at_snap, mirror);
+  // Any merge published after the snapshot invalidates version checks.
+  EXPECT_NE(view.version(), snap.version);
+}
+
+// Maintainer-level: SnapshotView + a pin on a maintained view isolate it
+// from the folds of later ApplyBatch calls (which publish through
+// FoldPublished and so copy-on-write around the pin), and the COW path
+// leaves the final maintained state bit-identical to a never-pinned
+// maintainer fed the same batches.
+TEST_P(CovarArenaSnapshotSuite, MaintainerSnapshotIsolatesLaterFolds) {
+  const uint64_t seed = GetParam();
+  RandomDb db = MakeRandomDb(seed, Topology::kBushy, /*fact_rows=*/24);
+
+  // Feeds node batches in a fixed order; calls `hook(round)` before each.
+  auto run = [&](ShadowDb* shadow,
+                 ViewTreeMaintainer<CovarArenaIvmOps>* maintainer,
+                 const std::function<void(int)>& hook) {
+    const int num_nodes = shadow->tree().num_nodes();
+    for (int round = 0; round < 2; ++round) {
+      hook(round);
+      for (int v = 0; v < num_nodes; ++v) {
+        const Relation& src = *db.query.relation(v);
+        const size_t half = src.num_rows() / 2;
+        const size_t begin = round == 0 ? 0 : half;
+        const size_t end = round == 0 ? half : src.num_rows();
+        if (begin == end) continue;
+        std::vector<std::vector<double>> rows;
+        rows.reserve(end - begin);
+        for (size_t r = begin; r < end; ++r) {
+          std::vector<double> values(src.num_attrs());
+          for (int a = 0; a < src.num_attrs(); ++a) {
+            values[a] = src.AsDouble(r, a);
+          }
+          rows.push_back(std::move(values));
+        }
+        const size_t first = shadow->AppendRows(v, rows);
+        maintainer->ApplyBatch(v, first, rows.size());
+      }
+    }
+  };
+
+  // Reference: no pins anywhere.
+  ShadowDb ref_shadow(db.query, 0);
+  FeatureMap ref_fm(ref_shadow.query(), db.features);
+  ViewTreeMaintainer<CovarArenaIvmOps> reference(&ref_shadow,
+                                                 CovarArenaIvmOps(&ref_fm));
+  run(&ref_shadow, &reference, [](int) {});
+
+  // Pinned: after round 0, pin the root view, capture its state, and let
+  // round 1 fold through the pin.
+  ShadowDb shadow(db.query, 0);
+  FeatureMap fm(shadow.query(), db.features);
+  ViewTreeMaintainer<CovarArenaIvmOps> maintainer(&shadow,
+                                                  CovarArenaIvmOps(&fm));
+  const int root = shadow.tree().root();
+  CovarViewSnapshot snap;
+  std::map<uint64_t, std::vector<double>> at_pin;
+  uint64_t version_at_pin = 0;
+  run(&shadow, &maintainer, [&](int round) {
+    if (round != 1) return;
+    CovarArenaView& view = maintainer.mutable_view(root);
+    snap = view.Pin();
+    version_at_pin = maintainer.ViewVersion(root);
+    EXPECT_EQ(snap.version, maintainer.SnapshotView(root).version);
+    view.ForEach([&](uint64_t key, const double* span) {
+      at_pin[key].assign(span, span + view.stride());
+    });
+  });
+
+  // The pinned snapshot still reads the exact end-of-round-0 root state.
+  const CovarArenaView& pinned_view = maintainer.mutable_view(root);
+  for (const auto& [key, want] : at_pin) {
+    const double* got = pinned_view.FindAt(key, snap);
+    ASSERT_NE(got, nullptr);
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "root key " << key << " entry " << i;
+    }
+  }
+  // Round 1 folds really happened (the version moved past the pin)...
+  EXPECT_GT(maintainer.ViewVersion(root), version_at_pin);
+  maintainer.mutable_view(root).Unpin();
+
+  // ...and the COW detour left the maintained state bit-identical to the
+  // never-pinned reference, key for key.
+  const CovarArenaView& got_root = maintainer.mutable_view(root);
+  const CovarArenaView& want_root = reference.mutable_view(root);
+  EXPECT_EQ(got_root.size(), want_root.size());
+  want_root.ForEach([&](uint64_t key, const double* want) {
+    const double* got = got_root.Find(key);
+    ASSERT_NE(got, nullptr);
+    for (size_t i = 0; i < got_root.stride(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "root key " << key << " entry " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CovarArenaSnapshotSuite,
+                         ::testing::ValuesIn(relborg::testing::kPropertySeeds));
+
+// Concurrent watermark polling: the writer publishes merges while a
+// reader thread polls Snapshot() — one atomic acquire, the only operation
+// that is safe concurrently with merges — and the observed (version,
+// slots) sequence must be monotone and pair-consistent (a version pins
+// its slot count: the packed word is published atomically). Runs in the
+// TSan leg via the stream-stress label.
+TEST(CovarArenaSnapshotConcurrency, PublishedWatermarkIsMonotone) {
+  CovarArenaView view(3);
+  std::atomic<bool> done{false};
+  size_t version_regressions = 0;
+  size_t slot_regressions = 0;
+  size_t pair_violations = 0;
+  std::thread reader([&] {
+    CovarViewSnapshot last;
+    while (!done.load(std::memory_order_acquire)) {
+      const CovarViewSnapshot s = view.Snapshot();
+      if (s.version < last.version) version_regressions++;
+      if (s.slots < last.slots) slot_regressions++;
+      if (s.version == last.version && s.slots != last.slots) {
+        pair_violations++;
+      }
+      last = s;
+    }
+  });
+  Rng rng(123);
+  for (int m = 0; m < 4000; ++m) {
+    const int keys = 1 + static_cast<int>(rng.Below(4));
+    for (int k = 0; k < keys; ++k) {
+      double* span = view.BeginMergeKey(rng.Below(64));
+      for (size_t i = 0; i < view.stride(); ++i) span[i] += rng.Uniform();
+    }
+    view.PublishMerge();
+  }
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(version_regressions, 0u);
+  EXPECT_EQ(slot_regressions, 0u);
+  EXPECT_EQ(pair_violations, 0u);
+  EXPECT_EQ(view.version(), 4000u);
+}
+
+}  // namespace
+}  // namespace relborg
