@@ -1,0 +1,209 @@
+// Closed-loop serving benchmark for the snapshot server (src/serve/):
+// N client threads hammer BeginSnapshot / Covar / GroupBy / TrainModel
+// against a LIVE Retailer insert stream and we measure both sides of the
+// isolation-vs-interference tradeoff (the HTAP question Polynesia,
+// arXiv:2103.00798, frames for ingest+analytics systems):
+//
+//   * read latency  — per-query wall time at p50 / p99 / p999, split by
+//                     query kind (covar read, group-by, model refresh);
+//   * ingest impact — sustained tuples/sec with readers OFF vs ON (the
+//                     serve layer's contract is that snapshot reads never
+//                     block the committer or compute stage, only the
+//                     applier's fold into the one view being read).
+//
+// Reported for the zero-copy pinned path (CovarFivm: clients read COW-
+// pinned arena snapshots in place) and the boundary-copy path
+// (HigherOrderIvm: clients read a payload copied at the epoch boundary) —
+// the copy path's reads cost nothing at query time but its snapshots cost
+// O(n^2) per epoch on the pipeline's serial stage.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/dataset.h"
+#include "ivm/ivm.h"
+#include "ivm/update_stream.h"
+#include "ml/linear_regression.h"
+#include "serve/snapshot_server.h"
+#include "stream/stream_scheduler.h"
+#include "util/timer.h"
+
+namespace relborg {
+namespace {
+
+constexpr int kReaderThreads = 4;
+
+struct LatencyRecorder {
+  std::vector<double> covar_us;
+  std::vector<double> groupby_us;
+  std::vector<double> model_us;
+};
+
+double Percentile(std::vector<double>* v, double q) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  const size_t idx = std::min(v->size() - 1,
+                              static_cast<size_t>(q * v->size()));
+  return (*v)[idx];
+}
+
+struct ServeRunResult {
+  double ingest_tuples_per_sec = 0;
+  double queries_per_sec = 0;
+  size_t queries = 0;
+  LatencyRecorder latencies;  // merged across reader threads
+};
+
+// Streams `stream` through the scheduler; with `readers` on, kReaderThreads
+// closed-loop clients issue a covar read per iteration, a group-by every
+// 8th and a model refresh every 64th, until ingest finishes.
+template <typename Strategy>
+ServeRunResult DriveServe(const Dataset& ds,
+                          const std::vector<UpdateBatch>& stream,
+                          const ExecPolicy& policy, bool readers) {
+  ShadowDb shadow(ds.query, ds.query.IndexOf(ds.fact));
+  FeatureMap fm(shadow.query(), ds.features);
+  Strategy strategy(&shadow, &fm, policy);
+  const int response = fm.num_features() - 1;
+  const int root = shadow.tree().root();
+  const std::vector<int>& children = shadow.tree().node(root).children;
+  const int gb_node = children.empty() ? root : children[0];
+  constexpr bool kPinned = serve_internal::HasServePin<Strategy>::value;
+
+  ServeRunResult result;
+  std::vector<LatencyRecorder> per_thread(readers ? kReaderThreads : 0);
+  double serve_seconds = 0;
+  WallTimer timer;
+  {
+    StreamScheduler<Strategy> scheduler(&shadow, &strategy);
+    SnapshotServer<Strategy> server(&scheduler, &shadow, &strategy);
+    std::atomic<bool> done{false};
+    std::vector<std::thread> clients;
+    if (readers) {
+      clients.reserve(kReaderThreads);
+      for (int t = 0; t < kReaderThreads; ++t) {
+        clients.emplace_back([&, t] {
+          LatencyRecorder& rec = per_thread[t];
+          size_t iter = 0;
+          while (!done.load(std::memory_order_acquire)) {
+            ++iter;
+            WallTimer q;
+            auto txn = server.BeginSnapshot();
+            CovarMatrix m = server.Covar(txn);
+            rec.covar_us.push_back(q.Seconds() * 1e6);
+            if constexpr (kPinned) {
+              if (iter % 8 == 0) {
+                WallTimer g;
+                (void)server.GroupBy(txn, gb_node);
+                rec.groupby_us.push_back(g.Seconds() * 1e6);
+              }
+            }
+            if (iter % 64 == 0 && m.count() > 100) {
+              WallTimer tm;
+              (void)server.TrainModel(txn, response);
+              rec.model_us.push_back(tm.Seconds() * 1e6);
+            }
+            server.EndSnapshot(&txn);
+          }
+        });
+      }
+    }
+    WallTimer serve_timer;
+    for (const UpdateBatch& batch : stream) scheduler.Push(batch);
+    scheduler.Finish();
+    serve_seconds = serve_timer.Seconds();
+    done.store(true, std::memory_order_release);
+    for (std::thread& c : clients) c.join();
+  }
+  const double total_seconds = timer.Seconds();
+  result.ingest_tuples_per_sec =
+      StreamRowCount(stream) / std::max(1e-9, total_seconds);
+  for (LatencyRecorder& rec : per_thread) {
+    result.queries += rec.covar_us.size() + rec.groupby_us.size() +
+                      rec.model_us.size();
+    auto append = [](std::vector<double>* into, std::vector<double>* from) {
+      into->insert(into->end(), from->begin(), from->end());
+    };
+    append(&result.latencies.covar_us, &rec.covar_us);
+    append(&result.latencies.groupby_us, &rec.groupby_us);
+    append(&result.latencies.model_us, &rec.model_us);
+  }
+  result.queries_per_sec = result.queries / std::max(1e-9, serve_seconds);
+  return result;
+}
+
+void ReportKind(const std::string& tag, const std::string& kind,
+                std::vector<double>* v, int threads) {
+  if (v->empty()) return;
+  const double p50 = Percentile(v, 0.50);
+  const double p99 = Percentile(v, 0.99);
+  const double p999 = Percentile(v, 0.999);
+  std::printf("  %-8s p50 %9.1f us   p99 %9.1f us   p999 %9.1f us   "
+              "(%zu queries)\n",
+              kind.c_str(), p50, p99, p999, v->size());
+  bench::Report(tag + "_" + kind + "_p50_us", p50, "us", threads);
+  bench::Report(tag + "_" + kind + "_p99_us", p99, "us", threads);
+  bench::Report(tag + "_" + kind + "_p999_us", p999, "us", threads);
+}
+
+template <typename Strategy>
+void RunStrategy(const char* name, const char* tag, const Dataset& ds,
+                 const std::vector<UpdateBatch>& stream,
+                 const ExecPolicy& policy) {
+  ServeRunResult off = DriveServe<Strategy>(ds, stream, policy, false);
+  ServeRunResult on = DriveServe<Strategy>(ds, stream, policy, true);
+  std::printf("\n%s (%d reader threads):\n", name, kReaderThreads);
+  std::printf("  ingest   %11.0f tuples/s readers off, %11.0f readers on "
+              "(%.1f%% impact), %.0f queries/s\n",
+              off.ingest_tuples_per_sec, on.ingest_tuples_per_sec,
+              100.0 * (1.0 - on.ingest_tuples_per_sec /
+                                 std::max(1e-9, off.ingest_tuples_per_sec)),
+              on.queries_per_sec);
+  const std::string t(tag);
+  bench::Report(t + "_ingest_tuples_per_sec_readers_off",
+                off.ingest_tuples_per_sec, "tuples/s", policy.threads);
+  bench::Report(t + "_ingest_tuples_per_sec_readers_on",
+                on.ingest_tuples_per_sec, "tuples/s", policy.threads);
+  bench::Report(t + "_queries_per_sec", on.queries_per_sec, "queries/s",
+                kReaderThreads);
+  ReportKind(t, "covar", &on.latencies.covar_us, kReaderThreads);
+  ReportKind(t, "groupby", &on.latencies.groupby_us, kReaderThreads);
+  ReportKind(t, "model", &on.latencies.model_us, kReaderThreads);
+}
+
+void Run() {
+  const double scale = 0.1 * bench::ScaleMultiplier();
+  GenOptions gen;
+  gen.scale = scale;
+  Dataset ds = MakeRetailer(gen);
+
+  UpdateStreamOptions stream_opts;
+  stream_opts.batch_size = 1000;
+  std::vector<UpdateBatch> stream = BuildInsertStream(ds.query, stream_opts);
+
+  bench::PrintHeader(
+      "SERVE", "Snapshot-consistent query serving under live ingest, "
+               "Retailer (" + std::to_string(StreamRowCount(stream)) +
+               " tuples, " + std::to_string(kReaderThreads) +
+               " closed-loop readers)");
+
+  ExecPolicy policy = ExecPolicy::FromEnv();
+  policy.partition_grain = 128;
+  RunStrategy<CovarFivm>("F-IVM (zero-copy pinned snapshots)", "fivm", ds,
+                         stream, policy);
+  RunStrategy<HigherOrderIvm>("higher-order IVM (boundary-copy snapshots)",
+                              "higher", ds, stream, policy);
+}
+
+}  // namespace
+}  // namespace relborg
+
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "fig_serve_latency");
+  relborg::Run();
+  return 0;
+}

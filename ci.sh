@@ -63,6 +63,24 @@ run_leg() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
+# Documentation gates (every mode; they cost nothing). The public serving
+# surface must stay documented: both docs files exist, and every public
+# header under src/serve/ opens with a file-level comment.
+echo "==== [docs] check documentation presence"
+for doc in docs/ARCHITECTURE.md docs/API.md; do
+  if [[ ! -s "${doc}" ]]; then
+    echo "ci.sh: ${doc} is missing or empty" >&2
+    exit 1
+  fi
+done
+for hdr in src/serve/*.h; do
+  if [[ "$(head -c 2 "${hdr}")" != "//" ]]; then
+    echo "ci.sh: public header ${hdr} lacks a file-level comment" \
+         "(line 1 must start with //)" >&2
+    exit 1
+  fi
+done
+
 if [[ "${MODE}" == "all" || "${MODE}" == "release" ]]; then
   # -march=native is off in CI so binaries are portable across runners.
   run_leg release \
@@ -90,8 +108,8 @@ if [[ "${MODE}" == "all" || "${MODE}" == "asan" ]]; then
   echo "==== [tsan] build"
   cmake --build build-ci-tsan -j "${JOBS}" \
     --target covar_arena_test covar_arena_snapshot_test exec_policy_test \
-             stream_scheduler_test stream_stress_test thread_pool_test \
-             util_test
+             serve_snapshot_test stream_scheduler_test stream_stress_test \
+             thread_pool_test util_test
   echo "==== [tsan] test (parallel paths)"
   # --no-tests=error: a renamed suite or broken discovery must fail the
   # leg, not let it pass green having verified nothing.

@@ -17,6 +17,7 @@
 #ifndef RELBORG_IVM_IVM_H_
 #define RELBORG_IVM_IVM_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -30,6 +31,7 @@
 #include "ivm/view_tree.h"
 #include "ring/covar_arena.h"
 #include "ring/covariance.h"
+#include "util/packed_key.h"
 
 namespace relborg {
 
@@ -287,6 +289,71 @@ class CovarFivm {
                                           : CovarPayloadFromSpan(n, span));
   }
 
+  // --- Horizon-bounded serve reads (serve/snapshot_server.h) -------------
+  //
+  // A serve pin freezes EVERY view at one epoch boundary: PinServe must be
+  // called where no fold can be in flight — the stream scheduler's epoch
+  // observer (applier thread, between epochs) — and captures each view's
+  // (slots, version) snapshot while COW-protecting its published payloads.
+  // The ServeCovarAt / ServeGroupByAt readers below then read the EXACT
+  // pinned bytes from any client thread, provided the caller holds the
+  // scheduler's view-gate read lock on the views it touches (a concurrent
+  // fold may rehash a view's map and move its arena buffer; COW preserves
+  // payload bytes, not addresses). UnpinServe is safe from any thread, in
+  // any order relative to other pins (CovarArenaView's pin table).
+
+  /// One pinned epoch-consistent horizon across all views.
+  struct ServePin {
+    std::vector<CovarViewSnapshot> snaps;  // per join-tree node
+  };
+
+  /// Pins every view (writer-side: applier thread between epochs only).
+  ServePin PinServe() {
+    const int num_nodes = db_->tree().num_nodes();
+    ServePin pin;
+    pin.snaps.resize(num_nodes);
+    for (int v = 0; v < num_nodes; ++v) {
+      pin.snaps[v] = maintainer_.mutable_view(v).Pin();
+    }
+    return pin;
+  }
+
+  /// Releases one serve pin (any thread; pairs with one PinServe).
+  void UnpinServe() {
+    const int num_nodes = db_->tree().num_nodes();
+    for (int v = 0; v < num_nodes; ++v) {
+      maintainer_.mutable_view(v).Unpin();
+    }
+  }
+
+  /// The covariance batch at the pinned horizon. Caller holds the view
+  /// gate's read lock on the ROOT view while the pipeline is live.
+  CovarMatrix CovarAt(const ServePin& pin) const {
+    const int root = db_->tree().root();
+    const int n = fm_->num_features();
+    const double* span =
+        maintainer_.view(root).FindAt(kUnitKey, pin.snaps[root]);
+    return CovarMatrix(n, span == nullptr ? CovarPayload::Zero(n)
+                                          : CovarPayloadFromSpan(n, span));
+  }
+
+  /// Group-by at the pinned horizon: node `v`'s view keys with their
+  /// payload counts (COUNT(*) per parent-edge key over v's subtree),
+  /// sorted by key for determinism. Keys born after the pin are filtered
+  /// out by the snapshot's slot watermark. Caller holds the view gate's
+  /// read lock on node `v` while the pipeline is live.
+  std::vector<std::pair<uint64_t, double>> GroupByAt(
+      int v, const ServePin& pin) const {
+    std::vector<std::pair<uint64_t, double>> out;
+    const CovarArenaView& view = maintainer_.view(v);
+    view.ForEach([&](uint64_t key, const double*) {
+      const double* span = view.FindAt(key, pin.snaps[v]);
+      if (span != nullptr) out.emplace_back(key, span[kCovarCountOffset]);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
  private:
   const ShadowDb* db_;
   const FeatureMap* fm_;
@@ -327,6 +394,10 @@ class HigherOrderIvm {
   void ApplyRangeDelta(const NodeRowRange& r, RangeDelta delta,
                        const size_t* visible, ViewWriteGate* gate);
 
+  /// The maintained covariance batch. While a stream pipeline is live this
+  /// may only be called where no fold is in flight — the scheduler's epoch
+  /// observer (applier thread, between epochs); the serve layer snapshots
+  /// by COPY there (no per-view pin protocol on FlatHashMap views).
   CovarMatrix Current() const;
 
   size_t num_aggregates() const { return maintainers_.size(); }
@@ -378,6 +449,9 @@ class FirstOrderIvm {
   void ApplyBatch(int v, size_t first, size_t count,
                   const size_t* visible = nullptr);
 
+  /// The maintained covariance batch. Same serve contract as
+  /// HigherOrderIvm::Current: under a live pipeline, call only from the
+  /// scheduler's epoch observer (applier thread, between epochs).
   CovarMatrix Current() const;
 
   size_t num_aggregates() const { return pairs_.size(); }

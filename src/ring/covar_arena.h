@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -470,7 +471,7 @@ class CovarArenaView {
       prev_.push_back(0);
       return arena_.Slot(slot - 1);
     }
-    if (pins_ > 0 && slot - 1 < cow_floor_) {
+    if (slot - 1 < cow_floor_.load(std::memory_order_acquire)) {
       const uint32_t fresh = arena_.Allocate();
       prev_.push_back(slot);  // chain to the pinned payload
       double* dst = arena_.Slot(fresh);
@@ -516,20 +517,47 @@ class CovarArenaView {
 
   // Protects every currently published slot from in-place modification
   // (merges copy-on-write instead) and returns the snapshot the pin
-  // covers. Pins nest; each Pin must be matched by one Unpin. Pin/Unpin
-  // are writer-side calls: they must not race with merges.
+  // covers. Pins nest; each Pin must be matched by one Unpin, in ANY order
+  // across any threads. Pin itself is a writer-side call (it must not race
+  // with merges — the serve layer pins on the applier thread between
+  // epochs); Unpin is safe from any thread, concurrently with merges.
+  //
+  // PIN TABLE. Each pin records its COW floor (the slot count at pin time)
+  // in a mutex-guarded table; the atomic cow_floor_ mirrors the table's
+  // maximum and is the only word BeginMergeKey reads. Because slots grow
+  // monotonically, floors are recorded in non-decreasing order, so a
+  // token-less Unpin can release the SMALLEST floor: the surviving entries
+  // then over-approximate every surviving pin's true floor (protection is
+  // only ever too wide, never too narrow — a stale-high floor costs one
+  // extra COW copy, a low one would corrupt a pinned read). The floor
+  // drops only when the last pin releases. The release-store on a drop
+  // pairs with BeginMergeKey's acquire: the writer's in-place overwrite is
+  // ordered after every payload read the unpinning client performed.
   CovarViewSnapshot Pin() {
-    ++pins_;
-    cow_floor_ = std::max(cow_floor_, static_cast<uint32_t>(arena_.num_slots()));
+    const uint32_t floor = static_cast<uint32_t>(arena_.num_slots());
+    std::lock_guard<std::mutex> lock(pin_mu_);
+    pin_floors_.push_back(floor);
+    if (floor > cow_floor_.load(std::memory_order_relaxed)) {
+      cow_floor_.store(floor, std::memory_order_release);
+    }
     return Snapshot();
   }
 
   void Unpin() {
-    RELBORG_DCHECK(pins_ > 0);
-    if (--pins_ == 0) cow_floor_ = 0;
+    std::lock_guard<std::mutex> lock(pin_mu_);
+    RELBORG_DCHECK(!pin_floors_.empty());
+    // Floors are appended in non-decreasing order; the minimum is at the
+    // front. Erasing it keeps the maximum (and thus cow_floor_) intact
+    // unless this was the last active pin.
+    pin_floors_.erase(pin_floors_.begin());
+    cow_floor_.store(pin_floors_.empty() ? 0 : pin_floors_.back(),
+                     std::memory_order_release);
   }
 
-  bool pinned() const { return pins_ > 0; }
+  bool pinned() const {
+    std::lock_guard<std::mutex> lock(pin_mu_);
+    return !pin_floors_.empty();
+  }
 
   // fn(key, const double* span) over all entries; iteration order depends
   // only on the inserted key set, never on the thread count.
@@ -547,8 +575,9 @@ class CovarArenaView {
     published_.store(other->published_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     next_version_ = other->next_version_;
-    pins_ = other->pins_;
-    cow_floor_ = other->cow_floor_;
+    pin_floors_ = std::move(other->pin_floors_);
+    cow_floor_.store(other->cow_floor_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
   }
 
   FlatHashMap<uint32_t> map_;
@@ -560,8 +589,12 @@ class CovarArenaView {
   // Packed (version << 32 | published slot count); see Snapshot().
   std::atomic<uint64_t> published_{0};
   uint32_t next_version_ = 0;  // writer-side shadow of the version half
-  int pins_ = 0;
-  uint32_t cow_floor_ = 0;  // slots below this are COW-protected while pinned
+  // Pin table (see Pin/Unpin): per-pin COW floors, non-decreasing order,
+  // guarded by pin_mu_; cow_floor_ mirrors the maximum (0 = no pins) and
+  // is the writer's single acquire-read per BeginMergeKey.
+  mutable std::mutex pin_mu_;
+  std::vector<uint32_t> pin_floors_;
+  std::atomic<uint32_t> cow_floor_{0};
 };
 
 }  // namespace relborg

@@ -1,0 +1,288 @@
+// Snapshot-consistent concurrent query serving over a live stream pipeline
+// — the read front end of the engines (the "millions of users" story).
+//
+// A SnapshotServer<Strategy> wraps a running StreamScheduler<Strategy> and
+// lets any number of client threads open READ TRANSACTIONS against the
+// stream while ingestion and maintenance keep running:
+//
+//   SnapshotServer<CovarFivm>::ReadTxn txn = server.BeginSnapshot();
+//   CovarMatrix covar   = server.Covar(txn);         // aggregates
+//   LinearModel model   = server.TrainModel(txn, y); // model outputs
+//   auto groups         = server.GroupBy(txn, node); // group-by results
+//   server.EndSnapshot(&txn);
+//
+// Every read of one transaction observes ONE committed epoch horizon: the
+// state a serial replay of the stream would have after exactly
+// txn.horizon_epochs() epochs — epoch-consistent across all views and the
+// row store, and byte-identical to that paused-pipeline state (the
+// differential suite in tests/serve_snapshot_test.cc pins this against a
+// serial oracle for all three strategies).
+//
+// HOW IT COMPOSES with the PR-5/PR-6 machinery (no stop-the-world, reads
+// never block the committer or the compute stage):
+//
+//   * The server registers a StreamEpochObserver; at every K-th epoch
+//     boundary (ServeOptions::snapshot_every_epochs, the staleness knob)
+//     the APPLIER thread publishes a fresh snapshot entry. For strategies
+//     with the per-view pin protocol (CovarFivm's ServePin over
+//     CovarArenaView::Pin) the entry pins all views copy-on-write —
+//     zero-copy snapshots whose bytes later merges cannot disturb. For
+//     copy-based strategies (HigherOrderIvm, FirstOrderIvm) the entry
+//     copies Current() at the boundary — ~n(n+1)/2 doubles.
+//   * BeginSnapshot is non-blocking: it refcounts the newest published
+//     entry (one mutex acquisition, no gates). Entries unpin when the last
+//     transaction holding them closes AND a newer entry has superseded
+//     them, in any order across threads (the CovarArenaView pin table).
+//   * Pinned-path queries take the scheduler's ViewGate READ lock on just
+//     the views they touch (a concurrent fold can rehash a view's hash map
+//     and move its arena buffer; COW preserves payload bytes, not
+//     addresses). Readers block — and are blocked by — only the applier's
+//     fold into one of those same views, never the committer (CommitGate
+//     is untouched), the compute stage (reader/reader), or other clients.
+//
+// LIFECYCLE. Construct the server AFTER the scheduler but BEFORE the first
+// Push (the constructor pins the initial empty-database snapshot, which
+// must not race a fold). Destroy it before the scheduler; the destructor
+// unregisters the observer and synchronizes with any in-flight epoch
+// callback. Transactions still open at destruction keep their snapshot
+// alive (shared ownership) and must be closed before the strategy itself
+// is destroyed. The server keeps serving after StreamScheduler::Finish —
+// the final snapshot then covers the whole stream.
+#ifndef RELBORG_SERVE_SNAPSHOT_SERVER_H_
+#define RELBORG_SERVE_SNAPSHOT_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "ml/linear_regression.h"
+#include "ring/covariance.h"
+#include "stream/stream_scheduler.h"
+#include "util/check.h"
+
+namespace relborg {
+
+/// Serving configuration.
+struct ServeOptions {
+  /// Staleness bound: publish a fresh snapshot every K maintained epochs.
+  /// 1 = every epoch boundary (freshest reads, one pin/copy per epoch);
+  /// larger values amortize snapshot publication against read staleness —
+  /// a transaction's horizon then lags the maintained prefix by at most
+  /// K - 1 epochs. Clamped to >= 1.
+  size_t snapshot_every_epochs = 1;
+};
+
+namespace serve_internal {
+
+// Detects the zero-copy pin protocol (CovarFivm): `Strategy::ServePin`
+// plus PinServe / UnpinServe / CovarAt / GroupByAt. Strategies without it
+// are served by copying Current() at the epoch boundary.
+template <typename Strategy, typename = void>
+struct HasServePin : std::false_type {};
+template <typename Strategy>
+struct HasServePin<Strategy, std::void_t<typename Strategy::ServePin>>
+    : std::true_type {};
+
+// One published snapshot entry. The copy-based primary template stores the
+// covariance payload copied at the epoch boundary; the pinned
+// specialization stores the strategy's per-view pin (released on
+// destruction, from whichever thread drops the last reference).
+template <typename Strategy, bool = HasServePin<Strategy>::value>
+struct Entry {
+  uint64_t horizon = 0;              // epochs maintained at publication
+  std::vector<size_t> watermark;     // per-node committed rows at horizon
+  int num_features = 0;
+  CovarPayload covar;                // copied at the boundary
+  Entry(uint64_t h, std::vector<size_t> wm, Strategy* strategy)
+      : horizon(h), watermark(std::move(wm)) {
+    CovarMatrix m = strategy->Current();
+    num_features = m.num_features();
+    covar = m.payload();
+  }
+};
+
+template <typename Strategy>
+struct Entry<Strategy, true> {
+  uint64_t horizon = 0;
+  std::vector<size_t> watermark;
+  typename Strategy::ServePin pin;
+  Strategy* strategy;  // for the unpin on release
+  Entry(uint64_t h, std::vector<size_t> wm, Strategy* s)
+      : horizon(h), watermark(std::move(wm)), pin(s->PinServe()), strategy(s) {}
+  Entry(const Entry&) = delete;
+  Entry& operator=(const Entry&) = delete;
+  ~Entry() { strategy->UnpinServe(); }
+};
+
+}  // namespace serve_internal
+
+/// Read front end over a live StreamScheduler<Strategy> (see the file
+/// comment for the protocol and lifecycle).
+///
+/// THREAD SAFETY: BeginSnapshot / EndSnapshot / Covar / GroupBy /
+/// TrainModel / horizon_epochs are safe from any number of client threads
+/// concurrently with the pipeline. Construction and destruction belong to
+/// one thread (the scheduler's owner).
+template <typename Strategy>
+class SnapshotServer : public StreamEpochObserver {
+  static constexpr bool kPinned =
+      serve_internal::HasServePin<Strategy>::value;
+  using Entry = serve_internal::Entry<Strategy>;
+
+ public:
+  /// One open read transaction: a shared handle on a published snapshot.
+  /// Copyable/movable; closing (EndSnapshot or destruction) releases the
+  /// hold. All reads through one ReadTxn observe the same horizon.
+  class ReadTxn {
+   public:
+    ReadTxn() = default;
+    /// The number of stream epochs this snapshot covers.
+    uint64_t horizon_epochs() const { return entry_->horizon; }
+    /// Per-node committed-row watermark at the horizon (observability).
+    const std::vector<size_t>& watermark() const { return entry_->watermark; }
+    bool open() const { return entry_ != nullptr; }
+
+   private:
+    friend class SnapshotServer;
+    explicit ReadTxn(std::shared_ptr<const Entry> entry)
+        : entry_(std::move(entry)) {}
+    std::shared_ptr<const Entry> entry_;
+  };
+
+  /// Registers the epoch observer and publishes the initial (empty-
+  /// database, horizon 0) snapshot. Must run after the scheduler's
+  /// construction and before its first Push.
+  SnapshotServer(StreamScheduler<Strategy>* scheduler, const ShadowDb* db,
+                 Strategy* strategy, const ServeOptions& options = {})
+      : scheduler_(scheduler),
+        db_(db),
+        strategy_(strategy),
+        options_(options),
+        root_mask_(db->tree().num_nodes(), 0) {
+    if (options_.snapshot_every_epochs == 0) {
+      options_.snapshot_every_epochs = 1;
+    }
+    root_mask_[db->tree().root()] = 1;
+    Publish(0, std::vector<size_t>(db->tree().num_nodes(), 0));
+    scheduler_->SetEpochObserver(this);
+  }
+
+  ~SnapshotServer() override {
+    // Synchronizes with any in-flight callback; no new one can start.
+    scheduler_->SetEpochObserver(nullptr);
+  }
+
+  SnapshotServer(const SnapshotServer&) = delete;
+  SnapshotServer& operator=(const SnapshotServer&) = delete;
+
+  /// Opens a read transaction on the newest published snapshot.
+  /// Non-blocking (one mutex acquisition); never waits on the pipeline.
+  ReadTxn BeginSnapshot() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ReadTxn(current_);
+  }
+
+  /// Closes a transaction. Dropping the last hold on a superseded
+  /// snapshot releases its pins (any thread, any order).
+  void EndSnapshot(ReadTxn* txn) { txn->entry_.reset(); }
+
+  /// The covariance aggregate batch at the transaction's horizon.
+  CovarMatrix Covar(const ReadTxn& txn) const {
+    RELBORG_DCHECK(txn.open());
+    if constexpr (kPinned) {
+      scheduler_->BeginViewRead(root_mask_);
+      CovarMatrix m = strategy_->CovarAt(txn.entry_->pin);
+      scheduler_->EndViewRead(root_mask_);
+      return m;
+    } else {
+      return CovarMatrix(txn.entry_->num_features, txn.entry_->covar);
+    }
+  }
+
+  /// Group-by results at the horizon: node `v`'s view keys with their
+  /// COUNT(*) payloads, sorted by key. Zero-copy strategies only
+  /// (copy-based snapshots keep no per-view state).
+  std::vector<std::pair<uint64_t, double>> GroupBy(const ReadTxn& txn,
+                                                   int v) const {
+    static_assert(kPinned,
+                  "GroupBy requires a strategy with the ServePin protocol "
+                  "(CovarFivm); copy-based snapshots keep no view state");
+    RELBORG_DCHECK(txn.open());
+    std::vector<uint8_t> mask(root_mask_.size(), 0);
+    mask[v] = 1;
+    scheduler_->BeginViewRead(mask);
+    auto out = strategy_->GroupByAt(v, txn.entry_->pin);
+    scheduler_->EndViewRead(mask);
+    return out;
+  }
+
+  /// Trains (or warm-start-refreshes) the ridge model for `response` on
+  /// the transaction's covariance snapshot. Consecutive calls for the same
+  /// response resume gradient descent from the previous weights (Sec. 1.5
+  /// of the paper) — the cache is shared across clients under a mutex.
+  LinearModel TrainModel(const ReadTxn& txn, int response,
+                         RidgeOptions options = {},
+                         TrainInfo* info = nullptr) {
+    CovarMatrix m = Covar(txn);
+    {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      auto it = warm_.find(response);
+      if (it != warm_.end()) options.warm_start = it->second;
+    }
+    LinearModel model = TrainRidgeGd(m, response, options, {}, info);
+    {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      warm_[response] = model.weights;
+    }
+    return model;
+  }
+
+  /// Horizon of the newest published snapshot (epochs maintained).
+  uint64_t horizon_epochs() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return current_->horizon;
+  }
+
+  /// Snapshots published so far (including the initial one).
+  size_t published_snapshots() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return published_;
+  }
+
+  /// StreamEpochObserver: runs on the APPLIER thread between epochs —
+  /// the one point where pinning/copying strategy state cannot race a
+  /// fold. Not part of the client API.
+  void OnEpochMaintained(uint64_t id,
+                         const std::vector<size_t>& watermark) override {
+    if ((id + 1) % options_.snapshot_every_epochs != 0) return;
+    Publish(id + 1, watermark);
+  }
+
+ private:
+  void Publish(uint64_t horizon, std::vector<size_t> watermark) {
+    auto entry = std::make_shared<const Entry>(horizon, std::move(watermark),
+                                               strategy_);
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(entry);  // superseded entry unpins on last release
+    ++published_;
+  }
+
+  StreamScheduler<Strategy>* scheduler_;
+  const ShadowDb* db_;
+  Strategy* strategy_;
+  ServeOptions options_;
+  std::vector<uint8_t> root_mask_;  // view-gate mask: the root view only
+  std::mutex mu_;                   // guards current_ + published_
+  std::shared_ptr<const Entry> current_;
+  size_t published_ = 0;
+  std::mutex model_mu_;             // guards warm_
+  std::map<int, std::vector<double>> warm_;  // response -> last weights
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_SERVE_SNAPSHOT_SERVER_H_

@@ -122,10 +122,18 @@
 // deterministic.
 //
 // While a scheduler is live, the ShadowDb and the strategy belong to the
-// pipeline: the caller must not touch either until Finish() returns. The
-// one exception is ShadowDb::committed_rows(v) — an atomic gauge that may
-// be polled from any thread (the stress suite samples it live); reading
-// actual ROWS still requires waiting for Finish.
+// pipeline: the caller must not touch either until Finish() returns. Two
+// exceptions:
+//   * ShadowDb::committed_rows(v) — an atomic gauge that may be polled
+//     from any thread (the stress suite samples it live); reading actual
+//     ROWS still requires waiting for Finish.
+//   * SNAPSHOT READS through the serve layer (serve/snapshot_server.h):
+//     an epoch observer registered via SetEpochObserver pins strategy
+//     view snapshots at epoch boundaries ON THE APPLIER THREAD, and
+//     client threads read those pinned snapshots under the scheduler's
+//     view-gate read locks (BeginViewRead/EndViewRead) — excluded from
+//     the one view the applier is folding into, never from the committer
+//     or the compute stage.
 #ifndef RELBORG_STREAM_STREAM_SCHEDULER_H_
 #define RELBORG_STREAM_STREAM_SCHEDULER_H_
 
@@ -745,9 +753,34 @@ void MaintainEpochSpeculative(Strategy* strategy,
 
 }  // namespace stream_internal
 
-// The pipeline. Construct over a ShadowDb + strategy, Push batches (blocks
-// on backpressure), then Finish() to flush, drain and join. The strategy's
-// result state (e.g. CovarFivm::Current) is valid after Finish.
+/// Epoch-boundary callback for snapshot consumers (the serve layer).
+///
+/// OnEpochMaintained runs ON THE APPLIER THREAD, strictly between two
+/// epochs' maintenance: every fold of epoch `id` has completed and no fold
+/// of epoch `id + 1` has started. That makes the callback the one place
+/// where strategy state may be pinned (CovarArenaView::Pin is writer-side)
+/// or copied without racing a merge. `watermark` is the per-node
+/// committed-row horizon of the maintained prefix — exactly the rows a
+/// serial replay would have committed after epoch `id` — so a snapshot
+/// taken here is epoch-consistent across every view AND the row store.
+/// Implementations must be fast (the pipeline's serial stage is waiting)
+/// and must not call back into the scheduler.
+class StreamEpochObserver {
+ public:
+  virtual ~StreamEpochObserver() = default;
+  virtual void OnEpochMaintained(uint64_t id,
+                                 const std::vector<size_t>& watermark) = 0;
+};
+
+/// The pipeline. Construct over a ShadowDb + strategy, Push batches (blocks
+/// on backpressure), then Finish() to flush, drain and join. The strategy's
+/// result state (e.g. CovarFivm::Current) is valid after Finish.
+///
+/// THREAD SAFETY: Push is single-producer (one caller thread). Finish may
+/// be called once, from the producer thread. SetEpochObserver and the
+/// BeginViewRead/EndViewRead gate pair are safe from any thread while the
+/// pipeline is live — they exist for the serve layer's concurrent snapshot
+/// readers (serve/snapshot_server.h).
 template <typename Strategy>
 class StreamScheduler {
  public:
@@ -763,7 +796,8 @@ class StreamScheduler {
         computed_(options.max_compute_ahead_epochs),
         gate_(shadow->tree().num_nodes()),
         view_gate_(shadow->tree().num_nodes()),
-        all_reads_(shadow->tree().num_nodes(), 1) {
+        all_reads_(shadow->tree().num_nodes(), 1),
+        maintained_watermark_(shadow->tree().num_nodes(), 0) {
     assemble_thread_ = std::thread([this] { AssembleLoop(); });
     commit_thread_ = std::thread([this] { CommitLoop(); });
     compute_thread_ = std::thread([this] { ComputeLoop(); });
@@ -805,6 +839,32 @@ class StreamScheduler {
       stats_.epoch_latency_mean_seconds = latency_sum_ / stats_.epochs;
     }
     return stats_;
+  }
+
+  /// Registers (or, with nullptr, clears) the epoch observer. Safe from
+  /// any thread at any time: the swap and the applier's callback share one
+  /// mutex, so after SetEpochObserver(nullptr) returns, no callback is in
+  /// flight and none will start — an observer may be destroyed right
+  /// after clearing itself. Epochs maintained before registration are not
+  /// replayed; register before the first Push to observe every epoch.
+  void SetEpochObserver(StreamEpochObserver* observer) {
+    std::lock_guard<std::mutex> lock(observer_mu_);
+    observer_ = observer;
+  }
+
+  /// Read-locks every view of `mask` (1 = lock) for an external snapshot
+  /// reader, all-or-nothing; returns seconds spent blocked. Safe from any
+  /// client thread. Readers block only a fold into one of the masked views
+  /// (and are blocked by one) — never the committer, the compute stage, or
+  /// other readers. Callers must not block or wait on pipeline progress
+  /// while holding the lock, and must pair every BeginViewRead with one
+  /// EndViewRead of the same mask.
+  double BeginViewRead(const std::vector<uint8_t>& mask) {
+    return view_gate_.BeginRead(mask);
+  }
+
+  void EndViewRead(const std::vector<uint8_t>& mask) {
+    view_gate_.EndRead(mask);
   }
 
  private:
@@ -945,6 +1005,20 @@ class StreamScheduler {
       // Release pairs with ComputeLoop's acquire: an epoch observed as
       // maintained has all its folds and version bumps visible.
       maintained_epochs_.store(epoch.id + 1, std::memory_order_release);
+      // Snapshot-horizon export: the per-node watermark after this epoch's
+      // last commit IS the serial replay's committed state at this epoch
+      // boundary (zero-range epochs leave it unchanged). The observer runs
+      // between epochs on this (the applier) thread — the only point where
+      // pinning strategy views cannot race a fold.
+      if (!epoch.ranges.empty()) {
+        maintained_watermark_ = epoch.ranges.back().visible;
+      }
+      {
+        std::lock_guard<std::mutex> lock(observer_mu_);
+        if (observer_ != nullptr) {
+          observer_->OnEpochMaintained(epoch.id, maintained_watermark_);
+        }
+      }
       stats_.apply_seconds += timer.Seconds();
       const double latency =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -968,6 +1042,14 @@ class StreamScheduler {
   stream_internal::ViewGate view_gate_;
   const std::vector<uint8_t> all_reads_;  // whole-db read set (all ones)
   std::atomic<uint64_t> maintained_epochs_{0};
+  // Applier-thread state: per-node committed-row horizon of the maintained
+  // epoch prefix, exported to the observer at each epoch boundary.
+  std::vector<size_t> maintained_watermark_;
+  // Guards observer_ against SetEpochObserver from other threads; held
+  // across each callback so clearing the observer synchronizes with any
+  // in-flight call.
+  std::mutex observer_mu_;
+  StreamEpochObserver* observer_ = nullptr;
   // Stats fields are partitioned by writer: batches/rows belong to the
   // assemble thread; commit_* to whichever thread commits (the commit
   // thread with overlap on, the apply thread with it off — never both in

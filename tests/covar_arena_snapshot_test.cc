@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <shared_mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -278,6 +279,57 @@ TEST_P(CovarArenaSnapshotSuite, MaintainerSnapshotIsolatesLaterFolds) {
   });
 }
 
+// K simultaneous pins at K different versions, each frozen mid-storm:
+// every pin keeps reading its own state byte-exact while merges keep
+// landing, and — the pin table's over-approximation guarantee — they ALL
+// keep reading exactly until the LAST Unpin, no matter which logical pin
+// each Unpin call is taken to release (Unpin is token-less: it drops the
+// smallest floor, so the max floor, and with it every pin's protection,
+// survives any release order of the first K-1 pins).
+TEST_P(CovarArenaSnapshotSuite, SimultaneousPinsReadTheirOwnVersions) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 4);
+  CovarArenaView view(kFeatures);
+  std::map<uint64_t, std::vector<double>> mirror;
+  constexpr int kPins = 5;
+  std::vector<CovarViewSnapshot> snaps;
+  std::vector<std::map<uint64_t, std::vector<double>>> at_pin;
+  for (int p = 0; p < kPins; ++p) {
+    for (int m = 0; m < 4; ++m) {
+      ApplyRandomMerge(&view, &mirror, &rng,
+                       1 + static_cast<int>(rng.Below(4)));
+    }
+    snaps.push_back(view.Pin());
+    at_pin.push_back(mirror);
+  }
+  // Distinct versions: each pin really froze a different point.
+  for (int p = 1; p < kPins; ++p) {
+    EXPECT_GT(snaps[p].version, snaps[p - 1].version);
+  }
+  auto check_all = [&] {
+    for (int p = 0; p < kPins; ++p) {
+      ExpectSnapshotReadsExactly(view, snaps[p], at_pin[p], mirror);
+    }
+  };
+  for (int m = 0; m < 8; ++m) ApplyRandomMerge(&view, &mirror, &rng, 3);
+  check_all();
+  // Release K-1 pins with a merge storm after each: every snapshot —
+  // released or not — still reads exact while any pin remains.
+  for (int released = 0; released < kPins - 1; ++released) {
+    view.Unpin();
+    for (int m = 0; m < 4; ++m) ApplyRandomMerge(&view, &mirror, &rng, 3);
+    check_all();
+  }
+  view.Unpin();
+  EXPECT_FALSE(view.pinned());
+  // The live view never deviated from the mirror.
+  for (const auto& [key, want] : mirror) {
+    const double* got = view.Find(key);
+    ASSERT_NE(got, nullptr);
+    for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CovarArenaSnapshotSuite,
                          ::testing::ValuesIn(relborg::testing::kPropertySeeds));
 
@@ -320,6 +372,96 @@ TEST(CovarArenaSnapshotConcurrency, PublishedWatermarkIsMonotone) {
   EXPECT_EQ(slot_regressions, 0u);
   EXPECT_EQ(pair_violations, 0u);
   EXPECT_EQ(view.version(), 4000u);
+}
+
+// Concurrent pinners: a writer thread pins a snapshot every few merges
+// and hands it to one of K reader threads; each reader verifies its
+// snapshot byte-exact (under a reader/writer lock standing in for the
+// scheduler's ViewGate — FindAt is only merge-safe with the writer
+// excluded, COW preserves bytes not addresses) and then Unpins FROM ITS
+// OWN THREAD, so unpin calls land in completion order, interleaved with
+// the writer's Pin calls — the cross-thread surface of the pin table.
+// Runs in the TSan leg via the stream-stress label.
+TEST(CovarArenaSnapshotConcurrency, ConcurrentPinnedReadersUnderMergeStorm) {
+  constexpr int kReaders = 3;
+  constexpr int kRounds = 40;
+  CovarArenaView view(3);
+  std::shared_mutex merge_mu;  // writer: exclusive per merge; readers: shared
+  struct Pinned {
+    CovarViewSnapshot snap;
+    std::map<uint64_t, std::vector<double>> expect;
+  };
+  std::mutex queue_mu;
+  std::vector<Pinned> queue;
+  std::atomic<bool> done{false};
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (true) {
+        Pinned p;
+        {
+          std::lock_guard<std::mutex> lock(queue_mu);
+          if (queue.empty()) {
+            if (done.load(std::memory_order_acquire)) return;
+            std::this_thread::yield();
+            continue;
+          }
+          p = std::move(queue.back());
+          queue.pop_back();
+        }
+        // Several verification passes so merges interleave between them.
+        for (int pass = 0; pass < 3; ++pass) {
+          std::shared_lock<std::shared_mutex> lock(merge_mu);
+          for (const auto& [key, want] : p.expect) {
+            const double* got = view.FindAt(key, p.snap);
+            if (got == nullptr) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            for (size_t i = 0; i < want.size(); ++i) {
+              if (got[i] != want[i]) {
+                mismatches.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+        view.Unpin();  // any thread, completion order
+      }
+    });
+  }
+  Rng rng(987);
+  std::map<uint64_t, std::vector<double>> mirror;
+  for (int r = 0; r < kRounds; ++r) {
+    {
+      std::unique_lock<std::shared_mutex> lock(merge_mu);
+      for (int m = 0; m < 3; ++m) {
+        ApplyRandomMerge(&view, &mirror, &rng,
+                         1 + static_cast<int>(rng.Below(4)));
+      }
+    }
+    Pinned p;
+    p.snap = view.Pin();  // writer-side, outside the merge lock is fine
+    p.expect = mirror;
+    std::lock_guard<std::mutex> lock(queue_mu);
+    queue.push_back(std::move(p));
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  // Readers drained the queue and unpinned everything they verified; any
+  // leftovers (raced with shutdown) unpin here.
+  for (const Pinned& p : queue) {
+    (void)p;
+    view.Unpin();
+  }
+  EXPECT_EQ(mismatches.load(), 0u);
+  // The live view matches the mirror after all pins released.
+  for (const auto& [key, want] : mirror) {
+    const double* got = view.Find(key);
+    ASSERT_NE(got, nullptr);
+    for (size_t i = 0; i < want.size(); ++i) EXPECT_EQ(got[i], want[i]);
+  }
 }
 
 }  // namespace
