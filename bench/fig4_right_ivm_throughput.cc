@@ -138,7 +138,7 @@ AsyncResult DriveAsync(const Dataset& ds,
         break;
       }
     }
-    result.stats = scheduler.Finish();
+    scheduler.Finish(&result.stats);
   }
   result.seconds = timer.Seconds();
   return result;

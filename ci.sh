@@ -3,9 +3,12 @@
 # supported configurations.
 #
 #   ./ci.sh            # Release (warnings-as-errors) + ASan/UBSan (+ TSan)
-#   ./ci.sh release    # just the Release leg
-#   ./ci.sh asan       # the sanitizer leg: ASan/UBSan suite + a TSan
-#                      # sibling config running the parallel-path tests
+#   ./ci.sh release    # just the Release leg (+ fault-seed sweep over the
+#                      # crash-recovery differential suite)
+#   ./ci.sh asan       # the sanitizer leg: ASan/UBSan suite + fault-seed
+#                      # sweep + a TSan sibling config running the
+#                      # parallel-path, quarantine/watchdog, and pinned
+#                      # fault-seed tests
 #   ./ci.sh bench      # Release bench leg: ctest -L bench-smoke with the
 #                      # JSON sink on, merged into BENCH_ci.json
 #
@@ -63,6 +66,21 @@ run_leg() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
+fault_sweep() {
+  # Crash-recovery differential under pinned fault seeds. The `fault`
+  # label's suites sweep every (site, hit) pair internally when
+  # RELBORG_FAULT_SEED is unset — that already ran as part of the full
+  # suite above — so this sweep pins one seed per run, proving the env
+  # knob selects single faults reproducibly (the debugging workflow for a
+  # failed differential). Seeds 0..5 hit each registered fault site once.
+  local name=$1 dir=$2
+  for seed in 0 1 2 3 4 5; do
+    echo "==== [${name}] fault-seed sweep: RELBORG_FAULT_SEED=${seed}"
+    RELBORG_FAULT_SEED=${seed} ctest --test-dir "${dir}" \
+      --output-on-failure -j "${JOBS}" --no-tests=error -L fault
+  done
+}
+
 # Documentation gates (every mode; they cost nothing). The public serving
 # surface must stay documented: both docs files exist, and every public
 # header under src/serve/ opens with a file-level comment.
@@ -87,6 +105,7 @@ if [[ "${MODE}" == "all" || "${MODE}" == "release" ]]; then
     -DCMAKE_BUILD_TYPE=Release \
     -DRELBORG_WERROR=ON \
     -DRELBORG_NATIVE=OFF
+  fault_sweep release build-ci-release
 fi
 
 if [[ "${MODE}" == "all" || "${MODE}" == "asan" ]]; then
@@ -94,6 +113,7 @@ if [[ "${MODE}" == "all" || "${MODE}" == "asan" ]]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DRELBORG_WERROR=ON \
     -DRELBORG_SANITIZE=ON
+  fault_sweep asan build-ci-asan
 
   # TSan sibling config: ASan and TSan cannot combine, so the parallel
   # exec paths (thread pool, ExecPolicy thread sweeps) get their own
@@ -108,19 +128,33 @@ if [[ "${MODE}" == "all" || "${MODE}" == "asan" ]]; then
   echo "==== [tsan] build"
   cmake --build build-ci-tsan -j "${JOBS}" \
     --target covar_arena_test covar_arena_snapshot_test exec_policy_test \
-             serve_snapshot_test stream_scheduler_test stream_stress_test \
-             thread_pool_test util_test
+             robustness_test serve_snapshot_test stream_checkpoint_test \
+             stream_scheduler_test stream_stress_test thread_pool_test \
+             util_test
   echo "==== [tsan] test (parallel paths)"
   # --no-tests=error: a renamed suite or broken discovery must fail the
-  # leg, not let it pass green having verified nothing.
+  # leg, not let it pass green having verified nothing. StreamIngress and
+  # StreamBackpressure cover the quarantine, TryPush-deadline, and
+  # watchdog paths, whose producer/applier/watchdog interplay is exactly
+  # what TSan exists to check.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-ci-tsan \
     --output-on-failure -j "${JOBS}" --no-tests=error \
-    -R 'ExecPolicy|ThreadSweep|IndependentViewGroups|ThreadPool|CovarArena|StreamScheduler|StagedIngest'
+    -R 'ExecPolicy|ThreadSweep|IndependentViewGroups|ThreadPool|CovarArena|StreamScheduler|StagedIngest|StreamIngress|StreamBackpressure'
   echo "==== [tsan] test (stream stress suite)"
   # The randomized differential stress suite: watermark-overlapped commits
   # racing real maintenance under TSan, bit-identity checked per case.
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir build-ci-tsan \
     --output-on-failure -j "${JOBS}" --no-tests=error -L stream-stress
+  echo "==== [tsan] test (crash-recovery differential, pinned seeds)"
+  # The full internal (site, hit) sweep is too slow at TSan's ~10x tax;
+  # two pinned seeds — mid-epoch publish fault (1) and checkpoint-write
+  # fault (3) — exercise the kill/restore/replay protocol's cross-thread
+  # handoff under TSan without re-running the whole matrix.
+  for seed in 1 3; do
+    TSAN_OPTIONS="halt_on_error=1" RELBORG_FAULT_SEED=${seed} \
+      ctest --test-dir build-ci-tsan \
+      --output-on-failure -j "${JOBS}" --no-tests=error -L fault
+  done
 fi
 
 if [[ "${MODE}" == "all" || "${MODE}" == "bench" ]]; then
@@ -180,6 +214,13 @@ if [[ "${MODE}" == "all" || "${MODE}" == "bench" ]]; then
       "${baseline}" "${dir}/BENCH_ci.json" || rc=$?
     if [[ "${rc}" -eq 2 ]]; then
       echo "ci.sh: bench diff could not compare baselines (non-fatal)" >&2
+    elif [[ "${rc}" -eq 3 ]]; then
+      # rc 3 = broken input (missing / truncated / unparseable JSON): the
+      # bench leg produced garbage, which must fail loudly rather than
+      # masquerade as either "no regressions" or a perf verdict.
+      echo "ci.sh: bench diff input is missing or corrupt — the bench leg" \
+           "did not produce a valid BENCH_ci.json" >&2
+      exit "${rc}"
     elif [[ "${rc}" -ne 0 ]]; then
       echo "ci.sh: bench diff found regressions beyond the fail threshold" >&2
       exit "${rc}"

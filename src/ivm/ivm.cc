@@ -115,6 +115,45 @@ void HigherOrderIvm::ApplyRangeDelta(const NodeRowRange& r, RangeDelta delta,
   }
 }
 
+void HigherOrderIvm::SaveCheckpoint(ByteSink* sink) const {
+  const int num_nodes = db_->tree().num_nodes();
+  for (const ViewTreeMaintainer<ScalarIvmOps>& m : maintainers_) {
+    for (int v = 0; v < num_nodes; ++v) {
+      const FlatHashMap<double>& view = m.view(v);
+      sink->U64(view.size());
+      view.ForEach([&](uint64_t key, const double& val) {
+        sink->U64(key);
+        sink->F64(val);
+      });
+    }
+  }
+  for (int v = 0; v < num_nodes; ++v) {
+    sink->U64(versions_[v].load(std::memory_order_relaxed));
+  }
+}
+
+Status HigherOrderIvm::LoadCheckpoint(ByteSource* src) {
+  const int num_nodes = db_->tree().num_nodes();
+  for (ViewTreeMaintainer<ScalarIvmOps>& m : maintainers_) {
+    for (int v = 0; v < num_nodes; ++v) {
+      FlatHashMap<double>& view = m.mutable_view(v);
+      const uint64_t count = src->U64();
+      if (count * 2 * sizeof(uint64_t) > src->remaining()) {
+        return Status::DataLoss("truncated HigherOrderIvm checkpoint");
+      }
+      for (uint64_t k = 0; k < count; ++k) {
+        const uint64_t key = src->U64();
+        view[key] = src->F64();
+      }
+    }
+  }
+  for (int v = 0; v < num_nodes; ++v) {
+    versions_[v].store(src->U64(), std::memory_order_relaxed);
+  }
+  return src->ok() ? Status::Ok()
+                   : Status::DataLoss("truncated HigherOrderIvm checkpoint");
+}
+
 CovarMatrix HigherOrderIvm::Current() const {
   const int n = fm_->num_features();
   CovarPayload payload = CovarPayload::Zero(n);
@@ -165,6 +204,46 @@ CovarMatrix FirstOrderIvm::Current() const {
     }
   }
   return CovarMatrix(n, std::move(payload));
+}
+
+void FirstOrderIvm::SaveCheckpoint(ByteSink* sink) const {
+  sink->U64(values_.size());
+  sink->F64Span(values_.data(), values_.size());
+  sink->U64(indexed_rows_.size());
+  for (size_t rows : indexed_rows_) sink->U64(rows);
+}
+
+Status FirstOrderIvm::LoadCheckpoint(ByteSource* src) {
+  if (src->U64() != values_.size()) {
+    return Status::InvalidArgument(
+        "FirstOrderIvm checkpoint aggregate count mismatch");
+  }
+  src->F64Span(values_.data(), values_.size());
+  if (src->U64() != indexed_rows_.size()) {
+    return Status::InvalidArgument(
+        "FirstOrderIvm checkpoint node count mismatch");
+  }
+  for (size_t& rows : indexed_rows_) rows = static_cast<size_t>(src->U64());
+  if (!src->ok()) {
+    return Status::DataLoss("truncated FirstOrderIvm checkpoint");
+  }
+  // Rebuild the parent-edge indexes from the restored ShadowDb rows in
+  // ascending row order — exactly the order the incremental build appended
+  // them, so lookups enumerate identical row sequences after restore.
+  const RootedTree& tree = db_->tree();
+  for (int u = 0; u < tree.num_nodes(); ++u) {
+    if (u == tree.root()) continue;
+    if (indexed_rows_[u] > db_->relation(u).num_rows()) {
+      return Status::InvalidArgument(
+          "FirstOrderIvm checkpoint indexes rows the restored database "
+          "does not hold");
+    }
+    for (size_t row = 0; row < indexed_rows_[u]; ++row) {
+      parent_index_[u][tree.RowKeyToParent(u, row)].push_back(
+          static_cast<uint32_t>(row));
+    }
+  }
+  return Status::Ok();
 }
 
 void FirstOrderIvm::ApplyBatch(int v, size_t first, size_t count,

@@ -32,6 +32,8 @@
 #include "ring/covar_arena.h"
 #include "ring/covariance.h"
 #include "util/packed_key.h"
+#include "util/serde.h"
+#include "util/status.h"
 
 namespace relborg {
 
@@ -354,6 +356,52 @@ class CovarFivm {
     return out;
   }
 
+  // --- Checkpointing (stream/checkpoint.h) -------------------------------
+  //
+  // View state is serialized BYTE-EXACT: every key's payload span as IEEE
+  // bits plus the view's publication counter. Restore never recomputes a
+  // fold (the coalesced epoch folds that built these payloads are a
+  // different summation order than any replay could reproduce), so a
+  // restored strategy is bit-identical to the one that was saved.
+  static constexpr uint32_t kCheckpointTag = 0x46495631;  // "FIV1"
+
+  void SaveCheckpoint(ByteSink* sink) const {
+    const int num_nodes = db_->tree().num_nodes();
+    const size_t stride = CovarStride(fm_->num_features());
+    for (int v = 0; v < num_nodes; ++v) {
+      const CovarArenaView& view = maintainer_.view(v);
+      sink->U64(view.size());
+      view.ForEach([&](uint64_t key, const double* span) {
+        sink->U64(key);
+        sink->F64Span(span, stride);
+      });
+      sink->U32(view.version());
+    }
+  }
+
+  // Requires a freshly constructed strategy (empty views) over the same
+  // catalog and feature map as the saved one.
+  Status LoadCheckpoint(ByteSource* src) {
+    const int num_nodes = db_->tree().num_nodes();
+    const size_t stride = CovarStride(fm_->num_features());
+    for (int v = 0; v < num_nodes; ++v) {
+      CovarArenaView& view = maintainer_.mutable_view(v);
+      const uint64_t count = src->U64();
+      if (count * (sizeof(uint64_t) + stride * sizeof(double)) >
+          src->remaining()) {
+        return Status::DataLoss("truncated CovarFivm checkpoint payload");
+      }
+      for (uint64_t k = 0; k < count; ++k) {
+        const uint64_t key = src->U64();
+        // The span stays valid until the next GetOrAdd, so fill it now.
+        src->F64Span(view.GetOrAdd(key), stride);
+      }
+      view.RestorePublished(src->U32());
+    }
+    return src->ok() ? Status::Ok()
+                     : Status::DataLoss("truncated CovarFivm checkpoint");
+  }
+
  private:
   const ShadowDb* db_;
   const FeatureMap* fm_;
@@ -401,6 +449,13 @@ class HigherOrderIvm {
   CovarMatrix Current() const;
 
   size_t num_aggregates() const { return maintainers_.size(); }
+
+  // Checkpointing: every maintainer's per-node scalar views (byte-exact,
+  // never recomputed) plus the strategy-level per-node version counters —
+  // restored speculation validity resumes the saved version sequence.
+  static constexpr uint32_t kCheckpointTag = 0x484F4931;  // "HOI1"
+  void SaveCheckpoint(ByteSink* sink) const;
+  Status LoadCheckpoint(ByteSource* src);  // requires a fresh strategy
 
  private:
   // v, parent(v), ..., root — the write set of an application at v.
@@ -455,6 +510,13 @@ class FirstOrderIvm {
   CovarMatrix Current() const;
 
   size_t num_aggregates() const { return pairs_.size(); }
+
+  // Checkpointing: the flat aggregate values (byte-exact) plus the per-node
+  // indexed-row counts. LoadCheckpoint rebuilds parent_index_ from the
+  // restored ShadowDb's rows — the ShadowDb prefix must be restored FIRST.
+  static constexpr uint32_t kCheckpointTag = 0x464F4931;  // "FOI1"
+  void SaveCheckpoint(ByteSink* sink) const;
+  Status LoadCheckpoint(ByteSource* src);  // requires a fresh strategy
 
  private:
   // Recursively enumerates delta-join extensions over the undirected tree,

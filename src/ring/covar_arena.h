@@ -492,6 +492,19 @@ class CovarArenaView {
                      std::memory_order_release);
   }
 
+  // Checkpoint-restore hook: publishes the CURRENT slot count under the
+  // given publication counter, so a view rebuilt from a checkpoint resumes
+  // the exact version sequence of the run that wrote it (speculation
+  // validity and serve snapshots compare versions across epochs). Only
+  // valid on a quiescent view with no readers — restore runs before any
+  // pipeline thread exists.
+  void RestorePublished(uint32_t version) {
+    next_version_ = version;
+    published_.store((static_cast<uint64_t>(version) << 32) |
+                         static_cast<uint64_t>(arena_.num_slots()),
+                     std::memory_order_release);
+  }
+
   // --- Snapshot readers --------------------------------------------------
 
   // The current published watermark; one atomic acquire, safe to call

@@ -140,8 +140,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <string>
@@ -154,7 +156,10 @@
 #include "ivm/shadow_db.h"
 #include "ivm/update_stream.h"
 #include "ivm/view_tree.h"
+#include "stream/checkpoint.h"
 #include "util/check.h"
+#include "util/fault.h"
+#include "util/status.h"
 #include "util/timer.h"
 
 namespace relborg {
@@ -192,6 +197,26 @@ struct StreamOptions {
   // validation-miss / serial-recompute / write-gate contention paths that
   // conflict avoidance makes rare. Results are bit-identical either way.
   bool speculate_past_conflicts = false;
+  // Ingress validation (docs/ARCHITECTURE.md, "Failure model & recovery"):
+  // when on, Push checks every batch against the catalog — node id in
+  // range, per-row arity and attribute types, finite values, deletes only
+  // retracting live multiplicities — and routes rejected batches to a
+  // bounded quarantine instead of letting them reach the pipeline (where
+  // they would corrupt views or trip an abort). Off skips the per-row scan
+  // for trusted producers; results are identical for valid streams.
+  bool validate_ingress = true;
+  // Rejected batches kept for DrainQuarantine; older rejects beyond the
+  // capacity are dropped (counted in quarantine_dropped_batches). 0 keeps
+  // none.
+  size_t quarantine_capacity = 64;
+  // Stall watchdog: when > 0, a monitor thread dumps queue depths and
+  // per-node watermarks to stderr (and counts watchdog_stalls) whenever no
+  // stage makes progress for this long while work is queued. Observability
+  // only — it never unblocks or kills anything.
+  double stall_timeout_seconds = 0;
+  // Periodic epoch checkpointing (stream/checkpoint.h); disabled unless
+  // both path and every_epochs are set.
+  StreamCheckpointOptions checkpoint;
 };
 
 struct StreamStats {
@@ -224,6 +249,18 @@ struct StreamStats {
   double epoch_latency_max_seconds = 0;
   size_t ingress_high_water_rows = 0;
   size_t epoch_queue_high_water = 0;
+  // Ingress robustness counters (producer side).
+  size_t rejected_batches = 0;   // failed validation, never entered pipeline
+  size_t rejected_rows = 0;      // rows across rejected batches
+  size_t quarantined_batches = 0;       // rejected AND retained for drain
+  size_t quarantine_dropped_batches = 0;  // rejected, quarantine was full
+  size_t dropped_batches = 0;    // pushed after Finish or after a failure
+  size_t try_push_timeouts = 0;  // TryPush deadlines that expired
+  // Watchdog + checkpoint observability.
+  size_t watchdog_stalls = 0;       // no-progress intervals detected
+  size_t checkpoints_written = 0;   // complete checkpoint files renamed in
+  size_t checkpoint_bytes = 0;      // file bytes across them
+  double checkpoint_seconds = 0;    // wall time serializing + writing
 };
 
 // One coalesced node-range of an epoch: the staged ingestion chunk, the
@@ -265,6 +302,12 @@ class EpochAssembler {
   // Seals the in-progress partial epoch into *out; false if no batch is
   // pending (an all-empty-batch tail still seals a zero-range epoch).
   bool Flush(StreamEpoch* out);
+
+  // Checkpoint resume: continues epoch numbering from a checkpoint
+  // boundary. The row cursors need no adjustment — the constructor
+  // snapshots the restored relations' sizes, which at a checkpoint
+  // boundary ARE the per-node watermarks. Call before the first Add.
+  void ResumeAt(uint64_t next_epoch_id) { next_epoch_id_ = next_epoch_id; }
 
  private:
   struct Pending {
@@ -310,6 +353,15 @@ template <typename Strategy>
 struct ReadsAncestorClosure<
     Strategy, std::void_t<decltype(Strategy::kMaintainReadsAncestorClosure)>>
     : std::bool_constant<Strategy::kMaintainReadsAncestorClosure> {};
+
+// Detects the checkpoint API (`Strategy::kCheckpointTag` plus
+// SaveCheckpoint / LoadCheckpoint). Strategies without it simply never
+// write checkpoints (the option is ignored) and cannot be restored.
+template <typename Strategy, typename = void>
+struct HasCheckpoint : std::false_type {};
+template <typename Strategy>
+struct HasCheckpoint<Strategy, std::void_t<decltype(Strategy::kCheckpointTag)>>
+    : std::true_type {};
 
 // Detects the speculative per-range compute API (`Strategy::RangeDelta`
 // plus ComputeRangeDelta / RangeDeltaValid / ApplyRangeDelta): the hook
@@ -390,6 +442,26 @@ class BoundedChannel {
     return true;
   }
 
+  enum class TryPushResult { kOk, kTimeout, kClosed };
+
+  // Bounded-wait Push: gives up after `timeout` instead of blocking
+  // indefinitely under backpressure. On kTimeout the item is untouched (the
+  // caller keeps ownership and may retry).
+  TryPushResult TryPush(T* item, size_t weight,
+                        std::chrono::nanoseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool ready = can_push_.wait_for(lock, timeout, [&] {
+      return closed_ || items_.empty() || weight_ + weight <= capacity_;
+    });
+    if (!ready) return TryPushResult::kTimeout;
+    if (closed_) return TryPushResult::kClosed;
+    weight_ += weight;
+    high_water_ = std::max(high_water_, weight_);
+    items_.emplace_back(std::move(*item), weight);
+    can_pop_.notify_one();
+    return TryPushResult::kOk;
+  }
+
   // Returns false iff the channel is closed and drained.
   bool Pop(T* out) {
     std::unique_lock<std::mutex> lock(mu_);
@@ -415,6 +487,12 @@ class BoundedChannel {
     return high_water_;
   }
 
+  // Queued item count right now (watchdog gauge; instantly stale).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
  private:
   mutable std::mutex mu_;
   std::condition_variable can_push_;
@@ -424,6 +502,164 @@ class BoundedChannel {
   size_t weight_ = 0;
   size_t high_water_ = 0;
   bool closed_ = false;
+};
+
+// Ingress-side batch validation against the catalog. Untrusted producers
+// must not be able to reach any RELBORG_CHECK abort (or silently corrupt
+// views) with a malformed UpdateBatch, so everything the pipeline assumes
+// about a batch is checked HERE, before it enters the ingress queue:
+//
+//   * node id within the join tree;
+//   * batch sign exactly +1 or -1;
+//   * every row has the schema's arity, every value is finite, and
+//     categorical attributes carry non-negative integral codes within
+//     int32 range (Column::AppendCat would otherwise silently truncate in
+//     release builds);
+//   * a delete batch only retracts rows with live multiplicity — tracked
+//     as a per-node multiset of row-content hashes, checked against the
+//     batch's own two-pass need counts so the whole batch accepts or
+//     rejects atomically (a delete stream that over-retracts would drive
+//     multiplicities negative, which every downstream invariant assumes
+//     cannot happen).
+//
+// Check is read-only; Account applies an ACCEPTED batch's effect to the
+// live multiset — split so a batch that times out in TryPush after
+// validation is never accounted. Single-threaded (the producer thread).
+class BatchValidator {
+ public:
+  struct CheckResult {
+    int node = -1;
+    bool is_delete = false;
+    std::vector<uint64_t> hashes;  // one content hash per row
+  };
+
+  // Seeds the live multisets from rows already committed to `db` — the
+  // checkpoint-resume case, where the restored prefix's deletes must stay
+  // retractable-aware. On a fresh db this is a no-op.
+  explicit BatchValidator(const ShadowDb* db)
+      : db_(db), live_(db->tree().num_nodes()) {
+    for (int v = 0; v < db->tree().num_nodes(); ++v) {
+      const Relation& rel = db->relation(v);
+      for (size_t row = 0; row < rel.num_rows(); ++row) {
+        uint64_t h = kHashSeed;
+        for (int a = 0; a < rel.num_attrs(); ++a) {
+          h = HashValue(h, rel.AsDouble(row, a));
+        }
+        h = Clamp(h);
+        if (db->sign(v, row) > 0) {
+          live_[v][h]++;
+        } else if (uint32_t* cnt = live_[v].Find(h)) {
+          if (*cnt > 0) --*cnt;
+        }
+      }
+    }
+  }
+
+  Status Check(const UpdateBatch& batch, CheckResult* out) const {
+    if (batch.rows.empty()) {
+      // Zero-row batches are structural no-ops that still count toward
+      // epoch sealing (node -1 is their conventional encoding), so they
+      // bypass the node/sign checks entirely.
+      out->node = -1;
+      out->is_delete = false;
+      out->hashes.clear();
+      return Status::Ok();
+    }
+    const int num_nodes = db_->tree().num_nodes();
+    if (batch.node < 0 || batch.node >= num_nodes) {
+      return Status::InvalidArgument("batch node id " +
+                                     std::to_string(batch.node) +
+                                     " out of range");
+    }
+    if (batch.sign != 1.0 && batch.sign != -1.0) {
+      return Status::InvalidArgument("batch sign must be +1 or -1");
+    }
+    const Relation& rel = db_->relation(batch.node);
+    const Schema& schema = rel.schema();
+    const size_t arity = static_cast<size_t>(rel.num_attrs());
+    out->node = batch.node;
+    out->is_delete = batch.sign < 0;
+    out->hashes.clear();
+    out->hashes.reserve(batch.rows.size());
+    for (const std::vector<double>& row : batch.rows) {
+      if (row.size() != arity) {
+        return Status::InvalidArgument(
+            "row arity " + std::to_string(row.size()) + " does not match " +
+            "schema arity " + std::to_string(arity));
+      }
+      uint64_t h = kHashSeed;
+      for (size_t a = 0; a < arity; ++a) {
+        const double v = row[a];
+        if (!std::isfinite(v)) {
+          return Status::InvalidArgument("non-finite value in attribute " +
+                                         std::to_string(a));
+        }
+        if (schema.attr(static_cast<int>(a)).type == AttrType::kCategorical &&
+            (v < 0 || v > 2147483647.0 || v != std::floor(v))) {
+          return Status::InvalidArgument(
+              "categorical attribute " + std::to_string(a) +
+              " must be a non-negative int32 code");
+        }
+        h = HashValue(h, v);
+      }
+      out->hashes.push_back(Clamp(h));
+    }
+    if (out->is_delete && !out->hashes.empty()) {
+      // Two-pass in-batch need counts: the whole batch must be coverable
+      // by the CURRENT live multiset (duplicates within the batch need
+      // that many live instances), so acceptance is atomic per batch.
+      FlatHashMap<uint32_t> needed;
+      for (uint64_t h : out->hashes) needed[h]++;
+      const FlatHashMap<uint32_t>& live = live_[batch.node];
+      Status st;
+      needed.ForEach([&](uint64_t h, const uint32_t& n) {
+        const uint32_t* cnt = live.Find(h);
+        if ((cnt == nullptr ? 0u : *cnt) < n && st.ok()) {
+          st = Status::InvalidArgument(
+              "delete batch retracts a row with no live multiplicity");
+        }
+      });
+      if (!st.ok()) return st;
+    }
+    return Status::Ok();
+  }
+
+  // Applies an accepted batch's multiplicity effect. Call exactly once per
+  // batch, only after it was successfully enqueued.
+  void Account(const CheckResult& chk) {
+    if (chk.node < 0) return;  // zero-row no-op batch
+    FlatHashMap<uint32_t>& live = live_[chk.node];
+    for (uint64_t h : chk.hashes) {
+      if (chk.is_delete) {
+        --live[h];  // Check proved coverage, so the count is positive
+      } else {
+        ++live[h];
+      }
+    }
+  }
+
+ private:
+  static constexpr uint64_t kHashSeed = 0xcbf29ce484222325ULL;
+
+  // FNV-1a over the value's IEEE bit pattern — exact-content identity
+  // (matches the committed row exactly: categorical codes round-trip the
+  // double cast bit-for-bit).
+  static uint64_t HashValue(uint64_t h, double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  }
+
+  // FlatHashMap reserves ~0 as its empty sentinel.
+  static uint64_t Clamp(uint64_t h) { return h == kEmptyKey ? 0 : h; }
+
+  const ShadowDb* db_;
+  std::vector<FlatHashMap<uint32_t>> live_;  // per node: content hash ->
+                                             // live multiplicity
 };
 
 // Node-granular exclusion between the committer (splicing one chunk at a
@@ -772,24 +1008,47 @@ class StreamEpochObserver {
                                  const std::vector<size_t>& watermark) = 0;
 };
 
+/// A batch the ingress validator rejected, retained for inspection.
+struct QuarantinedBatch {
+  UpdateBatch batch;
+  Status status;  // why it was rejected
+};
+
 /// The pipeline. Construct over a ShadowDb + strategy, Push batches (blocks
 /// on backpressure), then Finish() to flush, drain and join. The strategy's
 /// result state (e.g. CovarFivm::Current) is valid after Finish.
 ///
-/// THREAD SAFETY: Push is single-producer (one caller thread). Finish may
-/// be called once, from the producer thread. SetEpochObserver and the
-/// BeginViewRead/EndViewRead gate pair are safe from any thread while the
-/// pipeline is live — they exist for the serve layer's concurrent snapshot
-/// readers (serve/snapshot_server.h).
+/// FAILURE MODEL (docs/ARCHITECTURE.md, "Failure model & recovery").
+/// Malformed batches are rejected at Push (quarantined, counted, the
+/// pipeline keeps running); a failed STAGE — an injected fault, or a
+/// checkpoint write error — latches the first failure's (stage, epoch,
+/// cause), closes the ingress and drains every queue cleanly: no thread is
+/// killed, no lock stays held, later batches and epochs are dropped, and
+/// Finish() returns the latched Status. After a failure the ShadowDb and
+/// strategy may hold a torn mid-epoch state — recover by restoring a FRESH
+/// db + strategy via RestoreFromCheckpoint and replaying the stream tail.
+///
+/// THREAD SAFETY: Push/TryPush are single-producer (one caller thread).
+/// Finish may be called from the producer thread (idempotent).
+/// SetEpochObserver and the BeginViewRead/EndViewRead gate pair are safe
+/// from any thread while the pipeline is live — they exist for the serve
+/// layer's concurrent snapshot readers (serve/snapshot_server.h).
 template <typename Strategy>
 class StreamScheduler {
  public:
+  // `resume` (optional) seeds the structural cursor from a checkpoint
+  // restored into `shadow` + `strategy` (see RestoreFromCheckpoint): epoch
+  // numbering, cumulative stats and the maintained watermark continue
+  // exactly where the checkpointed run stood, so replaying the stream tail
+  // reproduces the uninterrupted run bit for bit.
   StreamScheduler(ShadowDb* shadow, Strategy* strategy,
-                  const StreamOptions& options = {})
+                  const StreamOptions& options = {},
+                  const StreamCheckpointInfo* resume = nullptr)
       : shadow_(shadow),
         strategy_(strategy),
         options_(options),
         assembler_(shadow, options),
+        validator_(shadow),
         ingress_(options.max_queued_rows),
         sealed_(options.max_queued_epochs),
         committed_(options.max_queued_epochs),
@@ -798,10 +1057,25 @@ class StreamScheduler {
         view_gate_(shadow->tree().num_nodes()),
         all_reads_(shadow->tree().num_nodes(), 1),
         maintained_watermark_(shadow->tree().num_nodes(), 0) {
+    if (resume != nullptr) {
+      stats_.batches = resume->batches;
+      stats_.rows = resume->rows;
+      stats_.epochs = resume->epochs;
+      stats_.ranges = resume->ranges;
+      cum_batches_ = resume->batches;
+      cum_rows_ = resume->rows;
+      maintained_epochs_.store(resume->epochs, std::memory_order_relaxed);
+      maintained_watermark_ = resume->watermark;
+      maintained_watermark_.resize(shadow->tree().num_nodes(), 0);
+      assembler_.ResumeAt(resume->epochs);
+    }
     assemble_thread_ = std::thread([this] { AssembleLoop(); });
     commit_thread_ = std::thread([this] { CommitLoop(); });
     compute_thread_ = std::thread([this] { ComputeLoop(); });
     apply_thread_ = std::thread([this] { ApplyLoop(); });
+    if (options_.stall_timeout_seconds > 0) {
+      watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
+    }
   }
 
   ~StreamScheduler() {
@@ -815,30 +1089,111 @@ class StreamScheduler {
   // batches flow through (they count toward epoch sealing, like in
   // ReplayStream) but still weigh one row, so a flood of empty batches
   // hits backpressure instead of growing the queue without bound.
-  void Push(UpdateBatch batch) {
-    RELBORG_CHECK_MSG(!finished_, "Push after Finish");
-    const size_t weight = std::max<size_t>(batch.rows.size(), 1);
-    ingress_.Push(std::move(batch), weight);
+  //
+  // Never aborts on bad input or misuse: a batch that fails validation is
+  // quarantined and reported (kInvalidArgument; the pipeline keeps
+  // processing later batches), a Push after Finish or after a pipeline
+  // failure is dropped and reported (kFailedPrecondition / the failure's
+  // status), both counted in StreamStats.
+  Status Push(UpdateBatch batch) {
+    return PushImpl(std::move(batch), /*timeout=*/nullptr);
+  }
+
+  // Bounded-wait Push: fails with kDeadlineExceeded (batch dropped,
+  // counted in try_push_timeouts) instead of blocking past `timeout` when
+  // the ingress queue stays full — producers that cannot stall get a
+  // bounded handoff instead of unbounded backpressure.
+  Status TryPush(UpdateBatch batch, std::chrono::nanoseconds timeout) {
+    return PushImpl(std::move(batch), &timeout);
   }
 
   // Flushes the partial epoch, drains the pipeline, joins the worker
-  // threads and returns the run's stats. Idempotent.
-  StreamStats Finish() {
-    if (finished_) return stats_;
-    finished_ = true;
-    ingress_.Close();
-    assemble_thread_.join();
-    commit_thread_.join();
-    compute_thread_.join();
-    apply_thread_.join();
-    stats_.ingress_high_water_rows = ingress_.high_water();
-    stats_.epoch_queue_high_water =
-        std::max({sealed_.high_water(), committed_.high_water(),
-                  computed_.high_water()});
-    if (stats_.epochs > 0) {
-      stats_.epoch_latency_mean_seconds = latency_sum_ / stats_.epochs;
+  // threads and reports the run's stats through *stats_out (optional).
+  // Returns OK for a clean run, or the FIRST stage failure — naming the
+  // stage and epoch — when the pipeline degraded. Idempotent.
+  Status Finish(StreamStats* stats_out = nullptr) {
+    if (!finished_) {
+      finished_ = true;
+      ingress_.Close();
+      assemble_thread_.join();
+      commit_thread_.join();
+      compute_thread_.join();
+      apply_thread_.join();
+      if (watchdog_thread_.joinable()) {
+        {
+          std::lock_guard<std::mutex> lock(watchdog_mu_);
+          watchdog_stop_ = true;
+        }
+        watchdog_cv_.notify_all();
+        watchdog_thread_.join();
+      }
+      stats_.watchdog_stalls =
+          watchdog_stalls_.load(std::memory_order_relaxed);
+      stats_.ingress_high_water_rows = ingress_.high_water();
+      stats_.epoch_queue_high_water =
+          std::max({sealed_.high_water(), committed_.high_water(),
+                    computed_.high_water()});
+      if (stats_.epochs > 0) {
+        stats_.epoch_latency_mean_seconds = latency_sum_ / stats_.epochs;
+      }
     }
-    return stats_;
+    if (stats_out != nullptr) *stats_out = stats_;
+    return status();
+  }
+
+  /// The first stage failure so far (OK while the pipeline is healthy).
+  /// Safe from any thread.
+  Status status() const {
+    std::lock_guard<std::mutex> lock(fail_mu_);
+    return fail_status_;
+  }
+
+  /// Removes and returns the quarantined batches accumulated so far (their
+  /// rejection Status attached), oldest first. Safe from any thread.
+  std::vector<QuarantinedBatch> DrainQuarantine() {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    std::vector<QuarantinedBatch> out(
+        std::make_move_iterator(quarantine_.begin()),
+        std::make_move_iterator(quarantine_.end()));
+    quarantine_.clear();
+    return out;
+  }
+
+  size_t quarantine_size() const {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    return quarantine_.size();
+  }
+
+  // Restores checkpointed state written by a scheduler with the same
+  // Strategy over the same catalog: the ShadowDb prefix into `shadow`
+  // (which must be fresh) and the view state into `strategy` (freshly
+  // constructed). On OK, *info holds the structural cursor — pass it as
+  // the `resume` constructor argument and re-push the stream from batch
+  // index info->batches. kNotFound means no checkpoint exists (start from
+  // scratch); kDataLoss/kInvalidArgument mean the file is unusable.
+  static Status RestoreFromCheckpoint(const std::string& path,
+                                      ShadowDb* shadow, Strategy* strategy,
+                                      StreamCheckpointInfo* info) {
+    std::vector<uint8_t> payload;
+    Status st = ReadCheckpointFile(path, &payload);
+    if (!st.ok()) return st;
+    ByteSource src(payload.data(), payload.size());
+    *info = DeserializeStreamCheckpointInfo(&src);
+    if (!src.ok()) {
+      return Status::DataLoss("truncated checkpoint header payload");
+    }
+    st = RestoreShadowDbPrefix(&src, shadow);
+    if (!st.ok()) return st;
+    if (src.U32() != Strategy::kCheckpointTag) {
+      return Status::InvalidArgument(
+          "checkpoint was written by a different IVM strategy");
+    }
+    st = strategy->LoadCheckpoint(&src);
+    if (!st.ok()) return st;
+    if (!src.Exhausted()) {
+      return Status::DataLoss("checkpoint payload has trailing bytes");
+    }
+    return Status::Ok();
   }
 
   /// Registers (or, with nullptr, clears) the epoch observer. Safe from
@@ -868,30 +1223,138 @@ class StreamScheduler {
   }
 
  private:
+  // Shared Push/TryPush path. Validation runs in two phases: the read-only
+  // Check BEFORE the enqueue attempt, the multiset Account only AFTER a
+  // successful enqueue — a batch that times out in TryPush leaves the
+  // validator state untouched, so a later retry of the same batch is
+  // judged identically.
+  Status PushImpl(UpdateBatch batch, const std::chrono::nanoseconds* timeout) {
+    if (finished_) {
+      stats_.dropped_batches++;
+      return Status::FailedPrecondition("Push after Finish: batch dropped");
+    }
+    stream_internal::BatchValidator::CheckResult chk;
+    if (options_.validate_ingress) {
+      Status st = validator_.Check(batch, &chk);
+      if (!st.ok()) {
+        stats_.rejected_batches++;
+        stats_.rejected_rows += batch.rows.size();
+        Quarantine(std::move(batch), st);
+        return st;
+      }
+    }
+    const size_t weight = std::max<size_t>(batch.rows.size(), 1);
+    if (timeout != nullptr) {
+      using Channel = stream_internal::BoundedChannel<UpdateBatch>;
+      switch (ingress_.TryPush(&batch, weight, *timeout)) {
+        case Channel::TryPushResult::kTimeout:
+          stats_.try_push_timeouts++;
+          return Status::DeadlineExceeded(
+              "TryPush deadline expired: batch dropped");
+        case Channel::TryPushResult::kClosed:
+          return ClosedStatus();
+        case Channel::TryPushResult::kOk:
+          break;
+      }
+    } else if (!ingress_.Push(std::move(batch), weight)) {
+      return ClosedStatus();
+    }
+    if (options_.validate_ingress) validator_.Account(chk);
+    return Status::Ok();
+  }
+
+  // Push found the ingress closed mid-run: a stage failed (report its
+  // status) — Close() only ever happens from Fail or Finish, and finished_
+  // was checked above.
+  Status ClosedStatus() {
+    stats_.dropped_batches++;
+    Status st = status();
+    if (!st.ok()) return st;
+    return Status::FailedPrecondition("stream pipeline closed: batch dropped");
+  }
+
+  void Quarantine(UpdateBatch batch, const Status& st) {
+    std::lock_guard<std::mutex> lock(quarantine_mu_);
+    if (quarantine_.size() >= options_.quarantine_capacity) {
+      (void)RELBORG_FAULT("stream/quarantine-full");  // observation only
+      stats_.quarantine_dropped_batches++;
+      return;
+    }
+    quarantine_.push_back(QuarantinedBatch{std::move(batch), st});
+    stats_.quarantined_batches++;
+  }
+
+  // Latches the FIRST stage failure (later ones lose the race and are
+  // dropped with their epochs), closes the ingress so the producer learns
+  // immediately, and flips the drain flag every stage checks: queued work
+  // keeps flowing through the channels but is no longer processed, so all
+  // four threads wind down through the normal close cascade with no lock
+  // held and no thread killed.
+  void Fail(const char* stage, uint64_t epoch_id, const Status& cause) {
+    {
+      std::lock_guard<std::mutex> lock(fail_mu_);
+      if (fail_status_.ok()) {
+        fail_status_ =
+            Status(cause.code(), std::string("stage ") + stage +
+                                     " failed at epoch " +
+                                     std::to_string(epoch_id) + ": " +
+                                     cause.message());
+      }
+    }
+    failed_.store(true, std::memory_order_release);
+    ingress_.Close();
+  }
+
+  bool Failed() const { return failed_.load(std::memory_order_acquire); }
+
+  // Stage progress heartbeat for the stall watchdog.
+  void Progress() { progress_.fetch_add(1, std::memory_order_relaxed); }
+
   void AssembleLoop() {
     UpdateBatch batch;
     StreamEpoch epoch;
     while (ingress_.Pop(&batch)) {
+      if (Failed()) continue;  // drain: drop without assembling
       stats_.batches++;
       stats_.rows += batch.rows.size();
       if (assembler_.Add(std::move(batch), &epoch)) {
         sealed_.Push(std::move(epoch));
         epoch = StreamEpoch();
       }
+      Progress();
     }
-    if (assembler_.Flush(&epoch)) sealed_.Push(std::move(epoch));
+    if (!Failed() && assembler_.Flush(&epoch)) sealed_.Push(std::move(epoch));
     sealed_.Close();
   }
 
   void CommitLoop() {
     StreamEpoch epoch;
     while (sealed_.Pop(&epoch)) {
+      if (Failed()) continue;  // drain: drop without committing
       if (options_.overlap_commits) {
         WallTimer timer;
         double waited = 0;
-        stream_internal::CommitEpoch(shadow_, &epoch, &gate_, &waited);
+        bool faulted = false;
+        // Per-RANGE commit with a fault site before each splice: an
+        // injected fault here leaves the ShadowDb genuinely torn
+        // mid-epoch (earlier ranges spliced, later ones lost) — exactly
+        // the state a real crash leaves, which recovery must discard by
+        // restoring into a fresh db.
+        for (StreamRange& range : epoch.ranges) {
+          if (RELBORG_FAULT("stream/pre-commit-chunk")) {
+            Fail("commit", epoch.id,
+                 Status::Aborted("injected fault at stream/pre-commit-chunk"));
+            faulted = true;
+            break;
+          }
+          const int node = range.chunk.node;
+          waited += gate_.BeginCommit(node);
+          shadow_->CommitChunk(std::move(range.chunk));
+          gate_.EndCommit(node);
+        }
         stats_.commit_gate_wait_seconds += waited;
         stats_.commit_seconds += timer.Seconds() - waited;
+        if (faulted) continue;  // epoch dropped mid-commit
         // Observability: how far commits ran ahead of maintenance (the
         // applier publishes the count of maintained epochs; relaxed reads
         // are fine for a gauge).
@@ -902,6 +1365,7 @@ class StreamScheduler {
                              static_cast<size_t>(epoch.id + 1 - maintained));
       }
       committed_.Push(std::move(epoch));
+      Progress();
     }
     committed_.Close();
   }
@@ -927,10 +1391,16 @@ class StreamScheduler {
     std::vector<uint8_t> pending_mask;
     StreamEpoch epoch;
     while (committed_.Pop(&epoch)) {
+      if (Failed()) continue;  // drain: drop without computing
       ComputedEpoch ce;
       ce.epoch = std::move(epoch);
       if constexpr (kSpec) {
         if (SpeculationOn()) {
+          if (RELBORG_FAULT("stream/pre-compute-range")) {
+            Fail("compute", ce.epoch.id,
+                 Status::Aborted("injected fault at stream/pre-compute-range"));
+            continue;
+          }
           WallTimer timer;
           const uint64_t maintained =
               maintained_epochs_.load(std::memory_order_acquire);
@@ -958,6 +1428,7 @@ class StreamScheduler {
         }
       }
       computed_.Push(std::move(ce));
+      Progress();
     }
     computed_.Close();
   }
@@ -979,16 +1450,29 @@ class StreamScheduler {
   void ApplyLoop() {
     ComputedEpoch ce;
     while (computed_.Pop(&ce)) {
+      if (Failed()) continue;  // drain: drop without maintaining
       StreamEpoch& epoch = ce.epoch;
       stats_.epochs++;
       stats_.ranges += epoch.ranges.size();
+      cum_batches_ += epoch.batches;
+      cum_rows_ += epoch.rows;
       if (!options_.overlap_commits) {
         // Serialized schedule: the commit runs here, but is still booked
         // as commit time so apply_seconds stays commensurate across the
         // overlap A/B.
+        if (RELBORG_FAULT("stream/pre-commit-chunk")) {
+          Fail("commit", epoch.id,
+               Status::Aborted("injected fault at stream/pre-commit-chunk"));
+          continue;
+        }
         WallTimer commit_timer;
         stream_internal::CommitEpoch(shadow_, &epoch);
         stats_.commit_seconds += commit_timer.Seconds();
+      }
+      if (RELBORG_FAULT("stream/pre-publish-merge")) {
+        Fail("apply", epoch.id,
+             Status::Aborted("injected fault at stream/pre-publish-merge"));
+        continue;
       }
       WallTimer timer;
       if (options_.overlap_commits) {
@@ -1027,6 +1511,110 @@ class StreamScheduler {
       latency_sum_ += latency;
       stats_.epoch_latency_max_seconds =
           std::max(stats_.epoch_latency_max_seconds, latency);
+      Progress();
+      MaybeCheckpoint(epoch.id);
+    }
+  }
+
+  // Runs on the applier thread right after epoch `epoch_id` was maintained
+  // and (for CovarFivm) published. The snapshot it writes is the exact
+  // state a serial replay of the first cum_batches_ source batches
+  // produces: committed ShadowDb prefix up to the maintained watermark,
+  // plus each strategy's accumulator payload serialized byte-exact (FP
+  // folds are never recomputed at restore — summation order would differ).
+  void MaybeCheckpoint(uint64_t epoch_id) {
+    if constexpr (!stream_internal::HasCheckpoint<Strategy>::value) {
+      (void)epoch_id;
+      return;
+    } else {
+      MaybeCheckpointImpl(epoch_id);
+    }
+  }
+
+  template <typename S = Strategy,
+            typename = std::enable_if_t<
+                stream_internal::HasCheckpoint<S>::value>>
+  void MaybeCheckpointImpl(uint64_t epoch_id) {
+    if (options_.checkpoint.path.empty() ||
+        options_.checkpoint.every_epochs == 0) {
+      return;
+    }
+    if ((epoch_id + 1) % options_.checkpoint.every_epochs != 0) return;
+    if (RELBORG_FAULT("stream/pre-checkpoint-write")) {
+      Fail("checkpoint", epoch_id,
+           Status::Aborted("injected fault at stream/pre-checkpoint-write"));
+      return;
+    }
+    WallTimer timer;
+    ByteSink sink;
+    StreamCheckpointInfo info;
+    info.epochs = epoch_id + 1;
+    info.batches = cum_batches_;
+    info.rows = cum_rows_;
+    info.ranges = stats_.ranges;
+    info.watermark = maintained_watermark_;
+    SerializeStreamCheckpointInfo(info, &sink);
+    // With overlapped commits the committer may be splicing FUTURE epochs
+    // into the ShadowDb right now (column appends can reallocate), so take
+    // the maintain side of the gate across the prefix serialization. Safe
+    // against self-deadlock: BeginMaintain waits only on busy_ committers,
+    // never on other maintain-side holders (the compute thread's node
+    // holds don't block us, and we hold nothing yet).
+    if (options_.overlap_commits) {
+      stats_.maintain_gate_wait_seconds += gate_.BeginMaintain(all_reads_);
+    }
+    SerializeShadowDbPrefix(*shadow_, maintained_watermark_, &sink);
+    if (options_.overlap_commits) gate_.EndMaintain(all_reads_);
+    sink.U32(Strategy::kCheckpointTag);
+    strategy_->SaveCheckpoint(&sink);
+    size_t bytes = 0;
+    Status st = WriteCheckpointFile(options_.checkpoint.path, sink,
+                                    options_.checkpoint.fsync, &bytes);
+    if (!st.ok()) {
+      Fail("checkpoint", epoch_id, st);
+      return;
+    }
+    stats_.checkpoints_written++;
+    stats_.checkpoint_bytes += bytes;
+    stats_.checkpoint_seconds += timer.Seconds();
+  }
+
+  // Stall watchdog (own thread, only when options_.stall_timeout_seconds
+  // > 0): wakes every interval; if no stage made progress since the last
+  // wake AND work is queued, dumps queue depths and per-node committed-row
+  // watermarks to stderr and bumps the stall counter. Purely diagnostic —
+  // it never unblocks or kills anything.
+  void WatchdogLoop() {
+    const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::duration<double>(options_.stall_timeout_seconds));
+    std::unique_lock<std::mutex> lock(watchdog_mu_);
+    uint64_t last = progress_.load(std::memory_order_relaxed);
+    while (!watchdog_stop_) {
+      watchdog_cv_.wait_for(lock, interval, [&] { return watchdog_stop_; });
+      if (watchdog_stop_) break;
+      const uint64_t now = progress_.load(std::memory_order_relaxed);
+      if (now != last) {
+        last = now;
+        continue;
+      }
+      const size_t qi = ingress_.size();
+      const size_t qs = sealed_.size();
+      const size_t qc = committed_.size();
+      const size_t qx = computed_.size();
+      if (qi + qs + qc + qx == 0 || Failed()) continue;  // idle or draining
+      watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "relborg stream watchdog: no progress for %.3fs; queue "
+                   "depths ingress=%zu sealed=%zu committed=%zu computed=%zu "
+                   "maintained_epochs=%llu\n",
+                   options_.stall_timeout_seconds, qi, qs, qc, qx,
+                   static_cast<unsigned long long>(
+                       maintained_epochs_.load(std::memory_order_relaxed)));
+      for (int v = 0; v < shadow_->tree().num_nodes(); ++v) {
+        std::fprintf(stderr,
+                     "relborg stream watchdog:   node %d committed_rows=%zu\n",
+                     v, shadow_->committed_rows(v));
+      }
     }
   }
 
@@ -1034,6 +1622,10 @@ class StreamScheduler {
   Strategy* strategy_;
   StreamOptions options_;
   EpochAssembler assembler_;  // assemble thread only (after construction)
+  // Producer-thread state (same thread as Push/TryPush/Finish): the
+  // ingress validator's live-multiplicity multiset and the producer-owned
+  // rejection counters live here; the quarantine is shared (mutex).
+  stream_internal::BatchValidator validator_;
   stream_internal::BoundedChannel<UpdateBatch> ingress_;
   stream_internal::BoundedChannel<StreamEpoch> sealed_;
   stream_internal::BoundedChannel<StreamEpoch> committed_;
@@ -1061,22 +1653,55 @@ class StreamScheduler {
   // threads.
   StreamStats stats_;
   double latency_sum_ = 0;
+  // Applier-thread cumulative batch/row counters (seeded from `resume`):
+  // the checkpoint's replay cursor — the stream prefix it captures is
+  // exactly the first cum_batches_ source batches.
+  size_t cum_batches_ = 0;
+  size_t cum_rows_ = 0;
+  // Degradation state: failed_ is the drain flag every stage polls;
+  // fail_status_ (first failure wins) is what Finish/status report.
+  std::atomic<bool> failed_{false};
+  mutable std::mutex fail_mu_;
+  Status fail_status_;
+  // Bounded quarantine of rejected ingress batches (producer writes,
+  // any thread drains).
+  mutable std::mutex quarantine_mu_;
+  std::deque<QuarantinedBatch> quarantine_;
+  // Stall watchdog state. progress_ is bumped by every stage on every
+  // item; the watchdog compares successive samples.
+  std::atomic<uint64_t> progress_{0};
+  std::atomic<size_t> watchdog_stalls_{0};
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;  // guarded by watchdog_mu_
   std::thread assemble_thread_;
   std::thread commit_thread_;
   std::thread compute_thread_;
   std::thread apply_thread_;
+  std::thread watchdog_thread_;
   bool finished_ = false;
 };
 
 // Streams `stream` through an async scheduler and finishes. The common
-// entry point the IVM strategies share.
+// entry point the IVM strategies share. With `status` non-null it receives
+// the run's degradation status: a pipeline stage failure if one occurred,
+// else the first push rejection (quarantined batch), else OK — the stream
+// is always driven to completion either way.
 template <typename Strategy>
 StreamStats ApplyStream(ShadowDb* shadow, Strategy* strategy,
                         const std::vector<UpdateBatch>& stream,
-                        const StreamOptions& options = {}) {
+                        const StreamOptions& options = {},
+                        Status* status = nullptr) {
   StreamScheduler<Strategy> scheduler(shadow, strategy, options);
-  for (const UpdateBatch& batch : stream) scheduler.Push(batch);
-  return scheduler.Finish();
+  Status first_reject = Status::Ok();
+  for (const UpdateBatch& batch : stream) {
+    Status st = scheduler.Push(batch);
+    if (!st.ok() && first_reject.ok()) first_reject = st;
+  }
+  StreamStats stats;
+  Status finish = scheduler.Finish(&stats);
+  if (status != nullptr) *status = !finish.ok() ? finish : first_reject;
+  return stats;
 }
 
 // Serial reference: the same epochs committed and maintained on the

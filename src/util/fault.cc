@@ -1,0 +1,48 @@
+#include "util/fault.h"
+
+namespace relborg {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* g = new FaultInjector();  // leaked: process lifetime
+  return *g;
+}
+
+void FaultInjector::Arm(const std::string& site, uint64_t hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_site_ = site;
+  armed_hit_ = hit;
+  fired_ = false;
+  counts_.clear();
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::ArmFromSeed(uint64_t seed) {
+  const auto& sites = FaultSites();
+  const uint64_t n = sites.size();
+  Arm(sites[seed % n], (seed / n) % 4);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+  armed_site_.clear();
+  fired_ = false;
+  counts_.clear();
+}
+
+bool FaultInjector::Fire(const char* site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  const uint64_t n = counts_[site]++;
+  if (fired_ || site != armed_site_ || n != armed_hit_) return false;
+  fired_ = true;
+  return true;
+}
+
+uint64_t FaultInjector::Hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace relborg

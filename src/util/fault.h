@@ -1,0 +1,91 @@
+// Deterministic fault injection for crash-recovery testing.
+//
+// A FaultInjector holds a registry of NAMED SITES placed at pipeline stage
+// boundaries (see kFaultSites below). Each site counts how many times it is
+// reached; the injector is armed with a (site, hit) pair and Fire() returns
+// true exactly once — when the armed site reaches the armed hit count.
+// Because every site lives on a single stage thread, its hit counter is a
+// deterministic function of the input stream, so a given (site, hit) names
+// one reproducible interleaving point regardless of thread scheduling.
+//
+// Seeds map onto (site, hit) via ArmFromSeed so CI can sweep the space
+// with `RELBORG_FAULT_SEED=$n ctest -L fault`. The injector never arms
+// itself from the environment: reference (uninterrupted) runs inside the
+// same process must stay clean, so tests read the env var themselves and
+// arm only the run meant to crash.
+//
+// Production code marks sites with RELBORG_FAULT("name"), which is a
+// single relaxed atomic load when nothing is armed — cheap enough to keep
+// compiled in.
+#ifndef RELBORG_UTIL_FAULT_H_
+#define RELBORG_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace relborg {
+
+// Stable, ordered registry of injection sites. ArmFromSeed indexes into
+// this list, so APPEND new sites at the end — reordering re-maps every
+// recorded seed.
+inline const std::vector<std::string>& FaultSites() {
+  static const std::vector<std::string> kSites = {
+      "stream/pre-commit-chunk",      // committer, before each ShadowDb range
+      "stream/pre-publish-merge",     // applier, before maintaining an epoch
+      "stream/pre-compute-range",     // compute thread, before speculation
+      "stream/pre-checkpoint-write",  // applier, before snapshotting state
+      "stream/pre-checkpoint-fsync",  // writer, tmp file written, not yet
+                                      // flushed/renamed (torn checkpoint)
+      "stream/quarantine-full",       // producer, bounded quarantine at
+                                      // capacity (observation only)
+  };
+  return kSites;
+}
+
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  // Arm the injector: the next time `site` is reached for the `hit`-th
+  // time (0-based), Fire returns true — once. Resets all hit counters so
+  // each arming observes a fresh run.
+  void Arm(const std::string& site, uint64_t hit);
+
+  // Deterministic seed -> (site, hit) mapping over the registry:
+  //   site = FaultSites()[seed % N], hit = (seed / N) % 4.
+  // Sweeping seed over [0, 4N) covers every site at hits 0..3.
+  void ArmFromSeed(uint64_t seed);
+
+  void Disarm();
+
+  // Record a hit at `site`; true iff this hit is the armed one. At most
+  // one Fire per arming returns true.
+  bool Fire(const char* site);
+
+  // Hits recorded at `site` since the last Arm/Disarm (testing aid).
+  uint64_t Hits(const std::string& site) const;
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::string armed_site_;
+  uint64_t armed_hit_ = 0;
+  bool fired_ = false;
+  std::unordered_map<std::string, uint64_t> counts_;
+};
+
+// True iff the globally armed fault fires here, in which case the caller
+// should fail its stage as if it had crashed at this point.
+#define RELBORG_FAULT(site)                      \
+  (::relborg::FaultInjector::Global().armed() && \
+   ::relborg::FaultInjector::Global().Fire(site))
+
+}  // namespace relborg
+
+#endif  // RELBORG_UTIL_FAULT_H_

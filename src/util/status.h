@@ -1,0 +1,140 @@
+// Lightweight error propagation for failure paths that must NOT abort.
+//
+// House style splits failures in two:
+//  * PROGRAMMING ERRORS (broken invariants inside the library) abort via
+//    RELBORG_CHECK — they indicate a bug, and no caller can meaningfully
+//    recover from corrupted engine state.
+//  * OPERATIONAL FAILURES (malformed input from an untrusted producer, a
+//    missing or corrupt checkpoint file, a deadline expiring under
+//    backpressure, a pipeline stage dying) are EXPECTED at runtime and
+//    flow back to the caller as a Status / Result<T> — no exceptions, no
+//    abort, no global errno.
+//
+// Status is a code plus a human-readable message; Result<T> carries a
+// value on success and a Status otherwise. Both are cheap to move and
+// deliberately minimal (no payloads, no stack traces) — the stream
+// scheduler's failure model (docs/ARCHITECTURE.md, "Failure model &
+// recovery") only ever needs to NAME what failed and where.
+#ifndef RELBORG_UTIL_STATUS_H_
+#define RELBORG_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace relborg {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // malformed input (validation rejections)
+  kFailedPrecondition,  // API misuse that must not abort (Push after Finish)
+  kDeadlineExceeded,    // bounded wait expired (TryPush)
+  kResourceExhausted,   // bounded buffer full (quarantine overflow)
+  kNotFound,            // no checkpoint file to restore from
+  kDataLoss,            // corrupt/truncated checkpoint payload
+  kAborted,             // pipeline stage failed (incl. injected faults)
+  kUnavailable,         // I/O failure writing a checkpoint
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value or the Status explaining its absence. Access to the value when
+// !ok() is a programming error (RELBORG_CHECK).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    RELBORG_CHECK(!status_.ok());  // an OK Result must carry a value
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const {
+    RELBORG_CHECK(value_.has_value());
+    return *value_;
+  }
+  T& value() {
+    RELBORG_CHECK(value_.has_value());
+    return *value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_UTIL_STATUS_H_

@@ -221,7 +221,8 @@ TEST_P(StreamStressSuite, WatermarksAreMonotoneUnderLoad) {
       last[v] = w;
     }
   }
-  const StreamStats stats = scheduler.Finish();
+  StreamStats stats;
+  ASSERT_TRUE(scheduler.Finish(&stats).ok());
   for (int v = 0; v < num_nodes; ++v) {
     EXPECT_EQ(shadow.committed_rows(v), shadow.relation(v).num_rows());
   }

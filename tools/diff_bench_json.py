@@ -29,7 +29,11 @@ Thresholds (relative change):
 Exit codes: 0 ok (possibly with warnings), 1 failing regressions
 (--fail-threshold breached, or --strict with any regression), 2 no
 matching records between the files (e.g. after a metric rename) — callers
-that only care about regressions should treat 2 as a warning.
+that only care about regressions should treat 2 as a warning, 3 an input
+file is missing, unreadable, or not valid JSON (e.g. a bench leg that
+crashed mid-write left a truncated BENCH_ci.json) — a broken input is an
+infrastructure failure, not a perf verdict, so callers must not confuse
+it with either "clean" (0) or "regressed" (1).
 """
 
 import argparse
@@ -41,15 +45,32 @@ TIME_UNITS = {"s", "ms", "us", "ns"}
 HIGHER_IS_BETTER_UNITS = {"x"}
 
 
+class BrokenInput(Exception):
+    """An input file is missing, unreadable, or not parseable JSON."""
+
+
 def load_records(path):
-    with open(path, "r", encoding="utf-8") as fh:
-        data = json.load(fh)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as err:
+        raise BrokenInput(f"cannot read '{path}': {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        raise BrokenInput(
+            f"'{path}' is not valid JSON (line {err.lineno}: {err.msg}); "
+            "the producing bench run likely crashed mid-write")
     if isinstance(data, dict):
         records = data.get("records", [])
     else:
         records = data
+    if not isinstance(records, list):
+        raise BrokenInput(f"'{path}' has no record list (got "
+                          f"{type(records).__name__})")
     table = {}
     for rec in records:
+        if not isinstance(rec, dict) or not isinstance(
+                rec.get("value"), (int, float)):
+            raise BrokenInput(f"'{path}' holds a malformed record: {rec!r:.80}")
         key = (rec.get("harness"), rec.get("scale"), rec.get("metric"),
                rec.get("threads"))
         # Duplicate identities (reruns in one file) keep the last record,
@@ -94,8 +115,12 @@ def main():
                     help="exit 1 when any regression is found")
     args = ap.parse_args()
 
-    base = load_records(args.baseline)
-    cur = load_records(args.current)
+    try:
+        base = load_records(args.baseline)
+        cur = load_records(args.current)
+    except BrokenInput as err:
+        print(f"diff_bench_json: broken input: {err}", file=sys.stderr)
+        return 3
     shared = sorted(set(base) & set(cur), key=lambda k: (k[0] or "", k[2] or "",
                                                          k[3] or 0))
     if not shared:
