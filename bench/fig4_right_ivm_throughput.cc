@@ -39,6 +39,7 @@
 #include "data/dataset.h"
 #include "ivm/ivm.h"
 #include "ivm/update_stream.h"
+#include "obs/metrics.h"
 #include "stream/stream_scheduler.h"
 #include "util/timer.h"
 
@@ -108,6 +109,12 @@ struct AsyncResult {
   StreamStats stats;
   double seconds = 0;
   bool timed_out = false;
+  // Epoch-latency quantiles from the scheduler's registry histogram
+  // (relborg_stream_epoch_latency_seconds); the flat StreamStats only
+  // carries mean and max.
+  double latency_p50 = 0;
+  double latency_p95 = 0;
+  double latency_p99 = 0;
 
   double tuples_per_sec() const {
     return stats.rows / std::max(1e-9, seconds);
@@ -128,9 +135,14 @@ AsyncResult DriveAsync(const Dataset& ds,
   // moves batches into Push rather than keeping them, and the serial path
   // likewise reads the shared stream without duplicating it.
   std::vector<UpdateBatch> feed = stream;
+  // External registry so the per-stage histograms survive the scheduler:
+  // quantiles come from the registry, not from the flat StreamStats.
+  obs::MetricsRegistry registry;
+  StreamOptions instrumented = options;
+  instrumented.metrics = &registry;
   WallTimer timer;
   {
-    StreamScheduler<Strategy> scheduler(&shadow, &strategy, options);
+    StreamScheduler<Strategy> scheduler(&shadow, &strategy, instrumented);
     for (UpdateBatch& batch : feed) {
       scheduler.Push(std::move(batch));
       if (timer.Seconds() > budget_secs) {
@@ -141,6 +153,13 @@ AsyncResult DriveAsync(const Dataset& ds,
     scheduler.Finish(&result.stats);
   }
   result.seconds = timer.Seconds();
+  const obs::Histogram* latency =
+      registry.FindHistogram("relborg_stream_epoch_latency_seconds");
+  if (latency != nullptr) {
+    result.latency_p50 = latency->Quantile(0.50);
+    result.latency_p95 = latency->Quantile(0.95);
+    result.latency_p99 = latency->Quantile(0.99);
+  }
   return result;
 }
 
@@ -263,6 +282,35 @@ void Run(bool epoch_sweep) {
     bench::Report(std::string(tag) + "_async_epoch_latency_max_ms",
                   async.stats.epoch_latency_max_seconds * 1e3, "ms",
                   policy.threads);
+    // Histogram-derived latency quantiles and per-stage time split (busy
+    // vs gate wait) from the scheduler's metrics registry.
+    std::printf(
+        "  %-11s epoch latency p50 %.2f ms / p95 %.2f ms / p99 %.2f ms; "
+        "stage seconds apply %.2f commit %.2f compute %.2f (gate waits "
+        "%.2f/%.2f/%.2f)\n",
+        name, async.latency_p50 * 1e3, async.latency_p95 * 1e3,
+        async.latency_p99 * 1e3, async.stats.apply_seconds,
+        async.stats.commit_seconds, async.stats.compute_seconds,
+        async.stats.maintain_gate_wait_seconds,
+        async.stats.commit_gate_wait_seconds,
+        async.stats.compute_gate_wait_seconds);
+    bench::Report(std::string(tag) + "_async_epoch_latency_p50_ms",
+                  async.latency_p50 * 1e3, "ms", policy.threads);
+    bench::Report(std::string(tag) + "_async_epoch_latency_p95_ms",
+                  async.latency_p95 * 1e3, "ms", policy.threads);
+    bench::Report(std::string(tag) + "_async_epoch_latency_p99_ms",
+                  async.latency_p99 * 1e3, "ms", policy.threads);
+    bench::Report(std::string(tag) + "_async_apply_seconds",
+                  async.stats.apply_seconds, "s", policy.threads);
+    bench::Report(std::string(tag) + "_async_commit_seconds",
+                  async.stats.commit_seconds, "s", policy.threads);
+    bench::Report(std::string(tag) + "_async_compute_seconds",
+                  async.stats.compute_seconds, "s", policy.threads);
+    bench::Report(std::string(tag) + "_async_gate_wait_seconds",
+                  async.stats.maintain_gate_wait_seconds +
+                      async.stats.commit_gate_wait_seconds +
+                      async.stats.compute_gate_wait_seconds,
+                  "s", policy.threads);
     // Compute-overlap observability: how far the speculative compute stage
     // ran ahead of maintenance, and how its speculations settled.
     std::printf(

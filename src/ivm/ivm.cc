@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace relborg {
@@ -55,6 +56,7 @@ void HigherOrderIvm::BumpVersions(const std::vector<int>& path) {
 
 void HigherOrderIvm::ApplyBatch(int v, size_t first, size_t count,
                                 const size_t* visible, ViewWriteGate* gate) {
+  RELBORG_TRACE_SPAN("hoivm/fold", "ivm", -1, v);
   // The maintainers are mutually independent; each one applies the batch
   // serially, so the per-maintainer state is thread-count-invariant. The
   // root path is write-locked coarsely, once around the parallel fan-out
@@ -75,6 +77,7 @@ void HigherOrderIvm::ApplyBatch(int v, size_t first, size_t count,
 HigherOrderIvm::RangeDelta HigherOrderIvm::ComputeRangeDelta(
     const NodeRowRange& r, std::vector<std::pair<int, uint64_t>>* observed,
     const StagedChildKeys* staged) {
+  RELBORG_TRACE_SPAN("hoivm/delta", "ivm", -1, r.node);
   for (int c : db_->tree().node(r.node).children) {
     observed->push_back({c, versions_[c].load(std::memory_order_acquire)});
   }
@@ -101,6 +104,7 @@ bool HigherOrderIvm::RangeDeltaValid(
 void HigherOrderIvm::ApplyRangeDelta(const NodeRowRange& r, RangeDelta delta,
                                      const size_t* visible,
                                      ViewWriteGate* gate) {
+  RELBORG_TRACE_SPAN("hoivm/propagate", "ivm", -1, r.node);
   const std::vector<int> path = RootPath(r.node);
   if (gate != nullptr) {
     for (int u : path) gate->LockView(u);
@@ -248,6 +252,7 @@ Status FirstOrderIvm::LoadCheckpoint(ByteSource* src) {
 
 void FirstOrderIvm::ApplyBatch(int v, size_t first, size_t count,
                                const size_t* visible) {
+  RELBORG_TRACE_SPAN("foivm/delta-join", "ivm", -1, v);
   const RootedTree& tree = db_->tree();
   // Bring the (base-relation) indexes up to date — a DBMS maintains these
   // incrementally; what first-order IVM lacks is intermediate VIEWS. Under

@@ -29,6 +29,7 @@
 #include "core/feature_map.h"
 #include "ivm/shadow_db.h"
 #include "ivm/view_tree.h"
+#include "obs/trace.h"
 #include "ring/covar_arena.h"
 #include "ring/covariance.h"
 #include "util/packed_key.h"
@@ -213,6 +214,7 @@ class CovarFivm {
   void ApplyBatch(int v, size_t first, size_t count,
                   const size_t* visible = nullptr,
                   ViewWriteGate* gate = nullptr) {
+    RELBORG_TRACE_SPAN("fivm/fold", "ivm", -1, v);
     maintainer_.ApplyBatch(v, first, count, ctx_.enabled() ? &ctx_ : nullptr,
                            visible, gate);
   }
@@ -233,6 +235,7 @@ class CovarFivm {
   RangeDelta ComputeRangeDelta(const NodeRowRange& r,
                                std::vector<std::pair<int, uint64_t>>* observed,
                                const StagedChildKeys* staged = nullptr) {
+    RELBORG_TRACE_SPAN("fivm/delta", "ivm", -1, r.node);
     const std::vector<int>& children = db_->tree().node(r.node).children;
     std::vector<CovarViewSnapshot> snaps(db_->tree().num_nodes());
     for (int c : children) {
@@ -254,6 +257,7 @@ class CovarFivm {
 
   void ApplyRangeDelta(const NodeRowRange& r, RangeDelta delta,
                        const size_t* visible, ViewWriteGate* gate) {
+    RELBORG_TRACE_SPAN("fivm/propagate", "ivm", -1, r.node);
     maintainer_.ApplyDelta(r.node, std::move(delta), visible, gate);
   }
 
@@ -272,6 +276,7 @@ class CovarFivm {
                  gate);
       return;
     }
+    RELBORG_TRACE_SPAN("fivm/group", "ivm", -1, ranges[0].node);
     const ExecContext* ctx = ctx_.enabled() ? &ctx_ : nullptr;
     std::vector<CovarArenaView> deltas(n);
     ctx_.ParallelFor(n, [&](size_t i) {

@@ -1,5 +1,6 @@
 #include "ivm/shadow_db.h"
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace relborg {
@@ -111,6 +112,7 @@ IngestChunk ShadowDb::StageRows(int v, std::vector<std::vector<double>> rows,
 }
 
 void ShadowDb::CommitChunk(IngestChunk&& chunk) {
+  RELBORG_TRACE_SPAN("commit-chunk", "storage", -1, chunk.node);
   const int v = chunk.node;
   Relation* rel = relations_[v];
   RELBORG_CHECK_MSG(chunk.first == rel->num_rows(),

@@ -1,0 +1,87 @@
+// Structured diagnostic events: a single formatted record built from
+// key=value fields plus an optional multi-line detail block (e.g. the trace
+// tail), emitted atomically with one stderr write. Replaces ad-hoc
+// interleaved fprintf diagnostics (stall watchdog, quarantine overflow).
+#ifndef RELBORG_OBS_EVENT_H_
+#define RELBORG_OBS_EVENT_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace relborg {
+namespace obs {
+
+// Builder for one `[relborg] kind key=value ...` record. Fields appear in
+// insertion order; Render() returns the full record text ending in '\n'.
+class StructuredEvent {
+ public:
+  explicit StructuredEvent(const char* kind) : kind_(kind) {}
+
+  StructuredEvent& Add(const char* key, int64_t value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+    return AddRaw(key, buf);
+  }
+  StructuredEvent& Add(const char* key, uint64_t value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    return AddRaw(key, buf);
+  }
+  StructuredEvent& Add(const char* key, double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return AddRaw(key, buf);
+  }
+  StructuredEvent& Add(const char* key, const std::string& value) {
+    return AddRaw(key, value.c_str());
+  }
+
+  // Appends an indented multi-line block after the key=value line, prefixed
+  // by `title:`. Empty detail blocks are skipped.
+  StructuredEvent& Detail(const char* title, const std::string& block) {
+    if (block.empty()) return *this;
+    detail_ += "  ";
+    detail_ += title;
+    detail_ += ":\n";
+    detail_ += block;
+    if (detail_.back() != '\n') detail_ += '\n';
+    return *this;
+  }
+
+  std::string Render() const {
+    std::string out = "[relborg] ";
+    out += kind_;
+    out += fields_;
+    out += '\n';
+    out += detail_;
+    return out;
+  }
+
+  // Writes the whole record to stderr with a single fputs (no interleaving
+  // with other threads' records).
+  void EmitToStderr() const {
+    const std::string record = Render();
+    std::fputs(record.c_str(), stderr);
+    std::fflush(stderr);
+  }
+
+ private:
+  StructuredEvent& AddRaw(const char* key, const char* value) {
+    fields_ += ' ';
+    fields_ += key;
+    fields_ += '=';
+    fields_ += value;
+    return *this;
+  }
+
+  const char* kind_;
+  std::string fields_;
+  std::string detail_;
+};
+
+}  // namespace obs
+}  // namespace relborg
+
+#endif  // RELBORG_OBS_EVENT_H_

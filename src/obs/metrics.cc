@@ -1,0 +1,171 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace relborg {
+namespace obs {
+
+double Histogram::BucketBound(int i) {
+  if (i >= kFiniteBuckets) return INFINITY;
+  return std::ldexp(1.0, kMinExp + i);
+}
+
+int Histogram::BucketIndex(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in the first bucket
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  if (m == 0.5) --exp;  // exact powers of two belong in their own bucket (le)
+  int idx = exp - kMinExp;
+  if (idx < 0) idx = 0;
+  if (idx > kFiniteBuckets) idx = kFiniteBuckets;  // overflow -> +Inf bucket
+  return idx;
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += BucketCount(i);
+    if (static_cast<double>(cum) >= target) {
+      const double bound = BucketBound(i);
+      // Clamp the +Inf bucket to the largest finite bound for reporting.
+      return std::isinf(bound) ? BucketBound(kFiniteBuckets - 1) : bound;
+    }
+  }
+  return BucketBound(kFiniteBuckets - 1);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kCounter;
+    e.help = help;
+    e.counter.reset(new Counter());
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  RELBORG_CHECK_MSG(it->second.kind == Kind::kCounter, name.c_str());
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kGauge;
+    e.help = help;
+    e.gauge.reset(new Gauge());
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  RELBORG_CHECK_MSG(it->second.kind == Kind::kGauge, name.c_str());
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = Kind::kHistogram;
+    e.help = help;
+    e.histogram.reset(new Histogram());
+    it = entries_.emplace(name, std::move(e)).first;
+  }
+  RELBORG_CHECK_MSG(it->second.kind == Kind::kHistogram, name.c_str());
+  return it->second.histogram.get();
+}
+
+Counter* MetricsRegistry::FindCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kCounter) return nullptr;
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kGauge) return nullptr;
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != Kind::kHistogram)
+    return nullptr;
+  return it->second.histogram.get();
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double v) {
+  if (std::isinf(v)) {
+    out->append(v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExpositionText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& kv : entries_) {
+    const std::string& name = kv.first;
+    const Entry& e = kv.second;
+    out += "# HELP " + name + " " + e.help + "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " ";
+        AppendNumber(&out, e.counter->Value());
+        out += "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " ";
+        AppendNumber(&out, e.gauge->Value());
+        out += "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        uint64_t cum = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          cum += e.histogram->BucketCount(i);
+          out += name + "_bucket{le=\"";
+          AppendNumber(&out, Histogram::BucketBound(i));
+          out += "\"} ";
+          AppendNumber(&out, static_cast<double>(cum));
+          out += "\n";
+        }
+        out += name + "_sum ";
+        AppendNumber(&out, e.histogram->Sum());
+        out += "\n";
+        out += name + "_count ";
+        AppendNumber(&out, static_cast<double>(e.histogram->Count()));
+        out += "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace relborg

@@ -60,9 +60,12 @@
 #include <vector>
 
 #include "ml/linear_regression.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ring/covariance.h"
 #include "stream/stream_scheduler.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace relborg {
 
@@ -167,6 +170,21 @@ class SnapshotServer : public StreamEpochObserver {
       options_.snapshot_every_epochs = 1;
     }
     root_mask_[db->tree().root()] = 1;
+    // Serve instruments live in the SCHEDULER's registry, so one
+    // MetricsText() exposes the whole pipeline + serving surface.
+    obs::MetricsRegistry& reg = scheduler_->metrics();
+    read_latency_ = reg.GetHistogram("relborg_serve_read_latency_seconds",
+                                     "Per-query serve read latency (Covar / "
+                                     "GroupBy, gate wait included)");
+    transactions_ = reg.GetCounter("relborg_serve_transactions_total",
+                                   "Read transactions opened");
+    reads_ = reg.GetCounter("relborg_serve_reads_total",
+                            "Snapshot reads served (Covar + GroupBy)");
+    snapshots_ = reg.GetCounter("relborg_serve_snapshots_published_total",
+                                "Snapshot entries published (initial one "
+                                "included)");
+    models_ = reg.GetCounter("relborg_serve_models_trained_total",
+                             "Ridge models trained over snapshots");
     Publish(0, std::vector<size_t>(db->tree().num_nodes(), 0));
     scheduler_->SetEpochObserver(this);
   }
@@ -182,6 +200,7 @@ class SnapshotServer : public StreamEpochObserver {
   /// Opens a read transaction on the newest published snapshot.
   /// Non-blocking (one mutex acquisition); never waits on the pipeline.
   ReadTxn BeginSnapshot() {
+    transactions_->Inc();
     std::lock_guard<std::mutex> lock(mu_);
     return ReadTxn(current_);
   }
@@ -193,13 +212,21 @@ class SnapshotServer : public StreamEpochObserver {
   /// The covariance aggregate batch at the transaction's horizon.
   CovarMatrix Covar(const ReadTxn& txn) const {
     RELBORG_DCHECK(txn.open());
+    obs::ThreadTraceScope trace_scope(scheduler_->trace(), "serve");
+    obs::TraceSpan span("serve/covar", "serve",
+                        static_cast<int64_t>(txn.horizon_epochs()));
+    WallTimer timer;
+    reads_->Inc();
     if constexpr (kPinned) {
       scheduler_->BeginViewRead(root_mask_);
       CovarMatrix m = strategy_->CovarAt(txn.entry_->pin);
       scheduler_->EndViewRead(root_mask_);
+      read_latency_->Observe(timer.Seconds());
       return m;
     } else {
-      return CovarMatrix(txn.entry_->num_features, txn.entry_->covar);
+      CovarMatrix m(txn.entry_->num_features, txn.entry_->covar);
+      read_latency_->Observe(timer.Seconds());
+      return m;
     }
   }
 
@@ -212,11 +239,17 @@ class SnapshotServer : public StreamEpochObserver {
                   "GroupBy requires a strategy with the ServePin protocol "
                   "(CovarFivm); copy-based snapshots keep no view state");
     RELBORG_DCHECK(txn.open());
+    obs::ThreadTraceScope trace_scope(scheduler_->trace(), "serve");
+    obs::TraceSpan span("serve/group-by", "serve",
+                        static_cast<int64_t>(txn.horizon_epochs()), v);
+    WallTimer timer;
+    reads_->Inc();
     std::vector<uint8_t> mask(root_mask_.size(), 0);
     mask[v] = 1;
     scheduler_->BeginViewRead(mask);
     auto out = strategy_->GroupByAt(v, txn.entry_->pin);
     scheduler_->EndViewRead(mask);
+    read_latency_->Observe(timer.Seconds());
     return out;
   }
 
@@ -234,6 +267,7 @@ class SnapshotServer : public StreamEpochObserver {
       if (it != warm_.end()) options.warm_start = it->second;
     }
     LinearModel model = TrainRidgeGd(m, response, options, {}, info);
+    models_->Inc();
     {
       std::lock_guard<std::mutex> lock(model_mu_);
       warm_[response] = model.weights;
@@ -253,6 +287,18 @@ class SnapshotServer : public StreamEpochObserver {
     return published_;
   }
 
+  /// Prometheus-style exposition of the shared registry: the scheduler's
+  /// pipeline instruments plus this server's serve instruments. Safe from
+  /// any thread — this is the "metrics queryable through the serve layer"
+  /// endpoint.
+  std::string MetricsText() const { return scheduler_->MetricsText(); }
+
+  /// The shared registry itself (e.g. for quantile queries on
+  /// relborg_serve_read_latency_seconds).
+  const obs::MetricsRegistry& metrics() const {
+    return scheduler_->metrics();
+  }
+
   /// StreamEpochObserver: runs on the APPLIER thread between epochs —
   /// the one point where pinning/copying strategy state cannot race a
   /// fold. Not part of the client API.
@@ -264,8 +310,13 @@ class SnapshotServer : public StreamEpochObserver {
 
  private:
   void Publish(uint64_t horizon, std::vector<size_t> watermark) {
+    // Runs on the applier thread (or the owner's at construction): the
+    // instant lands in that thread's trace ring when tracing is on.
+    RELBORG_TRACE_INSTANT("snapshot-publish", "serve",
+                          static_cast<int64_t>(horizon), -1);
     auto entry = std::make_shared<const Entry>(horizon, std::move(watermark),
                                                strategy_);
+    snapshots_->Inc();
     std::lock_guard<std::mutex> lock(mu_);
     current_ = std::move(entry);  // superseded entry unpins on last release
     ++published_;
@@ -281,6 +332,14 @@ class SnapshotServer : public StreamEpochObserver {
   size_t published_ = 0;
   std::mutex model_mu_;             // guards warm_
   std::map<int, std::vector<double>> warm_;  // response -> last weights
+  // Serve instruments (registered in the scheduler's registry; stable for
+  // the registry's lifetime). read_latency_/reads_ are written from const
+  // read paths — the instruments are atomic, so they stay mutable.
+  obs::Histogram* read_latency_ = nullptr;
+  obs::Counter* transactions_ = nullptr;
+  mutable obs::Counter* reads_ = nullptr;
+  obs::Counter* snapshots_ = nullptr;
+  obs::Counter* models_ = nullptr;
 };
 
 }  // namespace relborg

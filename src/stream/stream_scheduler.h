@@ -145,6 +145,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -156,7 +157,11 @@
 #include "ivm/shadow_db.h"
 #include "ivm/update_stream.h"
 #include "ivm/view_tree.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/checkpoint.h"
+#include "stream/stream_metrics.h"
 #include "util/check.h"
 #include "util/fault.h"
 #include "util/status.h"
@@ -217,6 +222,16 @@ struct StreamOptions {
   // Periodic epoch checkpointing (stream/checkpoint.h); disabled unless
   // both path and every_epochs are set.
   StreamCheckpointOptions checkpoint;
+  // Observability (src/obs/). `metrics`: an external registry to register
+  // the pipeline's instruments in (so one registry can span scheduler +
+  // serve layer); null means the scheduler owns a private registry,
+  // reachable via metrics(). `trace`: when set, every stage thread records
+  // spans into the recorder's per-thread rings (Chrome-trace exportable);
+  // null disables recording entirely — spans cost one thread-local load.
+  // Tracing and metrics never affect WHAT the pipeline computes: results
+  // stay bit-identical to an uninstrumented run.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct StreamStats {
@@ -262,6 +277,56 @@ struct StreamStats {
   size_t checkpoint_bytes = 0;      // file bytes across them
   double checkpoint_seconds = 0;    // wall time serializing + writing
 };
+
+namespace stream_internal {
+
+// StreamStats is a PROJECTION of the metrics registry: the scheduler only
+// ever updates instruments, and this derivation is the only producer of the
+// flat struct — the two cannot disagree. Counter values are integer-valued
+// doubles (exact); the seconds fields are the histogram sums, accumulated by
+// a single writer in the same order as the `+=` fields they replaced.
+inline StreamStats StreamMetrics::Derive() const {
+  StreamStats s;
+  s.batches = static_cast<size_t>(batches->Value());
+  s.rows = static_cast<size_t>(rows->Value());
+  s.epochs = static_cast<size_t>(epochs->Value());
+  s.ranges = static_cast<size_t>(ranges->Value());
+  s.speculated_ranges = static_cast<size_t>(speculated_ranges->Value());
+  s.speculation_hits = static_cast<size_t>(speculation_hits->Value());
+  s.speculation_misses = static_cast<size_t>(speculation_misses->Value());
+  s.probe_staged_ranges = static_cast<size_t>(probe_staged_ranges->Value());
+  s.apply_seconds = apply_seconds->Sum();
+  s.commit_seconds = commit_seconds->Sum();
+  s.compute_seconds = compute_seconds->Sum();
+  s.commit_gate_wait_seconds = commit_gate_wait->Sum();
+  s.maintain_gate_wait_seconds = maintain_gate_wait->Sum();
+  s.compute_gate_wait_seconds = compute_gate_wait->Sum();
+  s.commit_ahead_max_epochs = static_cast<size_t>(commit_ahead_max->Value());
+  s.compute_overlap_epochs_max =
+      static_cast<size_t>(compute_overlap_max->Value());
+  // Mean over ALL epochs counted (checkpoint resume seeds the epoch
+  // counter), matching the pre-registry semantics.
+  s.epoch_latency_mean_seconds =
+      s.epochs > 0 ? epoch_latency->Sum() / static_cast<double>(s.epochs) : 0;
+  s.epoch_latency_max_seconds = epoch_latency_max->Value();
+  s.ingress_high_water_rows = static_cast<size_t>(ingress_high_water->Value());
+  s.epoch_queue_high_water =
+      static_cast<size_t>(epoch_queue_high_water->Value());
+  s.rejected_batches = static_cast<size_t>(rejected_batches->Value());
+  s.rejected_rows = static_cast<size_t>(rejected_rows->Value());
+  s.quarantined_batches = static_cast<size_t>(quarantined_batches->Value());
+  s.quarantine_dropped_batches =
+      static_cast<size_t>(quarantine_dropped_batches->Value());
+  s.dropped_batches = static_cast<size_t>(dropped_batches->Value());
+  s.try_push_timeouts = static_cast<size_t>(try_push_timeouts->Value());
+  s.watchdog_stalls = static_cast<size_t>(watchdog_stalls->Value());
+  s.checkpoints_written = static_cast<size_t>(checkpoint_write->Count());
+  s.checkpoint_bytes = static_cast<size_t>(checkpoint_bytes->Value());
+  s.checkpoint_seconds = checkpoint_write->Sum();
+  return s;
+}
+
+}  // namespace stream_internal
 
 // One coalesced node-range of an epoch: the staged ingestion chunk, the
 // node's view-group index (0 = deepest group; the root group is last), and
@@ -889,7 +954,7 @@ void SpeculateEpoch(Strategy* strategy, const ShadowDb& db,
                     ComputedEpoch<Strategy, true>* ce,
                     const std::vector<uint8_t>* pending_writes,
                     bool speculate_past_conflicts, CommitGate* commit_gate,
-                    ViewGate* view_gate, StreamStats* stats) {
+                    ViewGate* view_gate, StreamMetrics* metrics) {
   const RootedTree& tree = db.tree();
   const size_t num_nodes = static_cast<size_t>(tree.num_nodes());
   std::vector<StreamRange>& ranges = ce->epoch.ranges;
@@ -917,7 +982,7 @@ void SpeculateEpoch(Strategy* strategy, const ShadowDb& db,
       cr.probes = StageChildKeys(db, r.node, r.first, r.count);
       if (commit_gate != nullptr) commit_gate->EndMaintainNode(r.node);
       cr.probes_staged = true;
-      if (stats != nullptr) stats->probe_staged_ranges++;
+      if (metrics != nullptr) metrics->probe_staged_ranges->Inc();
     } else {
       if (commit_gate != nullptr) waited = commit_gate->BeginMaintainNode(r.node);
       if (view_gate != nullptr) waited += view_gate->BeginRead(probe_set);
@@ -925,9 +990,9 @@ void SpeculateEpoch(Strategy* strategy, const ShadowDb& db,
       if (view_gate != nullptr) view_gate->EndRead(probe_set);
       if (commit_gate != nullptr) commit_gate->EndMaintainNode(r.node);
       cr.speculated = true;
-      if (stats != nullptr) stats->speculated_ranges++;
+      if (metrics != nullptr) metrics->speculated_ranges->Inc();
     }
-    if (stats != nullptr) stats->compute_gate_wait_seconds += waited;
+    if (metrics != nullptr) metrics->compute_gate_wait->Observe(waited);
     MarkAncestorClosure(tree, r.node, &conflict);
   }
 }
@@ -945,7 +1010,7 @@ void SpeculateEpoch(Strategy* strategy, const ShadowDb& db,
 template <typename Strategy>
 void MaintainEpochSpeculative(Strategy* strategy,
                               ComputedEpoch<Strategy, true>* ce,
-                              ViewWriteGate* gate, StreamStats* stats) {
+                              ViewWriteGate* gate, StreamMetrics* metrics) {
   std::vector<StreamRange>& ranges = ce->epoch.ranges;
   RELBORG_DCHECK(ce->ranges.size() == ranges.size());
   auto range_of = [&](size_t k) {
@@ -958,10 +1023,10 @@ void MaintainEpochSpeculative(Strategy* strategy,
   auto settle = [&](typename ComputedEpoch<Strategy, true>::Range* cr,
                     size_t k) {
     if (cr->speculated && strategy->RangeDeltaValid(cr->observed)) {
-      if (stats != nullptr) stats->speculation_hits++;
+      if (metrics != nullptr) metrics->speculation_hits->Inc();
       return;
     }
-    if (cr->speculated && stats != nullptr) stats->speculation_misses++;
+    if (cr->speculated && metrics != nullptr) metrics->speculation_misses->Inc();
     cr->observed.clear();
     cr->delta = strategy->ComputeRangeDelta(
         range_of(k), &cr->observed,
@@ -1056,12 +1121,24 @@ class StreamScheduler {
         gate_(shadow->tree().num_nodes()),
         view_gate_(shadow->tree().num_nodes()),
         all_reads_(shadow->tree().num_nodes(), 1),
-        maintained_watermark_(shadow->tree().num_nodes(), 0) {
+        maintained_watermark_(shadow->tree().num_nodes(), 0),
+        owned_registry_(options.metrics != nullptr
+                            ? nullptr
+                            : new obs::MetricsRegistry()),
+        registry_(options.metrics != nullptr ? options.metrics
+                                             : owned_registry_.get()),
+        m_(stream_internal::StreamMetrics::Register(registry_)) {
+    if (options_.trace != nullptr) {
+      // The producer (Push/TryPush) thread never installs a trace scope;
+      // the scheduler records its ingress events into this dedicated ring.
+      // Push is single-producer, so the single-writer contract holds.
+      producer_log_ = options_.trace->RegisterThread("producer");
+    }
     if (resume != nullptr) {
-      stats_.batches = resume->batches;
-      stats_.rows = resume->rows;
-      stats_.epochs = resume->epochs;
-      stats_.ranges = resume->ranges;
+      m_.batches->Inc(static_cast<double>(resume->batches));
+      m_.rows->Inc(static_cast<double>(resume->rows));
+      m_.epochs->Inc(static_cast<double>(resume->epochs));
+      m_.ranges->Inc(static_cast<double>(resume->ranges));
       cum_batches_ = resume->batches;
       cum_rows_ = resume->rows;
       maintained_epochs_.store(resume->epochs, std::memory_order_relaxed);
@@ -1127,19 +1204,33 @@ class StreamScheduler {
         watchdog_cv_.notify_all();
         watchdog_thread_.join();
       }
-      stats_.watchdog_stalls =
-          watchdog_stalls_.load(std::memory_order_relaxed);
-      stats_.ingress_high_water_rows = ingress_.high_water();
-      stats_.epoch_queue_high_water =
+      m_.ingress_high_water->Set(
+          static_cast<double>(ingress_.high_water()));
+      m_.epoch_queue_high_water->Set(static_cast<double>(
           std::max({sealed_.high_water(), committed_.high_water(),
-                    computed_.high_water()});
-      if (stats_.epochs > 0) {
-        stats_.epoch_latency_mean_seconds = latency_sum_ / stats_.epochs;
-      }
+                    computed_.high_water()})));
     }
-    if (stats_out != nullptr) *stats_out = stats_;
+    if (stats_out != nullptr) *stats_out = m_.Derive();
     return status();
   }
+
+  /// The pipeline's metrics registry: the scheduler's own instruments plus
+  /// anything else registered into it (the serve layer when it shares the
+  /// registry via StreamOptions::metrics). Safe from any thread while the
+  /// pipeline is live — every instrument is atomic.
+  obs::MetricsRegistry& metrics() { return *registry_; }
+  const obs::MetricsRegistry& metrics() const { return *registry_; }
+
+  /// Prometheus-style text exposition of metrics(). Safe from any thread.
+  std::string MetricsText() const { return registry_->ExpositionText(); }
+
+  /// Live StreamStats snapshot derived from the registry (Finish reports
+  /// the same projection after the final gauges are set). Safe from any
+  /// thread; timing fields may be mid-epoch while the pipeline runs.
+  StreamStats DeriveStats() const { return m_.Derive(); }
+
+  /// The trace recorder this pipeline records into (null = tracing off).
+  obs::TraceRecorder* trace() const { return options_.trace; }
 
   /// The first stage failure so far (OK while the pipeline is healthy).
   /// Safe from any thread.
@@ -1230,15 +1321,15 @@ class StreamScheduler {
   // judged identically.
   Status PushImpl(UpdateBatch batch, const std::chrono::nanoseconds* timeout) {
     if (finished_) {
-      stats_.dropped_batches++;
+      m_.dropped_batches->Inc();
       return Status::FailedPrecondition("Push after Finish: batch dropped");
     }
     stream_internal::BatchValidator::CheckResult chk;
     if (options_.validate_ingress) {
       Status st = validator_.Check(batch, &chk);
       if (!st.ok()) {
-        stats_.rejected_batches++;
-        stats_.rejected_rows += batch.rows.size();
+        m_.rejected_batches->Inc();
+        m_.rejected_rows->Inc(static_cast<double>(batch.rows.size()));
         Quarantine(std::move(batch), st);
         return st;
       }
@@ -1248,7 +1339,7 @@ class StreamScheduler {
       using Channel = stream_internal::BoundedChannel<UpdateBatch>;
       switch (ingress_.TryPush(&batch, weight, *timeout)) {
         case Channel::TryPushResult::kTimeout:
-          stats_.try_push_timeouts++;
+          m_.try_push_timeouts->Inc();
           return Status::DeadlineExceeded(
               "TryPush deadline expired: batch dropped");
         case Channel::TryPushResult::kClosed:
@@ -1267,21 +1358,28 @@ class StreamScheduler {
   // status) — Close() only ever happens from Fail or Finish, and finished_
   // was checked above.
   Status ClosedStatus() {
-    stats_.dropped_batches++;
+    m_.dropped_batches->Inc();
     Status st = status();
     if (!st.ok()) return st;
     return Status::FailedPrecondition("stream pipeline closed: batch dropped");
   }
 
   void Quarantine(UpdateBatch batch, const Status& st) {
+    // Producer-thread trace event (the producer has no ThreadTraceScope;
+    // see producer_log_).
+    if (producer_log_ != nullptr) {
+      const uint64_t now = options_.trace->NowNs();
+      producer_log_->Record("quarantine", "ingress", /*epoch=*/-1, batch.node,
+                            now, now);
+    }
     std::lock_guard<std::mutex> lock(quarantine_mu_);
     if (quarantine_.size() >= options_.quarantine_capacity) {
       (void)RELBORG_FAULT("stream/quarantine-full");  // observation only
-      stats_.quarantine_dropped_batches++;
+      m_.quarantine_dropped_batches->Inc();
       return;
     }
     quarantine_.push_back(QuarantinedBatch{std::move(batch), st});
-    stats_.quarantined_batches++;
+    m_.quarantined_batches->Inc();
   }
 
   // Latches the FIRST stage failure (later ones lose the race and are
@@ -1291,6 +1389,9 @@ class StreamScheduler {
   // four threads wind down through the normal close cascade with no lock
   // held and no thread killed.
   void Fail(const char* stage, uint64_t epoch_id, const Status& cause) {
+    // Stage threads carry a trace scope; the failure lands in their ring.
+    RELBORG_TRACE_INSTANT("stage-failure", "fault",
+                          static_cast<int64_t>(epoch_id), -1);
     {
       std::lock_guard<std::mutex> lock(fail_mu_);
       if (fail_status_.ok()) {
@@ -1311,13 +1412,16 @@ class StreamScheduler {
   void Progress() { progress_.fetch_add(1, std::memory_order_relaxed); }
 
   void AssembleLoop() {
+    obs::ThreadTraceScope trace_scope(options_.trace, "assemble");
     UpdateBatch batch;
     StreamEpoch epoch;
     while (ingress_.Pop(&batch)) {
       if (Failed()) continue;  // drain: drop without assembling
-      stats_.batches++;
-      stats_.rows += batch.rows.size();
+      obs::TraceSpan span("assemble", "stage");
+      m_.batches->Inc();
+      m_.rows->Inc(static_cast<double>(batch.rows.size()));
       if (assembler_.Add(std::move(batch), &epoch)) {
+        span.set_epoch(static_cast<int64_t>(epoch.id));
         sealed_.Push(std::move(epoch));
         epoch = StreamEpoch();
       }
@@ -1328,10 +1432,13 @@ class StreamScheduler {
   }
 
   void CommitLoop() {
+    obs::ThreadTraceScope trace_scope(options_.trace, "commit");
     StreamEpoch epoch;
     while (sealed_.Pop(&epoch)) {
       if (Failed()) continue;  // drain: drop without committing
       if (options_.overlap_commits) {
+        obs::TraceSpan span("commit", "stage",
+                            static_cast<int64_t>(epoch.id));
         WallTimer timer;
         double waited = 0;
         bool faulted = false;
@@ -1352,17 +1459,16 @@ class StreamScheduler {
           shadow_->CommitChunk(std::move(range.chunk));
           gate_.EndCommit(node);
         }
-        stats_.commit_gate_wait_seconds += waited;
-        stats_.commit_seconds += timer.Seconds() - waited;
+        m_.commit_gate_wait->Observe(waited);
+        m_.commit_seconds->Observe(timer.Seconds() - waited);
         if (faulted) continue;  // epoch dropped mid-commit
         // Observability: how far commits ran ahead of maintenance (the
         // applier publishes the count of maintained epochs; relaxed reads
         // are fine for a gauge).
         const uint64_t maintained =
             maintained_epochs_.load(std::memory_order_relaxed);
-        stats_.commit_ahead_max_epochs =
-            std::max<size_t>(stats_.commit_ahead_max_epochs,
-                             static_cast<size_t>(epoch.id + 1 - maintained));
+        m_.commit_ahead_max->SetMax(
+            static_cast<double>(epoch.id + 1 - maintained));
       }
       committed_.Push(std::move(epoch));
       Progress();
@@ -1382,6 +1488,7 @@ class StreamScheduler {
   }
 
   void ComputeLoop() {
+    obs::ThreadTraceScope trace_scope(options_.trace, "compute");
     // Epochs handed downstream but not yet maintained — their write
     // closures are the conflict set for new speculations. Pruned by the
     // applier's published epoch count: the acquire load pairs with the
@@ -1401,30 +1508,30 @@ class StreamScheduler {
                  Status::Aborted("injected fault at stream/pre-compute-range"));
             continue;
           }
+          obs::TraceSpan span("compute", "stage",
+                              static_cast<int64_t>(ce.epoch.id));
           WallTimer timer;
           const uint64_t maintained =
               maintained_epochs_.load(std::memory_order_acquire);
           while (!pending.empty() && pending.front().first < maintained) {
             pending.pop_front();
           }
-          stats_.compute_overlap_epochs_max = std::max<size_t>(
-              stats_.compute_overlap_epochs_max,
-              static_cast<size_t>(ce.epoch.id + 1 - maintained));
+          m_.compute_overlap_max->SetMax(
+              static_cast<double>(ce.epoch.id + 1 - maintained));
           pending_mask.assign(all_reads_.size(), 0);
           for (const auto& [id, reads] : pending) {
             for (size_t v = 0; v < reads.size(); ++v) {
               pending_mask[v] |= reads[v];
             }
           }
-          const double waited_before = stats_.compute_gate_wait_seconds;
+          const double waited_before = m_.compute_gate_wait->Sum();
           stream_internal::SpeculateEpoch(
               strategy_, *shadow_, &ce, &pending_mask,
-              options_.speculate_past_conflicts, &gate_, &view_gate_,
-              &stats_);
+              options_.speculate_past_conflicts, &gate_, &view_gate_, &m_);
           pending.emplace_back(ce.epoch.id, ce.epoch.reads);
-          stats_.compute_seconds +=
+          m_.compute_seconds->Observe(
               timer.Seconds() -
-              (stats_.compute_gate_wait_seconds - waited_before);
+              (m_.compute_gate_wait->Sum() - waited_before));
         }
       }
       computed_.Push(std::move(ce));
@@ -1440,7 +1547,7 @@ class StreamScheduler {
     if constexpr (kSpec) {
       if (SpeculationOn()) {
         stream_internal::MaintainEpochSpeculative(strategy_, ce, &view_gate_,
-                                                  &stats_);
+                                                  &m_);
         return;
       }
     }
@@ -1448,12 +1555,13 @@ class StreamScheduler {
   }
 
   void ApplyLoop() {
+    obs::ThreadTraceScope trace_scope(options_.trace, "apply");
     ComputedEpoch ce;
     while (computed_.Pop(&ce)) {
       if (Failed()) continue;  // drain: drop without maintaining
       StreamEpoch& epoch = ce.epoch;
-      stats_.epochs++;
-      stats_.ranges += epoch.ranges.size();
+      m_.epochs->Inc();
+      m_.ranges->Inc(static_cast<double>(epoch.ranges.size()));
       cum_batches_ += epoch.batches;
       cum_rows_ += epoch.rows;
       if (!options_.overlap_commits) {
@@ -1465,22 +1573,26 @@ class StreamScheduler {
                Status::Aborted("injected fault at stream/pre-commit-chunk"));
           continue;
         }
+        obs::TraceSpan commit_span("commit", "stage",
+                                   static_cast<int64_t>(epoch.id));
         WallTimer commit_timer;
         stream_internal::CommitEpoch(shadow_, &epoch);
-        stats_.commit_seconds += commit_timer.Seconds();
+        m_.commit_seconds->Observe(commit_timer.Seconds());
       }
       if (RELBORG_FAULT("stream/pre-publish-merge")) {
         Fail("apply", epoch.id,
              Status::Aborted("injected fault at stream/pre-publish-merge"));
         continue;
       }
+      obs::TraceSpan apply_span("apply", "stage",
+                                static_cast<int64_t>(epoch.id));
       WallTimer timer;
       if (options_.overlap_commits) {
         const std::vector<uint8_t>& reads =
             stream_internal::ReadsAncestorClosure<Strategy>::value
                 ? epoch.reads
                 : all_reads_;
-        stats_.maintain_gate_wait_seconds += gate_.BeginMaintain(reads);
+        m_.maintain_gate_wait->Observe(gate_.BeginMaintain(reads));
         Maintain(&ce);
         gate_.EndMaintain(reads);
       } else {
@@ -1503,14 +1615,14 @@ class StreamScheduler {
           observer_->OnEpochMaintained(epoch.id, maintained_watermark_);
         }
       }
-      stats_.apply_seconds += timer.Seconds();
+      m_.apply_seconds->Observe(timer.Seconds());
+      apply_span.End();
       const double latency =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         epoch.sealed_at)
               .count();
-      latency_sum_ += latency;
-      stats_.epoch_latency_max_seconds =
-          std::max(stats_.epoch_latency_max_seconds, latency);
+      m_.epoch_latency->Observe(latency);
+      m_.epoch_latency_max->SetMax(latency);
       Progress();
       MaybeCheckpoint(epoch.id);
     }
@@ -1545,13 +1657,15 @@ class StreamScheduler {
            Status::Aborted("injected fault at stream/pre-checkpoint-write"));
       return;
     }
+    obs::TraceSpan span("checkpoint", "checkpoint",
+                        static_cast<int64_t>(epoch_id));
     WallTimer timer;
     ByteSink sink;
     StreamCheckpointInfo info;
     info.epochs = epoch_id + 1;
     info.batches = cum_batches_;
     info.rows = cum_rows_;
-    info.ranges = stats_.ranges;
+    info.ranges = static_cast<size_t>(m_.ranges->Value());
     info.watermark = maintained_watermark_;
     SerializeStreamCheckpointInfo(info, &sink);
     // With overlapped commits the committer may be splicing FUTURE epochs
@@ -1561,7 +1675,7 @@ class StreamScheduler {
     // never on other maintain-side holders (the compute thread's node
     // holds don't block us, and we hold nothing yet).
     if (options_.overlap_commits) {
-      stats_.maintain_gate_wait_seconds += gate_.BeginMaintain(all_reads_);
+      m_.maintain_gate_wait->Observe(gate_.BeginMaintain(all_reads_));
     }
     SerializeShadowDbPrefix(*shadow_, maintained_watermark_, &sink);
     if (options_.overlap_commits) gate_.EndMaintain(all_reads_);
@@ -1574,17 +1688,19 @@ class StreamScheduler {
       Fail("checkpoint", epoch_id, st);
       return;
     }
-    stats_.checkpoints_written++;
-    stats_.checkpoint_bytes += bytes;
-    stats_.checkpoint_seconds += timer.Seconds();
+    m_.checkpoint_bytes->Inc(static_cast<double>(bytes));
+    m_.checkpoint_write->Observe(timer.Seconds());
   }
 
   // Stall watchdog (own thread, only when options_.stall_timeout_seconds
   // > 0): wakes every interval; if no stage made progress since the last
-  // wake AND work is queued, dumps queue depths and per-node committed-row
-  // watermarks to stderr and bumps the stall counter. Purely diagnostic —
-  // it never unblocks or kills anything.
+  // wake AND work is queued, emits ONE structured `stream.stall` record to
+  // stderr — queue depths, maintained epochs, per-node committed-row
+  // watermarks and the trace tail, formatted atomically so concurrent
+  // stalls never interleave — and bumps the stall counter. Purely
+  // diagnostic: it never unblocks or kills anything.
   void WatchdogLoop() {
+    obs::ThreadTraceScope trace_scope(options_.trace, "watchdog");
     const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
         std::chrono::duration<double>(options_.stall_timeout_seconds));
     std::unique_lock<std::mutex> lock(watchdog_mu_);
@@ -1602,19 +1718,30 @@ class StreamScheduler {
       const size_t qc = committed_.size();
       const size_t qx = computed_.size();
       if (qi + qs + qc + qx == 0 || Failed()) continue;  // idle or draining
-      watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
-      std::fprintf(stderr,
-                   "relborg stream watchdog: no progress for %.3fs; queue "
-                   "depths ingress=%zu sealed=%zu committed=%zu computed=%zu "
-                   "maintained_epochs=%llu\n",
-                   options_.stall_timeout_seconds, qi, qs, qc, qx,
-                   static_cast<unsigned long long>(
-                       maintained_epochs_.load(std::memory_order_relaxed)));
+      m_.watchdog_stalls->Inc();
+      RELBORG_TRACE_INSTANT("stall", "watchdog", -1, -1);
+      obs::StructuredEvent ev("stream.stall");
+      ev.Add("no_progress_s", options_.stall_timeout_seconds)
+          .Add("ingress", static_cast<uint64_t>(qi))
+          .Add("sealed", static_cast<uint64_t>(qs))
+          .Add("committed", static_cast<uint64_t>(qc))
+          .Add("computed", static_cast<uint64_t>(qx))
+          .Add("maintained_epochs",
+               static_cast<uint64_t>(
+                   maintained_epochs_.load(std::memory_order_relaxed)));
+      std::string watermarks;
+      char buf[64];
       for (int v = 0; v < shadow_->tree().num_nodes(); ++v) {
-        std::fprintf(stderr,
-                     "relborg stream watchdog:   node %d committed_rows=%zu\n",
-                     v, shadow_->committed_rows(v));
+        std::snprintf(buf, sizeof(buf), "    node %d committed_rows=%zu\n", v,
+                      shadow_->committed_rows(v));
+        watermarks += buf;
       }
+      ev.Detail("watermarks", watermarks);
+      if (options_.trace != nullptr) {
+        // Tolerated-racy read of the most recent spans across all rings.
+        ev.Detail("trace_tail", options_.trace->TailString(16));
+      }
+      ev.EmitToStderr();
     }
   }
 
@@ -1642,17 +1769,19 @@ class StreamScheduler {
   // in-flight call.
   std::mutex observer_mu_;
   StreamEpochObserver* observer_ = nullptr;
-  // Stats fields are partitioned by writer: batches/rows belong to the
-  // assemble thread; commit_* to whichever thread commits (the commit
-  // thread with overlap on, the apply thread with it off — never both in
-  // one run); compute_seconds, compute_gate_wait_seconds,
-  // compute_overlap_epochs_max, speculated_ranges and probe_staged_ranges
-  // to the compute thread; the rest (including speculation_hits/misses,
-  // decided at the serial point) to the apply thread. Finish reads them
-  // after joining all four, so no field is ever accessed from two live
-  // threads.
-  StreamStats stats_;
-  double latency_sum_ = 0;
+  // Metrics: every instrument is atomic, so the old per-thread stats
+  // partitioning is no longer load-bearing — but each instrument still has
+  // a single writer thread (same partitioning as before), which keeps the
+  // floating-point sums in one deterministic accumulation order. The
+  // registry is owned unless StreamOptions::metrics supplied an external
+  // one; StreamStats is derived from it (StreamMetrics::Derive), never
+  // maintained separately.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::MetricsRegistry* registry_;
+  stream_internal::StreamMetrics m_;
+  // Producer-thread trace ring (quarantine/reject events); null when
+  // tracing is off.
+  obs::trace_internal::ThreadLog* producer_log_ = nullptr;
   // Applier-thread cumulative batch/row counters (seeded from `resume`):
   // the checkpoint's replay cursor — the stream prefix it captures is
   // exactly the first cum_batches_ source batches.
@@ -1670,7 +1799,6 @@ class StreamScheduler {
   // Stall watchdog state. progress_ is bumped by every stage on every
   // item; the watchdog compares successive samples.
   std::atomic<uint64_t> progress_{0};
-  std::atomic<size_t> watchdog_stalls_{0};
   std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;
   bool watchdog_stop_ = false;  // guarded by watchdog_mu_
@@ -1765,7 +1893,8 @@ class SteppedStreamPipeline {
         strategy_(strategy),
         options_(options),
         assembler_(shadow, options),
-        stream_(std::move(stream)) {}
+        stream_(std::move(stream)),
+        m_(stream_internal::StreamMetrics::Register(&registry_)) {}
 
   // Attempts one step; true iff the stage made progress.
   bool Step(PipelineStep step) {
@@ -1824,7 +1953,10 @@ class SteppedStreamPipeline {
 
   // The successful steps taken so far, in order.
   const std::string& trace() const { return trace_; }
-  const StreamStats& stats() const { return stats_; }
+  // Derived from the pipeline's private registry, like the threaded
+  // scheduler's Finish (by value: the projection is computed on demand).
+  StreamStats stats() const { return m_.Derive(); }
+  obs::MetricsRegistry& metrics() { return registry_; }
 
  private:
   bool StepAssemble() {
@@ -1833,8 +1965,8 @@ class SteppedStreamPipeline {
     StreamEpoch epoch;
     while (next_batch_ < stream_.size()) {
       UpdateBatch batch = stream_[next_batch_++];
-      stats_.batches++;
-      stats_.rows += batch.rows.size();
+      m_.batches->Inc();
+      m_.rows->Inc(static_cast<double>(batch.rows.size()));
       if (assembler_.Add(std::move(batch), &epoch)) {
         sealed_.push_back(std::move(epoch));
         return true;
@@ -1876,13 +2008,12 @@ class SteppedStreamPipeline {
             pending[v] |= p.epoch.reads[v];
           }
         }
-        stats_.compute_overlap_epochs_max = std::max<size_t>(
-            stats_.compute_overlap_epochs_max,
-            static_cast<size_t>(ce.epoch.id + 1 - applied_epochs_));
+        m_.compute_overlap_max->SetMax(
+            static_cast<double>(ce.epoch.id + 1 - applied_epochs_));
         stream_internal::SpeculateEpoch(strategy_, *shadow_, &ce, &pending,
                                         options_.speculate_past_conflicts,
                                         /*commit_gate=*/nullptr,
-                                        /*view_gate=*/nullptr, &stats_);
+                                        /*view_gate=*/nullptr, &m_);
       }
     }
     computed_.push_back(std::move(ce));
@@ -1893,15 +2024,15 @@ class SteppedStreamPipeline {
     if (computed_.empty()) return false;
     Computed ce = std::move(computed_.front());
     computed_.pop_front();
-    stats_.epochs++;
-    stats_.ranges += ce.epoch.ranges.size();
+    m_.epochs->Inc();
+    m_.ranges->Inc(static_cast<double>(ce.epoch.ranges.size()));
     if (!options_.overlap_commits) {
       stream_internal::CommitEpoch(shadow_, &ce.epoch);
     }
     if constexpr (kSpec) {
       if (options_.overlap_commits && options_.overlap_compute) {
         stream_internal::MaintainEpochSpeculative(strategy_, &ce,
-                                                  /*gate=*/nullptr, &stats_);
+                                                  /*gate=*/nullptr, &m_);
         applied_epochs_ = ce.epoch.id + 1;
         return true;
       }
@@ -1922,7 +2053,8 @@ class SteppedStreamPipeline {
   std::deque<StreamEpoch> committed_;
   std::deque<Computed> computed_;
   uint64_t applied_epochs_ = 0;
-  StreamStats stats_;
+  obs::MetricsRegistry registry_;
+  stream_internal::StreamMetrics m_;
   std::string trace_;
 };
 

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Validates and summarizes a Chrome trace_event JSON file (obs/trace.h).
+
+Schema validation: the file must be a JSON object with a `traceEvents`
+list; every event must carry ph/pid/tid, "X" (complete) events must have
+numeric ts >= 0 and dur >= 0 plus name/cat strings, and "M" (metadata)
+events must be thread_name records. Unknown phases are rejected — the
+exporter only emits X and M, so anything else means a corrupted or
+foreign file.
+
+Summary (per thread, from the thread_name metadata):
+  - busy fraction: sum of span durations over the thread's active window
+    (first span start to last span end); the remainder is wait/idle.
+  - per-category and per-name span counts and total duration.
+  - epoch critical path: for every epoch id observed in span args, the
+    sealed-to-applied makespan (earliest span start to latest span end
+    across ALL threads touching that epoch) vs the sum of its span
+    durations — how much of each epoch's latency is actual work vs
+    pipeline wait.
+
+    python3 tools/trace_summary.py trace.json
+    python3 tools/trace_summary.py trace.json --expect-thread apply
+
+Exit codes (mirroring diff_bench_json.py): 0 the trace is valid (summary
+printed), 1 the trace parsed but failed validation (schema violation,
+empty event list, or a --expect-thread/--min-events expectation not met),
+3 the input file is missing, unreadable, or not JSON at all — an
+infrastructure failure callers must not confuse with "invalid trace".
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+class BrokenInput(Exception):
+    """The input file is missing, unreadable, or not parseable JSON."""
+
+
+class InvalidTrace(Exception):
+    """The file parsed but is not a valid exporter trace."""
+
+
+def load_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as err:
+        raise BrokenInput(f"cannot read '{path}': {err.strerror or err}")
+    except json.JSONDecodeError as err:
+        raise BrokenInput(
+            f"'{path}' is not valid JSON (line {err.lineno}: {err.msg})")
+    return data
+
+
+def validate(data):
+    """Returns (spans, thread_names) or raises InvalidTrace."""
+    if not isinstance(data, dict):
+        raise InvalidTrace(f"top level is {type(data).__name__}, not an "
+                           "object")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        raise InvalidTrace("missing or non-list 'traceEvents'")
+    if not events:
+        raise InvalidTrace("'traceEvents' is empty")
+    spans = []
+    thread_names = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise InvalidTrace(f"event {i} is not an object")
+        ph = ev.get("ph")
+        tid = ev.get("tid")
+        if not isinstance(tid, int) or "pid" not in ev:
+            raise InvalidTrace(f"event {i} lacks integer tid / pid")
+        if ph == "M":
+            if ev.get("name") != "thread_name" or not isinstance(
+                    ev.get("args", {}).get("name"), str):
+                raise InvalidTrace(f"metadata event {i} is not a "
+                                   "thread_name record")
+            thread_names[tid] = ev["args"]["name"]
+        elif ph == "X":
+            ts = ev.get("ts")
+            dur = ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise InvalidTrace(f"event {i} has invalid ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise InvalidTrace(f"event {i} has invalid dur {dur!r}")
+            if not isinstance(ev.get("name"), str) or not isinstance(
+                    ev.get("cat"), str):
+                raise InvalidTrace(f"event {i} lacks name/cat strings")
+            spans.append(ev)
+        else:
+            raise InvalidTrace(f"event {i} has unexpected phase {ph!r} "
+                               "(exporter only emits X and M)")
+    if not spans:
+        raise InvalidTrace("no complete ('X') events — metadata only")
+    for ev in spans:
+        if ev["tid"] not in thread_names:
+            raise InvalidTrace(f"tid {ev['tid']} has spans but no "
+                               "thread_name metadata")
+    return spans, thread_names
+
+
+def summarize(spans, thread_names):
+    per_thread = collections.defaultdict(list)
+    for ev in spans:
+        per_thread[ev["tid"]].append(ev)
+
+    print(f"trace_summary: {len(spans)} spans across "
+          f"{len(per_thread)} threads")
+    print(f"\n{'thread':<12} {'spans':>7} {'busy ms':>10} {'window ms':>10} "
+          f"{'busy %':>7}")
+    for tid in sorted(per_thread):
+        evs = per_thread[tid]
+        busy = sum(e["dur"] for e in evs)
+        start = min(e["ts"] for e in evs)
+        end = max(e["ts"] + e["dur"] for e in evs)
+        window = max(end - start, 1e-9)
+        print(f"{thread_names[tid]:<12} {len(evs):>7} {busy / 1e3:>10.3f} "
+              f"{window / 1e3:>10.3f} {100 * min(busy / window, 1.0):>6.1f}%")
+
+    by_key = collections.defaultdict(lambda: [0, 0.0])
+    for ev in spans:
+        entry = by_key[(ev["cat"], ev["name"])]
+        entry[0] += 1
+        entry[1] += ev["dur"]
+    print(f"\n{'cat/name':<28} {'count':>7} {'total ms':>10} {'mean us':>10}")
+    for (cat, name), (count, total) in sorted(
+            by_key.items(), key=lambda kv: -kv[1][1]):
+        print(f"{cat + '/' + name:<28} {count:>7} {total / 1e3:>10.3f} "
+              f"{total / count:>10.3f}")
+
+    # Epoch critical path: makespan vs summed work, across all threads.
+    epochs = collections.defaultdict(list)
+    for ev in spans:
+        epoch = ev.get("args", {}).get("epoch", -1)
+        if isinstance(epoch, int) and epoch >= 0:
+            epochs[epoch].append(ev)
+    if epochs:
+        makespans = []
+        for epoch, evs in epochs.items():
+            start = min(e["ts"] for e in evs)
+            end = max(e["ts"] + e["dur"] for e in evs)
+            work = sum(e["dur"] for e in evs)
+            makespans.append((end - start, work, epoch, len(evs)))
+        makespans.sort(reverse=True)
+        worst = makespans[0]
+        mean_make = sum(m[0] for m in makespans) / len(makespans)
+        print(f"\nepoch critical path ({len(epochs)} epochs): "
+              f"mean makespan {mean_make / 1e3:.3f} ms")
+        print(f"  worst epoch {worst[2]}: makespan {worst[0] / 1e3:.3f} ms, "
+              f"summed work {worst[1] / 1e3:.3f} ms across {worst[3]} spans "
+              f"(pipeline wait {max(worst[0] - worst[1], 0.0) / 1e3:.3f} ms)")
+    else:
+        print("\nno epoch-labelled spans (trace has no pipeline stages?)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--expect-thread", action="append", default=[],
+                    help="fail (exit 1) unless a thread with this name "
+                         "recorded at least one span; repeatable")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="fail (exit 1) with fewer complete events")
+    args = ap.parse_args()
+
+    try:
+        data = load_trace(args.trace)
+    except BrokenInput as err:
+        print(f"trace_summary: broken input: {err}", file=sys.stderr)
+        return 3
+    try:
+        spans, thread_names = validate(data)
+    except InvalidTrace as err:
+        print(f"trace_summary: invalid trace: {err}", file=sys.stderr)
+        return 1
+
+    if len(spans) < args.min_events:
+        print(f"trace_summary: only {len(spans)} complete events, expected "
+              f">= {args.min_events}", file=sys.stderr)
+        return 1
+    recorded = {thread_names[ev["tid"]] for ev in spans}
+    for name in args.expect_thread:
+        if name not in recorded:
+            print(f"trace_summary: expected spans from thread '{name}', "
+                  f"saw only {sorted(recorded)}", file=sys.stderr)
+            return 1
+
+    summarize(spans, thread_names)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
