@@ -111,7 +111,11 @@ struct AsyncResult {
   bool timed_out = false;
   // Epoch-latency quantiles from the scheduler's registry histogram
   // (relborg_stream_epoch_latency_seconds); the flat StreamStats only
-  // carries mean and max.
+  // carries mean and max. Valid only when has_latency is set — a
+  // zero-epoch run (e.g. a sweep config whose whole stream fits one
+  // unsealed epoch at tiny scale) has an EMPTY histogram, and reporting
+  // its 0.0 quantiles would poison the committed trajectory baseline.
+  bool has_latency = false;
   double latency_p50 = 0;
   double latency_p95 = 0;
   double latency_p99 = 0;
@@ -155,7 +159,8 @@ AsyncResult DriveAsync(const Dataset& ds,
   result.seconds = timer.Seconds();
   const obs::Histogram* latency =
       registry.FindHistogram("relborg_stream_epoch_latency_seconds");
-  if (latency != nullptr) {
+  if (latency != nullptr && latency->Count() > 0) {
+    result.has_latency = true;
     result.latency_p50 = latency->Quantile(0.50);
     result.latency_p95 = latency->Quantile(0.95);
     result.latency_p99 = latency->Quantile(0.99);
@@ -283,23 +288,33 @@ void Run(bool epoch_sweep) {
                   async.stats.epoch_latency_max_seconds * 1e3, "ms",
                   policy.threads);
     // Histogram-derived latency quantiles and per-stage time split (busy
-    // vs gate wait) from the scheduler's metrics registry.
-    std::printf(
-        "  %-11s epoch latency p50 %.2f ms / p95 %.2f ms / p99 %.2f ms; "
-        "stage seconds apply %.2f commit %.2f compute %.2f (gate waits "
-        "%.2f/%.2f/%.2f)\n",
-        name, async.latency_p50 * 1e3, async.latency_p95 * 1e3,
-        async.latency_p99 * 1e3, async.stats.apply_seconds,
-        async.stats.commit_seconds, async.stats.compute_seconds,
-        async.stats.maintain_gate_wait_seconds,
-        async.stats.commit_gate_wait_seconds,
-        async.stats.compute_gate_wait_seconds);
-    bench::Report(std::string(tag) + "_async_epoch_latency_p50_ms",
-                  async.latency_p50 * 1e3, "ms", policy.threads);
-    bench::Report(std::string(tag) + "_async_epoch_latency_p95_ms",
-                  async.latency_p95 * 1e3, "ms", policy.threads);
-    bench::Report(std::string(tag) + "_async_epoch_latency_p99_ms",
-                  async.latency_p99 * 1e3, "ms", policy.threads);
+    // vs gate wait) from the scheduler's metrics registry. Zero-epoch runs
+    // have an empty latency histogram: no quantile records then, so a 0.0
+    // "latency" can never become a diffable baseline value.
+    if (async.has_latency) {
+      std::printf(
+          "  %-11s epoch latency p50 %.2f ms / p95 %.2f ms / p99 %.2f ms; "
+          "stage seconds apply %.2f commit %.2f compute %.2f (gate waits "
+          "%.2f/%.2f/%.2f)\n",
+          name, async.latency_p50 * 1e3, async.latency_p95 * 1e3,
+          async.latency_p99 * 1e3, async.stats.apply_seconds,
+          async.stats.commit_seconds, async.stats.compute_seconds,
+          async.stats.maintain_gate_wait_seconds,
+          async.stats.commit_gate_wait_seconds,
+          async.stats.compute_gate_wait_seconds);
+      bench::Report(std::string(tag) + "_async_epoch_latency_p50_ms",
+                    async.latency_p50 * 1e3, "ms", policy.threads);
+      bench::Report(std::string(tag) + "_async_epoch_latency_p95_ms",
+                    async.latency_p95 * 1e3, "ms", policy.threads);
+      bench::Report(std::string(tag) + "_async_epoch_latency_p99_ms",
+                    async.latency_p99 * 1e3, "ms", policy.threads);
+    } else {
+      std::printf(
+          "  %-11s no sealed epochs (latency histogram empty); stage "
+          "seconds apply %.2f commit %.2f compute %.2f\n",
+          name, async.stats.apply_seconds, async.stats.commit_seconds,
+          async.stats.compute_seconds);
+    }
     bench::Report(std::string(tag) + "_async_apply_seconds",
                   async.stats.apply_seconds, "s", policy.threads);
     bench::Report(std::string(tag) + "_async_commit_seconds",

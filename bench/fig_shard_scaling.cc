@@ -1,0 +1,161 @@
+// Shard-scaling benchmark for the key-range sharded pipelines (src/shard/):
+// the same Retailer insert stream is driven through one unsharded
+// StreamScheduler and through ShardedStreamScheduler fleets of 1, 2 and 4
+// shards, measuring
+//
+//   * ingest throughput — sustained tuples/sec for the whole stream (the
+//     routing layer's partition-and-broadcast cost is inside the number,
+//     so a 1-shard fleet quantifies pure routing overhead);
+//   * merge cost — wall time of MergedCurrent(), the ring add that folds
+//     the per-shard aggregates back into one covariance matrix.
+//
+// Per-shard intra-operator parallelism is pinned to 1 thread
+// (policy.threads = 1 for the baseline AND for every shard), so the
+// sharded/unsharded ratio isolates PIPELINE-level scaling: N independent
+// applier/committer/compute stages against one. The CI bench leg gates
+// the 4-shard ratio at >= 1.3x on 4-CPU runners.
+//
+// Every run's merged aggregate is differentially checked against the
+// unsharded baseline (count exact, second moments to 1e-9 relative —
+// Retailer's real-valued features make bitwise equality across summation
+// orders unavailable, unlike tests/shard_test.cc's integer fixtures), so
+// the numbers can never describe a fleet that computes something else.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/dataset.h"
+#include "ivm/ivm.h"
+#include "ivm/update_stream.h"
+#include "shard/shard_map.h"
+#include "shard/sharded_stream_scheduler.h"
+#include "stream/stream_scheduler.h"
+#include "util/timer.h"
+
+namespace relborg {
+namespace {
+
+constexpr int kMergeReps = 10;
+
+void CheckMergedMatchesBaseline(const CovarMatrix& got,
+                                const CovarMatrix& want, int shards) {
+  if (got.num_features() != want.num_features() ||
+      got.count() != want.count()) {
+    std::fprintf(stderr,
+                 "fig_shard_scaling: %d-shard merge disagrees with the "
+                 "unsharded baseline on shape/count\n",
+                 shards);
+    std::exit(1);
+  }
+  const int n = want.num_features();
+  for (int i = 0; i <= n; ++i) {
+    for (int j = i; j <= n; ++j) {
+      const double a = got.Moment(i, j);
+      const double b = want.Moment(i, j);
+      const double tol = 1e-9 * std::max(1.0, std::fabs(b));
+      if (std::fabs(a - b) > tol) {
+        std::fprintf(stderr,
+                     "fig_shard_scaling: %d-shard merge moment (%d,%d) "
+                     "= %.17g vs baseline %.17g\n",
+                     shards, i, j, a, b);
+        std::exit(1);
+      }
+    }
+  }
+}
+
+CovarMatrix RunUnsharded(const Dataset& ds,
+                         const std::vector<UpdateBatch>& stream,
+                         const ExecPolicy& policy, double* tuples_per_sec) {
+  ShadowDb shadow(ds.query, ds.query.IndexOf(ds.fact));
+  FeatureMap fm(shadow.query(), ds.features);
+  CovarFivm strategy(&shadow, &fm, policy);
+  WallTimer timer;
+  {
+    StreamScheduler<CovarFivm> scheduler(&shadow, &strategy);
+    for (const UpdateBatch& batch : stream) scheduler.Push(batch);
+    scheduler.Finish();
+  }
+  *tuples_per_sec = StreamRowCount(stream) / std::max(1e-9, timer.Seconds());
+  return strategy.Current();
+}
+
+CovarMatrix RunSharded(const Dataset& ds,
+                       const std::vector<UpdateBatch>& stream,
+                       const ExecPolicy& policy, int shards,
+                       double* tuples_per_sec, double* merge_seconds) {
+  const int root = ds.query.IndexOf(ds.fact);
+  FeatureMap fm(ds.query, ds.features);
+  ShardMap map = ShardMap::ForQuery(ds.query, root, shards);
+  ShardedStreamScheduler<CovarFivm> fleet(ds.query, root, &fm,
+                                          std::move(map), policy);
+  WallTimer timer;
+  for (const UpdateBatch& batch : stream) fleet.Push(batch);
+  fleet.Finish();
+  *tuples_per_sec = StreamRowCount(stream) / std::max(1e-9, timer.Seconds());
+  WallTimer merge_timer;
+  for (int r = 0; r < kMergeReps - 1; ++r) (void)fleet.MergedCurrent();
+  CovarMatrix merged = fleet.MergedCurrent();
+  *merge_seconds = merge_timer.Seconds() / kMergeReps;
+  return merged;
+}
+
+void Run() {
+  const double scale = 0.1 * bench::ScaleMultiplier();
+  GenOptions gen;
+  gen.scale = scale;
+  Dataset ds = MakeRetailer(gen);
+
+  UpdateStreamOptions stream_opts;
+  stream_opts.batch_size = 1000;
+  std::vector<UpdateBatch> stream = BuildInsertStream(ds.query, stream_opts);
+
+  bench::PrintHeader(
+      "SHARD", "Key-range sharded ingest scaling, Retailer (" +
+               std::to_string(StreamRowCount(stream)) +
+               " tuples, F-IVM, 1 intra-op thread per pipeline)");
+
+  // Intra-op parallelism off everywhere: the ratio below measures how N
+  // whole pipelines scale, not how N*threads worker pools contend.
+  ExecPolicy policy;
+  policy.threads = 1;
+  policy.partition_grain = 128;
+
+  double base_tps = 0;
+  CovarMatrix want = RunUnsharded(ds, stream, policy, &base_tps);
+  std::printf("  unsharded          %11.0f tuples/s\n", base_tps);
+  bench::Report("shard_ingest_tuples_per_sec_unsharded", base_tps,
+                "tuples/s", 1);
+
+  for (int shards : {1, 2, 4}) {
+    double tps = 0;
+    double merge_s = 0;
+    CovarMatrix merged =
+        RunSharded(ds, stream, policy, shards, &tps, &merge_s);
+    CheckMergedMatchesBaseline(merged, want, shards);
+    const double ratio = tps / std::max(1e-9, base_tps);
+    std::printf("  %d shard%s           %11.0f tuples/s  (%.2fx)   "
+                "merge %8.1f us\n",
+                shards, shards == 1 ? " " : "s", tps, ratio, merge_s * 1e6);
+    const std::string tag = std::to_string(shards);
+    bench::Report("shard_ingest_tuples_per_sec_shards_" + tag, tps,
+                  "tuples/s", shards);
+    bench::Report("shard_merge_seconds_shards_" + tag, merge_s, "s", shards);
+    bench::Report("fivm_sharded" + tag + "_over_unsharded", ratio, "x",
+                  shards);
+  }
+  std::printf("  merged aggregates checked against the unsharded baseline\n");
+}
+
+}  // namespace
+}  // namespace relborg
+
+int main(int argc, char** argv) {
+  relborg::bench::InitReporting(&argc, argv, "fig_shard_scaling");
+  relborg::Run();
+  return 0;
+}

@@ -296,6 +296,11 @@ class CovarFivm {
                                           : CovarPayloadFromSpan(n, span));
   }
 
+  /// Node v's maintained arena view — the cross-arena merge entry points
+  /// (CovarArenaMergeInto, shard/sharded_stream_scheduler.h) read whole
+  /// views, not just the root span. Same quiescence contract as Current().
+  const CovarArenaView& ViewOf(int v) const { return maintainer_.view(v); }
+
   // --- Horizon-bounded serve reads (serve/snapshot_server.h) -------------
   //
   // A serve pin freezes EVERY view at one epoch boundary: PinServe must be

@@ -1,7 +1,9 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "util/check.h"
 
@@ -29,17 +31,34 @@ double Histogram::Quantile(double q) const {
   if (total == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const double target = q * static_cast<double>(total);
+  // The walk must stop at the lowest POPULATED bucket: a raw `q * total`
+  // target of 0 (q == 0, or any q that rounds below the empty leading
+  // buckets' cumulative count of 0) would satisfy `cum >= target` on the
+  // very first bucket even when it holds no observations, reporting bucket
+  // 0's bound for data that never touched it. Clamping the target to the
+  // first observation's rank fixes q == 0 to "the minimum's bucket" while
+  // leaving every populated-bucket quantile unchanged.
+  const uint64_t target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(total))));
   uint64_t cum = 0;
   for (int i = 0; i < kBuckets; ++i) {
     cum += BucketCount(i);
-    if (static_cast<double>(cum) >= target) {
+    if (cum >= target) {
       const double bound = BucketBound(i);
       // Clamp the +Inf bucket to the largest finite bound for reporting.
       return std::isinf(bound) ? BucketBound(kFiniteBuckets - 1) : bound;
     }
   }
   return BucketBound(kFiniteBuckets - 1);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t n = other.BucketCount(i);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  sum_.Add(other.Sum());
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name,
@@ -107,6 +126,63 @@ Histogram* MetricsRegistry::FindHistogram(const std::string& name) const {
   if (it == entries_.end() || it->second.kind != Kind::kHistogram)
     return nullptr;
   return it->second.histogram.get();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& src,
+                                const std::string& suffix) {
+  // Snapshot src's entries first; taking both mutexes at once would order
+  // them (and a self-merge would deadlock).
+  struct Snap {
+    std::string name;
+    Kind kind;
+    std::string help;
+    double value = 0;                    // counter / gauge
+    const Histogram* histogram = nullptr;  // stable for src's lifetime
+  };
+  std::vector<Snap> snaps;
+  {
+    std::lock_guard<std::mutex> lock(src.mu_);
+    snaps.reserve(src.entries_.size());
+    for (const auto& kv : src.entries_) {
+      Snap s;
+      s.name = kv.first;
+      s.kind = kv.second.kind;
+      s.help = kv.second.help;
+      switch (kv.second.kind) {
+        case Kind::kCounter:
+          s.value = kv.second.counter->Value();
+          break;
+        case Kind::kGauge:
+          s.value = kv.second.gauge->Value();
+          break;
+        case Kind::kHistogram:
+          s.histogram = kv.second.histogram.get();
+          break;
+      }
+      snaps.push_back(std::move(s));
+    }
+  }
+  for (const Snap& s : snaps) {
+    switch (s.kind) {
+      case Kind::kCounter: {
+        GetCounter(s.name, s.help)->Inc(s.value);
+        if (!suffix.empty()) GetCounter(s.name + suffix, s.help)->Inc(s.value);
+        break;
+      }
+      case Kind::kGauge: {
+        GetGauge(s.name, s.help)->SetMax(s.value);
+        if (!suffix.empty()) GetGauge(s.name + suffix, s.help)->Set(s.value);
+        break;
+      }
+      case Kind::kHistogram: {
+        GetHistogram(s.name, s.help)->MergeFrom(*s.histogram);
+        if (!suffix.empty()) {
+          GetHistogram(s.name + suffix, s.help)->MergeFrom(*s.histogram);
+        }
+        break;
+      }
+    }
+  }
 }
 
 namespace {

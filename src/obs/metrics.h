@@ -120,8 +120,15 @@ class Histogram {
   static double BucketBound(int i);
 
   // Approximate quantile (q in [0,1]) assuming observations sit at their
-  // bucket's upper bound. Returns 0 when the histogram is empty.
+  // bucket's upper bound. Returns 0 when the histogram is empty; otherwise
+  // the walk stops at the lowest POPULATED bucket (q = 0 reports the
+  // minimum observation's bucket bound, never an empty leading bucket's).
   double Quantile(double q) const;
+
+  // Folds another histogram's buckets, sum and count into this one
+  // (bucket-wise addition — exact, since bucket counts are integers).
+  // Snapshot-in-time with respect to concurrent Observe calls on `other`.
+  void MergeFrom(const Histogram& other);
 
   static int BucketIndex(double v);
 
@@ -149,6 +156,15 @@ class MetricsRegistry {
   // Prometheus text exposition (# HELP / # TYPE, histogram _bucket/_sum/
   // _count series). Safe to call concurrently with instrument updates.
   std::string ExpositionText() const;
+
+  // Folds every instrument of `src` into this registry: under its original
+  // name as a cross-source AGGREGATE (counters add, gauges keep the max,
+  // histograms add bucket-wise) and — when `suffix` is non-empty — under
+  // `name + suffix` as a per-source copy (the sharded scheduler passes
+  // "_shard<i>", so one exposition carries both the fleet totals and the
+  // shard-labeled series). Values are snapshot-in-time; call into a fresh
+  // registry per exposition, since repeating a merge re-adds counters.
+  void MergeFrom(const MetricsRegistry& src, const std::string& suffix = "");
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

@@ -610,6 +610,24 @@ class CovarArenaView {
   std::atomic<uint32_t> cow_floor_{0};
 };
 
+// --- Cross-arena merges ---------------------------------------------------
+//
+// Ring-adds every entry of `src` into `dst` (dst[key] += src[key], allocating
+// absent keys) as ONE published merge on dst. Per-key additions are
+// independent, so the result is a pure function of the two views' contents —
+// never of iteration order — and merging shard-local views in ascending
+// shard order yields the same bytes on every run. Both views must have the
+// same feature width; the caller must exclude concurrent merges on BOTH
+// views for the duration (a merge can rehash the map / move the arena).
+void CovarArenaMergeInto(const CovarArenaView& src, CovarArenaView* dst);
+
+// As above, but reads `src` as of `snap` (FindAt): keys published after the
+// snapshot are skipped, superseded payloads read their pinned pre-merge
+// bytes. `snap` must come from src.Pin() (or a quiescent src.Snapshot())
+// and the pin must stay active across the call.
+void CovarArenaMergeAt(const CovarArenaView& src, const CovarViewSnapshot& snap,
+                       CovarArenaView* dst);
+
 }  // namespace relborg
 
 #endif  // RELBORG_RING_COVAR_ARENA_H_

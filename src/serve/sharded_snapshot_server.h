@@ -1,0 +1,399 @@
+// Merged snapshot-consistent serving over a key-range SHARDED pipeline —
+// one read surface across N independent shard pipelines
+// (shard/sharded_stream_scheduler.h), returning the same answers a
+// SnapshotServer over the equivalent unsharded pipeline would.
+//
+// THE MERGED-HORIZON PROBLEM. Each shard seals and maintains its own
+// epochs at its own pace, so "the newest snapshot of every shard" is NOT a
+// consistent cut of the source stream: shard 0 may have applied source
+// batch 40 while shard 1 is still at batch 25. A merged read must pick one
+// GLOBAL batch count b and, for every shard, a published snapshot whose
+// state equals that shard's deliveries among the first b source batches —
+// then the ring merge of the per-shard snapshots equals the unsharded
+// aggregate after b batches exactly.
+//
+// HOW A CUT IS FOUND. The sharded scheduler logs every delivery as
+// (global batch, cumulative delivered rows); because shard epochs are
+// whole delivered batches, a snapshot's applied-row count (the sum of its
+// watermark) maps EXACTLY to a delivery ordinal, and hence to the global
+// batch interval [g_lo, g_hi) over which that shard state is current
+// (ShardedStreamScheduler::DeliveryInterval). BeginMergedSnapshot takes
+// b* = min over shards of the newest entry's interval end, then picks from
+// each shard's ring of recent entries the one whose interval contains b*.
+// Retained rings make the race window small; if some shard has already
+// discarded every entry covering b* the begin fails kUnavailable and the
+// caller retries — reads can degrade to failure, never to an inconsistent
+// merge. A quiescent pipeline (after Finish, or paused) always succeeds:
+// every newest interval is open-ended, so b* falls in all of them.
+//
+// The merge itself is the ring fold in ascending shard order (key-wise
+// CovarSpanAdd semantics — see shard/shard_map.h for why the join
+// distributes over the root partition): bit-identical across runs, and
+// bit-identical to the unsharded answer whenever the payload sums are
+// exactly representable (integer-valued features; the differential suite
+// in tests/shard_test.cc pins this).
+//
+// Zero-copy strategies (CovarFivm's ServePin) serve pinned view bytes
+// under each shard's view-gate read lock; copy-based strategies serve the
+// payload copied at the shard's epoch boundary. Same entry machinery as
+// serve/snapshot_server.h (serve_internal::Entry).
+//
+// RESUMED RUNS. While a Resume() replay is still inside some shard's
+// restored prefix, that shard's snapshots cover deliveries the global log
+// has not re-routed yet, so interval lookups fail and merged begins return
+// kUnavailable; once the replay catches up past every restored prefix,
+// merged reads succeed again. Likewise a quarantined (rejected) delivery
+// permanently shifts its shard's delivered-row counts off the unsharded
+// stream — later begins keep failing rather than serving a wrong merge.
+//
+// LIFECYCLE mirrors SnapshotServer: construct AFTER the sharded scheduler
+// and BEFORE its first Push (initial empty/restored snapshots must not
+// race a fold); destroy before the scheduler; open transactions keep their
+// entries alive until closed.
+#ifndef RELBORG_SERVE_SHARDED_SNAPSHOT_SERVER_H_
+#define RELBORG_SERVE_SHARDED_SNAPSHOT_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ml/linear_regression.h"
+#include "obs/metrics.h"
+#include "ring/covariance.h"
+#include "serve/snapshot_server.h"
+#include "shard/sharded_stream_scheduler.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace relborg {
+
+/// Sharded serving configuration.
+struct ShardedServeOptions {
+  /// Per-shard staleness bound, as in ServeOptions (clamped to >= 1).
+  size_t snapshot_every_epochs = 1;
+  /// Published entries retained per shard for merged-cut selection. Larger
+  /// rings tolerate more shard-progress skew between begins; 0 clamps to 1
+  /// (newest only — begins then require near-lockstep shards).
+  size_t retained_entries = 8;
+  /// Attempts per BeginMergedSnapshot before giving up with kUnavailable
+  /// (each attempt re-reads every shard's newest entries).
+  size_t begin_attempts = 16;
+};
+
+/// Merged read front end over a live ShardedStreamScheduler<Strategy>.
+///
+/// THREAD SAFETY: BeginMergedSnapshot / EndSnapshot / Covar / GroupBy /
+/// TrainModel are safe from any number of client threads concurrently with
+/// the pipelines. Construction and destruction belong to the scheduler's
+/// owner thread.
+template <typename Strategy>
+class ShardedSnapshotServer {
+  static constexpr bool kPinned =
+      serve_internal::HasServePin<Strategy>::value;
+  using Entry = serve_internal::Entry<Strategy>;
+
+ public:
+  /// One open merged read transaction: a shared hold on one published
+  /// entry per shard, all current at the same global batch count.
+  class MergedReadTxn {
+   public:
+    MergedReadTxn() = default;
+    /// The global cut: source batches covered by every read through this
+    /// transaction.
+    uint64_t global_batches() const { return global_batches_; }
+    /// Shard s's epoch horizon at the cut (epochs this server observed —
+    /// a resumed shard's restored prefix counts as horizon 0).
+    uint64_t shard_horizon(int s) const { return entries_[s]->horizon; }
+    bool open() const { return !entries_.empty(); }
+
+   private:
+    friend class ShardedSnapshotServer;
+    std::vector<std::shared_ptr<const Entry>> entries_;
+    uint64_t global_batches_ = 0;
+  };
+
+  /// Registers an epoch observer on every shard pipeline and publishes
+  /// each shard's initial snapshot (the empty database — or the restored
+  /// watermark when the scheduler was Resume()d). Must run after the
+  /// scheduler's construction and before its first Push.
+  ShardedSnapshotServer(ShardedStreamScheduler<Strategy>* sched,
+                        const ShardedServeOptions& options = {})
+      : sched_(sched), options_(options) {
+    if (options_.snapshot_every_epochs == 0) options_.snapshot_every_epochs = 1;
+    if (options_.retained_entries == 0) options_.retained_entries = 1;
+    if (options_.begin_attempts == 0) options_.begin_attempts = 1;
+    const int num_nodes = sched_->shadow(0).tree().num_nodes();
+    root_mask_.assign(num_nodes, 0);
+    root_mask_[sched_->shadow(0).tree().root()] = 1;
+    read_latency_ = registry_.GetHistogram(
+        "relborg_sharded_serve_read_latency_seconds",
+        "Per-query merged serve read latency (gate waits included)");
+    transactions_ = registry_.GetCounter(
+        "relborg_sharded_serve_transactions_total",
+        "Merged read transactions opened");
+    failed_begins_ = registry_.GetCounter(
+        "relborg_sharded_serve_begin_failures_total",
+        "Merged begins that found no consistent cut");
+    reads_ = registry_.GetCounter("relborg_sharded_serve_reads_total",
+                                  "Merged snapshot reads served");
+    snapshots_ = registry_.GetCounter(
+        "relborg_sharded_serve_snapshots_published_total",
+        "Per-shard snapshot entries published (initial ones included)");
+    rings_.resize(static_cast<size_t>(sched_->num_shards()));
+    observers_.reserve(rings_.size());
+    for (int s = 0; s < sched_->num_shards(); ++s) {
+      // Initial entry: whatever the shard starts from (empty, or the
+      // restored checkpoint state on a resumed run).
+      std::vector<size_t> wm(static_cast<size_t>(num_nodes), 0);
+      for (int v = 0; v < num_nodes; ++v) {
+        wm[static_cast<size_t>(v)] = sched_->shadow(s).committed_rows(v);
+      }
+      Publish(s, 0, std::move(wm));
+      observers_.push_back(std::make_unique<ShardObserver>(this, s));
+      sched_->scheduler(s)->SetEpochObserver(observers_.back().get());
+    }
+  }
+
+  ~ShardedSnapshotServer() {
+    // Synchronizes with any in-flight epoch callback per shard.
+    for (int s = 0; s < sched_->num_shards(); ++s) {
+      sched_->scheduler(s)->SetEpochObserver(nullptr);
+    }
+  }
+
+  ShardedSnapshotServer(const ShardedSnapshotServer&) = delete;
+  ShardedSnapshotServer& operator=(const ShardedSnapshotServer&) = delete;
+
+  /// Opens a merged transaction on the newest consistent cut (see the file
+  /// comment). kUnavailable when no retained entry combination forms one
+  /// after `begin_attempts` tries — transient while shards race far apart
+  /// or a Resume() replay is still inside a restored prefix; permanent
+  /// after a quarantined delivery. Never blocks on the pipelines.
+  Status BeginMergedSnapshot(MergedReadTxn* out) {
+    transactions_->Inc();
+    const int shards = sched_->num_shards();
+    for (size_t attempt = 0; attempt < options_.begin_attempts; ++attempt) {
+      // Snapshot every shard's retained ring (newest last), then work
+      // lock-free on the shared_ptr copies.
+      std::vector<std::vector<std::shared_ptr<const Entry>>> rings(
+          static_cast<size_t>(shards));
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (int s = 0; s < shards; ++s) {
+          const auto& ring = rings_[static_cast<size_t>(s)];
+          rings[static_cast<size_t>(s)].assign(ring.begin(), ring.end());
+        }
+      }
+      // The cut candidate: every shard's newest entry covers [lo, hi);
+      // b* = min over shards of (hi - 1), open-ended intervals capped at
+      // the current global batch count.
+      uint64_t cut = sched_->global_batches();
+      bool newest_ok = true;
+      for (int s = 0; s < shards && newest_ok; ++s) {
+        uint64_t lo = 0, hi = 0;
+        newest_ok = Interval(s, *rings[s].back(), &lo, &hi);
+        if (newest_ok && hi != UINT64_MAX && hi - 1 < cut) cut = hi - 1;
+      }
+      if (!newest_ok) continue;  // a shard mid-replay or mid-delivery
+      MergedReadTxn txn;
+      txn.entries_.resize(static_cast<size_t>(shards));
+      txn.global_batches_ = cut;
+      bool all = true;
+      for (int s = 0; s < shards && all; ++s) {
+        all = false;
+        for (auto it = rings[s].rbegin(); it != rings[s].rend(); ++it) {
+          uint64_t lo = 0, hi = 0;
+          if (Interval(s, **it, &lo, &hi) && lo <= cut && cut < hi) {
+            txn.entries_[static_cast<size_t>(s)] = *it;
+            all = true;
+            break;
+          }
+        }
+      }
+      if (all) {
+        *out = std::move(txn);
+        return Status::Ok();
+      }
+    }
+    failed_begins_->Inc();
+    return Status::Unavailable(
+        "no consistent merged cut across shard snapshots");
+  }
+
+  /// Closes a merged transaction; superseded entries unpin on last hold.
+  void EndSnapshot(MergedReadTxn* txn) {
+    txn->entries_.clear();
+    txn->global_batches_ = 0;
+  }
+
+  /// The merged covariance aggregate at the transaction's cut: per-shard
+  /// snapshots ring-added in ascending shard order.
+  CovarMatrix Covar(const MergedReadTxn& txn) const {
+    RELBORG_DCHECK(txn.open());
+    WallTimer timer;
+    reads_->Inc();
+    CovarPayload acc;
+    int n = 0;
+    for (int s = 0; s < sched_->num_shards(); ++s) {
+      const Entry& entry = *txn.entries_[static_cast<size_t>(s)];
+      if constexpr (kPinned) {
+        StreamScheduler<Strategy>* shard = sched_->scheduler(s);
+        shard->BeginViewRead(root_mask_);
+        CovarMatrix m = sched_->strategy(s)->CovarAt(entry.pin);
+        shard->EndViewRead(root_mask_);
+        if (s == 0) {
+          n = m.num_features();
+          acc = CovarPayload::Zero(n);
+        }
+        CovarAddInPlace(&acc, m.payload());
+      } else {
+        if (s == 0) {
+          n = entry.num_features;
+          acc = CovarPayload::Zero(n);
+        }
+        CovarAddInPlace(&acc, entry.covar);
+      }
+    }
+    read_latency_->Observe(timer.Seconds());
+    return CovarMatrix(n, acc);
+  }
+
+  /// Group-by at the cut: node v's keys with their COUNT(*) payloads,
+  /// sorted by key — the unsharded answer, reconstructed per v's position:
+  /// only the ROOT's view aggregates over the partitioned root relation,
+  /// so only it sums across shards; every other view is maintained over
+  /// broadcast (replicated) relations, so at a consistent cut all shards
+  /// hold the same result and one replica — shard 0's — IS the answer
+  /// (summing would overcount N-fold). Zero-copy strategies only, as in
+  /// SnapshotServer::GroupBy.
+  std::vector<std::pair<uint64_t, double>> GroupBy(const MergedReadTxn& txn,
+                                                   int v) const {
+    static_assert(kPinned,
+                  "GroupBy requires a strategy with the ServePin protocol "
+                  "(CovarFivm); copy-based snapshots keep no view state");
+    RELBORG_DCHECK(txn.open());
+    WallTimer timer;
+    reads_->Inc();
+    std::vector<uint8_t> mask(root_mask_.size(), 0);
+    mask[static_cast<size_t>(v)] = 1;
+    const int shards =
+        v == sched_->shadow(0).tree().root() ? sched_->num_shards() : 1;
+    std::map<uint64_t, double> merged;
+    for (int s = 0; s < shards; ++s) {
+      StreamScheduler<Strategy>* shard = sched_->scheduler(s);
+      shard->BeginViewRead(mask);
+      auto part = sched_->strategy(s)->GroupByAt(
+          v, txn.entries_[static_cast<size_t>(s)]->pin);
+      shard->EndViewRead(mask);
+      for (const std::pair<uint64_t, double>& kv : part) {
+        merged[kv.first] += kv.second;
+      }
+    }
+    read_latency_->Observe(timer.Seconds());
+    return std::vector<std::pair<uint64_t, double>>(merged.begin(),
+                                                    merged.end());
+  }
+
+  /// Trains the ridge model for `response` on the merged covariance at the
+  /// cut, warm-starting from the last weights for that response (shared
+  /// cache, as in SnapshotServer::TrainModel).
+  LinearModel TrainModel(const MergedReadTxn& txn, int response,
+                         RidgeOptions options = {},
+                         TrainInfo* info = nullptr) {
+    CovarMatrix m = Covar(txn);
+    {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      auto it = warm_.find(response);
+      if (it != warm_.end()) options.warm_start = it->second;
+    }
+    LinearModel model = TrainRidgeGd(m, response, options, {}, info);
+    {
+      std::lock_guard<std::mutex> lock(model_mu_);
+      warm_[response] = model.weights;
+    }
+    return model;
+  }
+
+  /// Per-shard snapshot entries published so far (initial ones included).
+  size_t published_snapshots() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return published_;
+  }
+
+  /// One exposition across the whole sharded deployment: the scheduler's
+  /// merged pipeline instruments (aggregate + per-shard series) followed
+  /// by this server's merged-serve instruments.
+  std::string MetricsText() const {
+    return sched_->MetricsText() + registry_.ExpositionText();
+  }
+
+  /// The merged-serve registry itself (e.g. quantile queries on
+  /// relborg_sharded_serve_read_latency_seconds).
+  const obs::MetricsRegistry& metrics() const { return registry_; }
+
+ private:
+  // Per-shard epoch-boundary hook: runs on that shard's APPLIER thread
+  // between epochs, the one point where pinning/copying strategy state
+  // cannot race a fold.
+  struct ShardObserver : StreamEpochObserver {
+    ShardObserver(ShardedSnapshotServer* owner, int shard)
+        : owner(owner), shard(shard) {}
+    void OnEpochMaintained(uint64_t id,
+                           const std::vector<size_t>& watermark) override {
+      if ((id + 1) % owner->options_.snapshot_every_epochs != 0) return;
+      owner->Publish(shard, id + 1, watermark);
+    }
+    ShardedSnapshotServer* owner;
+    int shard;
+  };
+
+  void Publish(int shard, uint64_t horizon, std::vector<size_t> watermark) {
+    auto entry = std::make_shared<const Entry>(horizon, std::move(watermark),
+                                               sched_->strategy(shard));
+    snapshots_->Inc();
+    std::lock_guard<std::mutex> lock(mu_);
+    std::deque<std::shared_ptr<const Entry>>& ring =
+        rings_[static_cast<size_t>(shard)];
+    ring.push_back(std::move(entry));
+    while (ring.size() > options_.retained_entries) ring.pop_front();
+    ++published_;
+  }
+
+  // The global batch interval [*lo, *hi) over which `entry`'s shard state
+  // is current — false while the delivery log has not (re-)routed the
+  // entry's applied prefix (Resume replay) or after a quarantined delivery
+  // shifted the shard's row counts.
+  bool Interval(int shard, const Entry& entry, uint64_t* lo,
+                uint64_t* hi) const {
+    size_t applied = 0;
+    for (size_t rows : entry.watermark) applied += rows;
+    return sched_->DeliveryInterval(shard, applied, lo, hi);
+  }
+
+  ShardedStreamScheduler<Strategy>* sched_;
+  ShardedServeOptions options_;
+  std::vector<uint8_t> root_mask_;  // view-gate mask: the root view only
+  std::vector<std::unique_ptr<ShardObserver>> observers_;
+  mutable std::mutex mu_;  // guards rings_ + published_
+  std::vector<std::deque<std::shared_ptr<const Entry>>> rings_;
+  size_t published_ = 0;
+  std::mutex model_mu_;                      // guards warm_
+  std::map<int, std::vector<double>> warm_;  // response -> last weights
+  // Merged-serve instruments (own registry; the shard pipelines keep
+  // theirs). Written from const read paths — the instruments are atomic.
+  obs::MetricsRegistry registry_;
+  mutable obs::Histogram* read_latency_ = nullptr;
+  obs::Counter* transactions_ = nullptr;
+  obs::Counter* failed_begins_ = nullptr;
+  mutable obs::Counter* reads_ = nullptr;
+  obs::Counter* snapshots_ = nullptr;
+};
+
+}  // namespace relborg
+
+#endif  // RELBORG_SERVE_SHARDED_SNAPSHOT_SERVER_H_

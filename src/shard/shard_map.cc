@@ -1,0 +1,49 @@
+#include "shard/shard_map.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "relational/relation.h"
+#include "util/check.h"
+
+namespace relborg {
+
+ShardMap::ShardMap(int root_node, std::vector<int> key_attrs, uint64_t domain,
+                   int num_shards)
+    : root_node_(root_node),
+      key_attrs_(std::move(key_attrs)),
+      domain_(std::max<uint64_t>(1, domain)),
+      num_shards_(std::max(1, num_shards)) {
+  RELBORG_CHECK(key_attrs_.size() <= 2);
+}
+
+ShardMap ShardMap::ForQuery(const JoinQuery& source, int root,
+                            int num_shards) {
+  const RootedTree tree = source.Root(root);
+  std::vector<int> attrs;
+  if (!tree.node(root).children.empty()) {
+    // The root's key attributes on the edge to its first child: present in
+    // every root row, and the attributes the per-shard join work keys on.
+    attrs = tree.node(tree.node(root).children[0]).parent_key_attrs;
+  } else {
+    const Schema& schema = source.relation(root)->schema();
+    for (int a = 0; a < schema.num_attrs(); ++a) {
+      if (schema.attr(a).type == AttrType::kCategorical) {
+        attrs.push_back(a);
+        break;
+      }
+    }
+  }
+  // Domain = max packed key in the SOURCE data + 1; later stream keys
+  // beyond it clamp to the last shard (ShardOfKey).
+  uint64_t max_key = 0;
+  if (!attrs.empty()) {
+    const Relation& rel = *source.relation(root);
+    for (size_t row = 0; row < rel.num_rows(); ++row) {
+      max_key = std::max(max_key, PackRowKey(rel, row, attrs));
+    }
+  }
+  return ShardMap(root, std::move(attrs), max_key + 1, num_shards);
+}
+
+}  // namespace relborg

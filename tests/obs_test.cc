@@ -94,6 +94,73 @@ TEST(ObsMetrics, HistogramQuantilesAreMonotone) {
   EXPECT_LE(p95, h->Quantile(0.99));
 }
 
+TEST(ObsMetrics, QuantileStopsAtTheLowestPopulatedBucket) {
+  // Regression: with empty leading buckets, q = 0 used to satisfy
+  // `cum >= target` at target 0 on bucket 0 and report 2^-20 for data that
+  // never touched it. Every quantile must land in a populated bucket.
+  obs::Histogram h;
+  for (int i = 0; i < 4; ++i) h.Observe(0.25);  // bucket bound 0.25
+  const double min_bound = 0.25;
+  EXPECT_EQ(h.Quantile(0.0), min_bound);
+  EXPECT_EQ(h.Quantile(1e-9), min_bound);  // rounds below 1 observation
+  EXPECT_EQ(h.Quantile(1.0), min_bound);   // all mass in one bucket
+}
+
+TEST(ObsMetrics, QuantileOfASingleObservation) {
+  obs::Histogram h;
+  h.Observe(0.01);  // bucket (2^-7, 2^-6]: bound 0.015625
+  const double bound =
+      obs::Histogram::BucketBound(obs::Histogram::BucketIndex(0.01));
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), bound) << "q=" << q;
+  }
+}
+
+TEST(ObsMetrics, QuantileSpansPopulatedBucketsOnly) {
+  // 1 observation near 1ms, 99 near 100ms: q = 0 must report the minimum's
+  // bucket, q >= 0.02 the tail's — and nothing in between, since no other
+  // bucket holds observations.
+  obs::Histogram h;
+  h.Observe(0.001);
+  for (int i = 0; i < 99; ++i) h.Observe(0.1);
+  const double lo =
+      obs::Histogram::BucketBound(obs::Histogram::BucketIndex(0.001));
+  const double hi =
+      obs::Histogram::BucketBound(obs::Histogram::BucketIndex(0.1));
+  EXPECT_EQ(h.Quantile(0.0), lo);
+  EXPECT_EQ(h.Quantile(0.01), lo);  // exactly the first observation's rank
+  EXPECT_EQ(h.Quantile(0.02), hi);
+  EXPECT_EQ(h.Quantile(1.0), hi);
+  // Empty histogram stays the documented 0.
+  obs::Histogram empty;
+  EXPECT_EQ(empty.Quantile(0.0), 0.0);
+  EXPECT_EQ(empty.Quantile(1.0), 0.0);
+}
+
+TEST(ObsMetrics, RegistryMergeAggregatesAndLabelsPerSource) {
+  obs::MetricsRegistry a, b;
+  a.GetCounter("relborg_test_total", "help")->Inc(3);
+  b.GetCounter("relborg_test_total", "help")->Inc(4);
+  a.GetGauge("relborg_test_gauge", "help")->Set(2.0);
+  b.GetGauge("relborg_test_gauge", "help")->Set(5.0);
+  a.GetHistogram("relborg_test_seconds", "help")->Observe(0.001);
+  b.GetHistogram("relborg_test_seconds", "help")->Observe(0.1);
+
+  obs::MetricsRegistry agg;
+  agg.MergeFrom(a, "_shard0");
+  agg.MergeFrom(b, "_shard1");
+  EXPECT_EQ(agg.FindCounter("relborg_test_total")->Value(), 7.0);
+  EXPECT_EQ(agg.FindCounter("relborg_test_total_shard0")->Value(), 3.0);
+  EXPECT_EQ(agg.FindCounter("relborg_test_total_shard1")->Value(), 4.0);
+  EXPECT_EQ(agg.FindGauge("relborg_test_gauge")->Value(), 5.0);  // max
+  EXPECT_EQ(agg.FindGauge("relborg_test_gauge_shard0")->Value(), 2.0);
+  obs::Histogram* h = agg.FindHistogram("relborg_test_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Count(), 2u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.101);
+  EXPECT_EQ(agg.FindHistogram("relborg_test_seconds_shard1")->Count(), 1u);
+}
+
 TEST(ObsMetrics, ExpositionTextIsPrometheusShaped) {
   obs::MetricsRegistry reg;
   reg.GetCounter("relborg_test_total", "a counter")->Inc(3);

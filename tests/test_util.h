@@ -20,6 +20,7 @@
 #ifndef RELBORG_TESTS_TEST_UTIL_H_
 #define RELBORG_TESTS_TEST_UTIL_H_
 
+#include <cmath>
 #include <memory>
 #include <string>
 #include <vector>
@@ -100,12 +101,23 @@ struct RandomDb {
 // which itself has children D2, D3 (a two-level tree, D3 joined on a
 // two-attribute key). Key values are drawn from [0, domain) and some key
 // values are deliberately absent from one side (dangling tuples).
+//
+// integer_values rounds every double feature to an integer (same rng draw
+// sequence, so keys and shapes match the unrounded database). Suites that
+// compare two different SUMMATION ORDERS of the same multiset — e.g. the
+// sharded-vs-unsharded differential — need it: covariance payload sums
+// over small integers are exactly representable, making bitwise equality
+// independent of fold order.
 inline RandomDb MakeRandomDb(uint64_t seed, Topology topology,
-                             int fact_rows = 60, int32_t domain = 8) {
+                             int fact_rows = 60, int32_t domain = 8,
+                             bool integer_values = false) {
   RandomDb db;
   db.catalog = std::make_unique<Catalog>();
   Rng rng(seed);
-  auto value = [&]() { return rng.Uniform(-2.0, 2.0); };
+  auto value = [&]() {
+    const double v = rng.Uniform(-2.0, 2.0);
+    return integer_values ? std::round(v) : v;
+  };
 
   if (topology == Topology::kStar) {
     Schema fact({{"k1", AttrType::kCategorical},

@@ -121,8 +121,12 @@ def main():
     except BrokenInput as err:
         print(f"diff_bench_json: broken input: {err}", file=sys.stderr)
         return 3
-    shared = sorted(set(base) & set(cur), key=lambda k: (k[0] or "", k[2] or "",
-                                                         k[3] or 0))
+    # Sort on the FULL record identity. Leaving scale (k[1]) out would make
+    # multi-scale reports interleave scales in set-iteration order, which
+    # varies run to run (tools/test_diff_bench_json.py pins this order).
+    shared = sorted(set(base) & set(cur),
+                    key=lambda k: (k[0] or "", k[1] or 0.0, k[2] or "",
+                                   k[3] or 0))
     if not shared:
         print("diff_bench_json: no matching {harness, scale, metric, threads} "
               "records between the two files", file=sys.stderr)

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Golden test for tools/diff_bench_json.py's report order and verdicts.
+
+Regression pinned here: shared record keys are (harness, scale, metric,
+threads) but the report used to sort on (harness, metric, threads) only,
+so multi-scale trajectories interleaved their scales in set-iteration
+order — which varies between Python processes (hash randomization), making
+two CI runs of the same diff print different reports. The golden below
+fails if scale ever drops out of the sort key again.
+
+Run directly (exit 0 = pass) or via CTest (test name diff_bench_json_golden):
+
+    python3 tools/test_diff_bench_json.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "diff_bench_json.py")
+
+
+def record(harness, scale, metric, threads, value, unit):
+    return {"harness": harness, "scale": scale, "metric": metric,
+            "threads": threads, "value": value, "unit": unit}
+
+
+def run_diff(base_records, cur_records, *extra_args):
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = os.path.join(tmp, "base.json")
+        cur_path = os.path.join(tmp, "cur.json")
+        with open(base_path, "w", encoding="utf-8") as fh:
+            json.dump({"records": base_records}, fh)
+        with open(cur_path, "w", encoding="utf-8") as fh:
+            json.dump({"records": cur_records}, fh)
+        proc = subprocess.run(
+            [sys.executable, TOOL, base_path, cur_path, *extra_args],
+            capture_output=True, text=True)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    # Two harnesses x two scales x two metrics, every record changed enough
+    # to appear in the report. The golden order is the full-identity sort:
+    # harness, then scale, then metric, then threads.
+    base = []
+    cur = []
+    for harness in ("fig4_right", "fig_shard_scaling"):
+        for scale in (0.05, 0.5):
+            for metric, threads in (("ingest_seconds", 1),
+                                    ("ingest_seconds", 4),
+                                    ("speedup", 4)):
+                unit = "s" if metric.endswith("seconds") else "x"
+                base.append(record(harness, scale, metric, threads, 1.0, unit))
+                # Times regress up, speedups improve up: both land in the
+                # report, exercising both verdict branches at every key.
+                cur.append(record(harness, scale, metric, threads, 1.2, unit))
+
+    rc, out = run_diff(base, cur)
+    if rc != 0:
+        print(f"FAIL: expected exit 0 (warnings only), got {rc}\n{out}")
+        return 1
+
+    lines = [ln.strip() for ln in out.splitlines()
+             if "REGRESSION" in ln or "IMPROVED" in ln]
+    expected = []
+    for harness in ("fig4_right", "fig_shard_scaling"):
+        for scale in (0.05, 0.5):
+            expected.append(
+                f"IMPROVED   {harness}/speedup (scale={scale}, threads=4): "
+                f"1 -> 1.2 x (+20.0%)")
+            for threads in (1, 4):
+                expected.append(
+                    f"WARNING: REGRESSION {harness}/ingest_seconds "
+                    f"(scale={scale}, threads={threads}): "
+                    f"1 -> 1.2 s (+20.0%)")
+    # Improvements print before warnings; within each group the shared-key
+    # sort (harness, scale, metric, threads) applies.
+    expected.sort(key=lambda ln: "IMPROVED" not in ln)
+    got_improved = [ln for ln in lines if ln.startswith("IMPROVED")]
+    got_warned = [ln for ln in lines if ln.startswith("WARNING")]
+    want_improved = [ln for ln in expected if ln.startswith("IMPROVED")]
+    want_warned = [ln for ln in expected if ln.startswith("WARNING")]
+    if got_improved != want_improved or got_warned != want_warned:
+        print("FAIL: report order drifted from the golden "
+              "(harness, scale, metric, threads) sort")
+        print("--- got ---")
+        print("\n".join(lines))
+        print("--- want ---")
+        print("\n".join(want_improved + want_warned))
+        return 1
+
+    # The fail-threshold path must keep the same deterministic order.
+    rc, out = run_diff(base, cur, "--fail-threshold", "0.15")
+    if rc != 1:
+        print(f"FAIL: expected exit 1 beyond the fail threshold, got {rc}")
+        return 1
+    fails = [ln.strip() for ln in out.splitlines() if ln.strip().startswith(
+        "FAIL: REGRESSION")]
+    want_fails = ["FAIL: REGRESSION " + ln[len("WARNING: REGRESSION "):]
+                  for ln in want_warned]
+    if fails != want_fails:
+        print("FAIL: fail-path report order drifted\n--- got ---")
+        print("\n".join(fails))
+        print("--- want ---")
+        print("\n".join(want_fails))
+        return 1
+
+    print("test_diff_bench_json: golden report order OK "
+          f"({len(want_improved)} improvements, {len(want_warned)} "
+          "regressions, both paths)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
